@@ -1,0 +1,142 @@
+//! Criterion microbenchmarks for the hot substrate primitives: the event
+//! queue, the work-stealing deque, the buddy allocator, one coherence-
+//! protocol step, and the IR interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    use interweave_core::{Cycles, EventQueue};
+    c.bench_function("event_queue push+pop 1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(Cycles(i * 7 % 997), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_deque(c: &mut Criterion) {
+    use interweave_heartbeat::deque::WorkDeque;
+    c.bench_function("work_deque mixed 1k", |b| {
+        b.iter(|| {
+            let mut d = WorkDeque::new();
+            for i in 0..1000 {
+                d.push(i);
+                if i % 3 == 0 {
+                    black_box(d.steal());
+                }
+                if i % 5 == 0 {
+                    black_box(d.pop());
+                }
+            }
+            while d.pop().is_some() {}
+            black_box(d.pushed)
+        })
+    });
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    use interweave_kernel::buddy::BuddyZone;
+    c.bench_function("buddy alloc/free 256", |b| {
+        b.iter(|| {
+            let mut z = BuddyZone::new(0, 6, 14);
+            let addrs: Vec<u64> = (0..256)
+                .map(|i| z.alloc(64 * (1 + i % 4)).unwrap())
+                .collect();
+            for a in addrs {
+                z.free(a).unwrap();
+            }
+            black_box(z.fully_coalesced())
+        })
+    });
+}
+
+fn bench_mesi_step(c: &mut Criterion) {
+    use interweave_coherence::protocol::{CohMode, System, SystemConfig};
+    c.bench_function("mesi read/write 1k accesses", |b| {
+        b.iter(|| {
+            let mut s = System::new(SystemConfig::test(4, CohMode::Full));
+            let mut lat = 0u64;
+            for i in 0..1000u64 {
+                let core = (i % 4) as usize;
+                if i % 3 == 0 {
+                    lat += s.write(core, i % 64);
+                } else {
+                    lat += s.read(core, i % 64);
+                }
+            }
+            black_box(lat)
+        })
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    use interweave_ir::interp::{Interp, InterpConfig, NullHooks};
+    use interweave_ir::programs;
+    let p = programs::fib(15);
+    c.bench_function("interp fib(15)", |b| {
+        b.iter(|| {
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&p.module, p.entry, &p.args);
+            black_box(it.run_to_completion(&p.module, &mut NullHooks))
+        })
+    });
+}
+
+fn bench_text_format(c: &mut Criterion) {
+    use interweave_ir::programs;
+    use interweave_ir::text::{parse_module, print_module};
+    let p = programs::matvec(8);
+    let text = print_module(&p.module);
+    c.bench_function("text print matvec", |b| {
+        b.iter(|| black_box(print_module(&p.module)))
+    });
+    c.bench_function("text parse matvec", |b| {
+        b.iter(|| black_box(parse_module(&text).expect("parses")))
+    });
+}
+
+fn bench_carat_analyses(c: &mut Criterion) {
+    use interweave_carat::coverage::verify_coverage;
+    use interweave_carat::instrument;
+    use interweave_ir::programs;
+    let p = programs::matvec(8);
+    let mut m = p.module.clone();
+    instrument(&mut m, true);
+    c.bench_function("coverage verify matvec", |b| {
+        b.iter(|| black_box(verify_coverage(&m)))
+    });
+}
+
+fn bench_inline(c: &mut Criterion) {
+    use interweave_ir::inline::Inline;
+    use interweave_ir::passes::Pass;
+    use interweave_ir::programs;
+    let p = programs::stencil1d(32, 2);
+    c.bench_function("inline pass stencil", |b| {
+        b.iter(|| {
+            let mut m = p.module.clone();
+            black_box(Inline::default().run(&mut m))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_deque,
+    bench_buddy,
+    bench_mesi_step,
+    bench_interp,
+    bench_text_format,
+    bench_carat_analyses,
+    bench_inline
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion benchmarks for whole-subsystem runs (one reduced-scale
+//! execution of each experiment) and for the ablations DESIGN.md calls out:
+//! the CARAT optimization ladder and the pipeline-interrupt delivery mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_heartbeat(c: &mut Criterion) {
+    use interweave_core::Cycles;
+    use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
+    let mut cfg = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1000));
+    cfg.duration_us = 5_000.0;
+    c.bench_function("heartbeat nk 20us 5ms", |b| {
+        b.iter(|| black_box(run_heartbeat(&cfg)))
+    });
+    let mut lcfg = HeartbeatConfig::fig3(SignalKind::LinuxSignals, 20.0, Cycles(1000));
+    lcfg.duration_us = 5_000.0;
+    c.bench_function("heartbeat linux 20us 5ms", |b| {
+        b.iter(|| black_box(run_heartbeat(&lcfg)))
+    });
+}
+
+fn bench_omp(c: &mut Criterion) {
+    use interweave_core::machine::MachineConfig;
+    use interweave_omp::nas::bt;
+    use interweave_omp::sim::run_omp;
+    use interweave_omp::OmpMode;
+    let mc = MachineConfig::phi_knl();
+    let spec = bt();
+    c.bench_function("omp bt rtk 32c", |b| {
+        b.iter(|| black_box(run_omp(&spec, OmpMode::Rtk, 32, &mc, 42)))
+    });
+    c.bench_function("omp bt linux 32c", |b| {
+        b.iter(|| black_box(run_omp(&spec, OmpMode::LinuxUser, 32, &mc, 42)))
+    });
+}
+
+fn bench_coherence(c: &mut Criterion) {
+    use interweave_coherence::experiment::run_one;
+    use interweave_coherence::protocol::CohMode;
+    use interweave_coherence::workloads::fig7_mixes;
+    let mix = &fig7_mixes()[0];
+    c.bench_function("coherence samplesort full 8c", |b| {
+        b.iter(|| black_box(run_one(mix, 8, CohMode::Full, 11)))
+    });
+    c.bench_function("coherence samplesort selective 8c", |b| {
+        b.iter(|| black_box(run_one(mix, 8, CohMode::Selective, 11)))
+    });
+}
+
+fn bench_carat_ladder(c: &mut Criterion) {
+    // Ablation: how much wall time the optimization passes themselves take,
+    // and the guarded program's execution under each rung.
+    use interweave_carat::instrument;
+    use interweave_carat::runtime::CaratRuntime;
+    use interweave_ir::interp::{Interp, InterpConfig};
+    use interweave_ir::programs;
+    let p = programs::stream_triad(128);
+    c.bench_function("carat transform (inject+hoist+elide)", |b| {
+        b.iter(|| {
+            let mut m = p.module.clone();
+            black_box(instrument(&mut m, true))
+        })
+    });
+    let mut naive = p.module.clone();
+    instrument(&mut naive, false);
+    let mut opt = p.module.clone();
+    instrument(&mut opt, true);
+    c.bench_function("carat run naive-guarded", |b| {
+        b.iter(|| {
+            let mut rt = CaratRuntime::new();
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&naive, p.entry, &p.args);
+            black_box(it.run_to_completion(&naive, &mut rt))
+        })
+    });
+    c.bench_function("carat run optimized-guarded", |b| {
+        b.iter(|| {
+            let mut rt = CaratRuntime::new();
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&opt, p.entry, &p.args);
+            black_box(it.run_to_completion(&opt, &mut rt))
+        })
+    });
+}
+
+fn bench_fibers(c: &mut Criterion) {
+    use interweave_core::machine::MachineConfig;
+    use interweave_fibers::runtime::{run_fibers, PreemptMode};
+    use interweave_ir::programs;
+    let w = vec![programs::stream_triad(64), programs::fib(14)];
+    let mc = MachineConfig::phi_knl();
+    c.bench_function("fibers comp-timed q=5k", |b| {
+        b.iter(|| black_box(run_fibers(&w, 5_000, &mc, PreemptMode::CompilerTimed)))
+    });
+    c.bench_function("fibers hw-timer q=5k", |b| {
+        b.iter(|| black_box(run_fibers(&w, 5_000, &mc, PreemptMode::HardwareTimer)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_heartbeat, bench_omp, bench_coherence, bench_carat_ladder, bench_fibers
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Fig. 3: achieved and target heartbeat rate in Nautilus and Linux.
+//!
+//! Reproduces the figure's structure: for each TPAL-style benchmark and
+//! ♥ ∈ {100 µs, 20 µs} on 16 CPUs, the achieved rate as a fraction of
+//! target, the inter-beat stability (CV), and the scheduling overhead —
+//! plus the §V-D pipeline-interrupt ablation.
+
+use interweave_bench::{f, print_table, s};
+use interweave_heartbeat::sim::{fig3_benchmarks, run_heartbeat, HeartbeatConfig, SignalKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonRow {
+    bench: String,
+    target_us: f64,
+    mechanism: String,
+    fraction_of_target: f64,
+    interbeat_cv: f64,
+    overhead_pct: f64,
+    coalesced: u64,
+}
+
+fn main() {
+    let mut json = Vec::new();
+    for &target_us in &[100.0, 20.0] {
+        let mut rows = Vec::new();
+        for (bench, handler) in fig3_benchmarks() {
+            for kind in [SignalKind::LinuxSignals, SignalKind::NkIpi] {
+                let r = run_heartbeat(&HeartbeatConfig::fig3(kind, target_us, handler));
+                rows.push(vec![
+                    s(bench),
+                    s(kind.name()),
+                    f(r.target_rate, 1),
+                    f(r.achieved_rate, 1),
+                    f(100.0 * r.fraction_of_target(), 1) + "%",
+                    f(r.interbeat_cv, 3),
+                    f(r.overhead_pct, 2) + "%",
+                    s(r.coalesced),
+                ]);
+                json.push(JsonRow {
+                    bench: bench.into(),
+                    target_us,
+                    mechanism: kind.name().into(),
+                    fraction_of_target: r.fraction_of_target(),
+                    interbeat_cv: r.interbeat_cv,
+                    overhead_pct: r.overhead_pct,
+                    coalesced: r.coalesced,
+                });
+            }
+        }
+        print_table(
+            &format!("Fig. 3 — heartbeat rate, ♥ = {target_us} µs, 16 CPUs"),
+            &[
+                "benchmark",
+                "mechanism",
+                "target/ms",
+                "achieved/ms",
+                "of target",
+                "CV",
+                "overhead",
+                "coalesced",
+            ],
+            &rows,
+        );
+    }
+
+    // §V-D ablation: pipeline interrupts on the Nautilus path.
+    let mut rows = Vec::new();
+    {
+        let &target_us = &20.0;
+        let base =
+            HeartbeatConfig::fig3(SignalKind::NkIpi, target_us, interweave_core::Cycles(1000));
+        let idt = run_heartbeat(&base);
+        let mut pipe_cfg = base.clone();
+        pipe_cfg.machine = pipe_cfg.machine.with_pipeline_interrupts();
+        let pipe = run_heartbeat(&pipe_cfg);
+        rows.push(vec![s("IDT dispatch"), f(idt.overhead_pct, 2) + "%"]);
+        rows.push(vec![
+            s("pipeline-branch dispatch"),
+            f(pipe.overhead_pct, 2) + "%",
+        ]);
+    }
+    print_table(
+        "§V-D ablation — Nautilus heartbeat overhead at ♥ = 20 µs by delivery mode",
+        &["delivery", "overhead"],
+        &rows,
+    );
+
+    // End-to-end: what the delivered beats buy — heartbeat-scheduled loop
+    // speedup with bounded overhead.
+    use interweave_heartbeat::scaling::{scaling_sweep, ScalingConfig};
+    let cfg = ScalingConfig::default_nk();
+    let pts = scaling_sweep(&cfg, &[1, 2, 4, 8, 16]);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                s(p.workers),
+                f(p.speedup, 2) + "x",
+                s(p.promotions),
+                s(p.steals),
+                f(100.0 * p.overhead_fraction, 2) + "%",
+            ]
+        })
+        .collect();
+    print_table(
+        "Heartbeat scheduling payoff — loop speedup via promotion (NK path, ♥=20 µs)",
+        &["workers", "speedup", "promotions", "steals", "overhead"],
+        &rows,
+    );
+
+    println!(
+        "\nPaper: Nautilus hits target with stable rate at both 100 µs and 20 µs;\n\
+         Linux undershoots at 20 µs with unsteady rates. Overheads: Linux 13–22 %,\n\
+         Nautilus ≤ 4.9 % (see EXPERIMENTS.md for measured-vs-paper discussion)."
+    );
+    interweave_bench::maybe_dump_json(&json);
+}

@@ -1,0 +1,88 @@
+//! §III: the Nautilus primitives table — thread management and event
+//! signaling costs versus the Linux-like kernel ("orders of magnitude
+//! faster"), on both server and KNL presets.
+
+use interweave_bench::{f, print_table, s};
+use interweave_core::machine::MachineConfig;
+use interweave_kernel::microbench::primitive_table;
+use interweave_kernel::os::{LinuxModel, NkModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonRow {
+    machine: String,
+    primitive: String,
+    linux_cycles: u64,
+    nautilus_cycles: u64,
+    speedup: f64,
+}
+
+fn main() {
+    let mut json = Vec::new();
+    for mc in [MachineConfig::xeon_server_2s(), MachineConfig::phi_knl()] {
+        let lx = LinuxModel::new(mc.clone());
+        let nk = NkModel::new(mc.clone());
+        let table = primitive_table(&lx, &nk);
+        let rows: Vec<Vec<String>> = table
+            .iter()
+            .map(|r| {
+                json.push(JsonRow {
+                    machine: mc.name.clone(),
+                    primitive: r.name.into(),
+                    linux_cycles: r.linux.get(),
+                    nautilus_cycles: r.nautilus.get(),
+                    speedup: r.speedup(),
+                });
+                vec![
+                    s(r.name),
+                    s(r.linux.get()),
+                    s(r.nautilus.get()),
+                    f(r.speedup(), 1) + "×",
+                    format!("{}", mc.freq.us(r.nautilus)),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("TAB-NK — kernel primitives on {}", mc.name),
+            &[
+                "primitive",
+                "Linux (cyc)",
+                "Nautilus (cyc)",
+                "speedup",
+                "Nautilus wall",
+            ],
+            &rows,
+        );
+    }
+    // §III's NUMA claim: thread state "always in the most desirable zone".
+    use interweave_kernel::numa::placement_comparison;
+    let mut rows = Vec::new();
+    for mc in [
+        MachineConfig::xeon_server_2s(),
+        MachineConfig::big_server_8s(),
+    ] {
+        let (nk, lx) = placement_comparison(&mc, 7);
+        rows.push(vec![
+            s(&mc.name),
+            f(100.0 * nk.remote_fraction, 1) + "%",
+            f(100.0 * lx.remote_fraction, 1) + "%",
+            f(lx.penalty_per_quantum, 0),
+        ]);
+    }
+    print_table(
+        "NUMA placement of thread state (remote fraction; penalty cyc/quantum)",
+        &[
+            "machine",
+            "NK bound",
+            "first-touch + balancer",
+            "commodity penalty",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nPaper (§III): \"primitives such as thread management and event signaling\n\
+         are orders of magnitude faster\"; application speedups 20–40 % over Linux."
+    );
+    interweave_bench::maybe_dump_json(&json);
+}

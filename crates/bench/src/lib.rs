@@ -1,0 +1,99 @@
+//! # interweave-bench
+//!
+//! Regeneration harness for every table and figure in the paper. Each
+//! binary in `src/bin/` reproduces one experiment and prints the same
+//! rows/series the paper reports:
+//!
+//! | binary            | reproduces |
+//! |-------------------|------------|
+//! | `fig3_heartbeat`  | Fig. 3 — achieved vs. target heartbeat rate |
+//! | `fig4_fibers`     | Fig. 4 — context-switch costs + granularity floors |
+//! | `fig6_openmp`     | Fig. 6 — RTK/PIK/CCK vs. Linux OpenMP scaling |
+//! | `fig7_coherence`  | Fig. 7 — selective coherence speedup + NoC energy |
+//! | `tab_carat`       | §IV-A — CARAT overhead table (<6 % geomean) |
+//! | `tab_primitives`  | §III — Nautilus vs. Linux primitive costs |
+//! | `tab_virtines`    | §IV-D/§V-E — isolation start-up latency table |
+//! | `tab_pipeline`    | §V-D — pipeline-interrupt dispatch + ablation |
+//! | `tab_blend`       | §V-C — blended drivers + far-memory sweeps |
+//!
+//! Each binary accepts `--json <path>` to also dump machine-readable
+//! results, used by `EXPERIMENTS.md` bookkeeping.
+
+use serde::Serialize;
+use std::fmt::Display;
+
+/// Run `f` over `items` on scoped worker threads (one per item, capped by
+/// the parallelism available), preserving input order in the output. The
+/// simulators are deterministic and independent per run, so fan-out changes
+/// nothing but wall-clock time.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            let f = &f;
+            handles.push((i, scope.spawn(move |_| f(item))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope");
+    out.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Print a boxed table: header row then aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for r in rows {
+        line(r);
+    }
+}
+
+/// Format a float with fixed decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Format any displayable value.
+pub fn s(v: impl Display) -> String {
+    v.to_string()
+}
+
+/// Write results as JSON when `--json <path>` was passed on the CLI.
+pub fn maybe_dump_json<T: Serialize>(value: &T) {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            let json = serde_json::to_string_pretty(value).expect("serializable results");
+            std::fs::write(path, json).expect("writable json path");
+            println!("(json written to {path})");
+        }
+    }
+}

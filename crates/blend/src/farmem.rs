@@ -1,0 +1,248 @@
+//! Sub-page-granularity transparent far memory.
+//!
+//! §V-C: "Current far memory systems either operate at page granularity for
+//! transparent swapping to remote nodes or require programmer annotations
+//! tagging data structures as remotable. Compiler blending can
+//! automatically make these decisions and evacuate objects to remote memory
+//! transparently."
+//!
+//! The model: a working set of small objects scattered over 4 KiB pages
+//! with a configurable *density* of hot objects per page. Cold data lives
+//! remote. A hot-object access that misses locally triggers a transfer:
+//!
+//! - **page granularity** (kernel swapping): fault + RTT + 4096 bytes —
+//!   one fault covers every other hot object on the same page;
+//! - **object granularity** (compiler blending): inline residency checks;
+//!   a page's hot objects gather in one round trip (the compiler knows the
+//!   object set), paying per-object remote-lookup overhead but moving only
+//!   hot bytes — cold neighbours never travel.
+//!
+//! The interesting output is the crossover: sparse pages favour objects
+//! (bytes moved collapse), dense pages favour pages (amortized RTT).
+
+use interweave_core::rng::SplitMix64;
+
+/// Transfer granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Kernel page swapping (transparent, 4 KiB).
+    Page,
+    /// Compiler-blended object transfer (transparent, exact bytes).
+    Object,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct FarMemConfig {
+    /// Pages in the remote working set.
+    pub pages: usize,
+    /// Objects per page (page_size / object_size).
+    pub objects_per_page: usize,
+    /// Object size in bytes.
+    pub object_bytes: u64,
+    /// Hot objects per page (the density knob).
+    pub hot_per_page: usize,
+    /// Accesses per hot object (re-use factor; transfers amortize over
+    /// these).
+    pub reuse: usize,
+    /// Network round-trip latency in cycles.
+    pub net_rtt: u64,
+    /// Network bandwidth in bytes per cycle.
+    pub bytes_per_cycle: f64,
+    /// Page-fault cost (trap + kernel path) for the page-granularity path.
+    pub fault_cost: u64,
+    /// Residency-check cost (inline compiler-injected test) per access for
+    /// the object-granularity path.
+    pub check_cost: u64,
+    /// Per-object remote gather overhead (remote-side lookup + scatter
+    /// entry) when the blended runtime batches a page's hot objects into
+    /// one round trip.
+    pub gather_overhead: u64,
+    /// RNG seed (hot-object placement).
+    pub seed: u64,
+}
+
+impl Default for FarMemConfig {
+    fn default() -> FarMemConfig {
+        FarMemConfig {
+            pages: 256,
+            objects_per_page: 16, // 256-byte objects
+            object_bytes: 256,
+            hot_per_page: 2,
+            reuse: 8,
+            net_rtt: 6_000,       // ~2 µs at 3 GHz
+            bytes_per_cycle: 8.0, // ~25 GB/s at 3 GHz
+            fault_cost: 3_500,    // trap + kernel fault path
+            check_cost: 3,
+            gather_overhead: 400, // remote lookup + scatter entry
+            seed: 17,
+        }
+    }
+}
+
+/// Measured outcome.
+#[derive(Debug, Clone)]
+pub struct FarMemReport {
+    /// Granularity used.
+    pub granularity: Granularity,
+    /// Total bytes moved over the network.
+    pub bytes_moved: u64,
+    /// Total stall cycles waiting on transfers (+ checks/faults).
+    pub stall_cycles: u64,
+    /// Transfers performed.
+    pub transfers: u64,
+    /// Accesses served.
+    pub accesses: u64,
+}
+
+/// Run the far-memory experiment at one granularity.
+pub fn run_farmem(cfg: &FarMemConfig, granularity: Granularity) -> FarMemReport {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let page_bytes = cfg.objects_per_page as u64 * cfg.object_bytes;
+    let mut bytes = 0u64;
+    let mut stall = 0u64;
+    let mut transfers = 0u64;
+    let mut accesses = 0u64;
+
+    for _page in 0..cfg.pages {
+        // Choose which objects on this page are hot.
+        let mut slots: Vec<usize> = (0..cfg.objects_per_page).collect();
+        rng.shuffle(&mut slots);
+        let hot = &slots[..cfg.hot_per_page.min(cfg.objects_per_page)];
+
+        match granularity {
+            Granularity::Page => {
+                // First hot access faults the page in; everything after is
+                // local.
+                let transfer =
+                    cfg.fault_cost + cfg.net_rtt + (page_bytes as f64 / cfg.bytes_per_cycle) as u64;
+                stall += transfer;
+                bytes += page_bytes;
+                transfers += 1;
+                accesses += (hot.len() * cfg.reuse) as u64;
+            }
+            Granularity::Object => {
+                // The blended runtime knows the hot-object set (compiler
+                // escape analysis) and gathers a page's hot objects in one
+                // round trip, paying a per-object remote gather overhead —
+                // but moving only their bytes. Every access also pays the
+                // inline residency check.
+                let k = hot.len() as u64;
+                let hot_bytes = k * cfg.object_bytes;
+                stall += cfg.net_rtt
+                    + k * cfg.gather_overhead
+                    + (hot_bytes as f64 / cfg.bytes_per_cycle) as u64;
+                bytes += hot_bytes;
+                transfers += k;
+                let acc = (hot.len() * cfg.reuse) as u64;
+                stall += acc * cfg.check_cost;
+                accesses += acc;
+            }
+        }
+    }
+
+    FarMemReport {
+        granularity,
+        bytes_moved: bytes,
+        stall_cycles: stall,
+        transfers,
+        accesses,
+    }
+}
+
+/// Sweep hot-object density, returning `(hot_per_page, page_report,
+/// object_report)` triples — the crossover series the bench binary prints.
+pub fn density_sweep(base: &FarMemConfig) -> Vec<(usize, FarMemReport, FarMemReport)> {
+    (1..=base.objects_per_page)
+        .map(|hot| {
+            let mut cfg = base.clone();
+            cfg.hot_per_page = hot;
+            (
+                hot,
+                run_farmem(&cfg, Granularity::Page),
+                run_farmem(&cfg, Granularity::Object),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_pages_favour_object_granularity() {
+        // The motivating FaaS/graph case: 1–2 hot objects per page.
+        let cfg = FarMemConfig::default();
+        let page = run_farmem(&cfg, Granularity::Page);
+        let obj = run_farmem(&cfg, Granularity::Object);
+        assert!(
+            obj.bytes_moved * 4 < page.bytes_moved,
+            "object {} vs page {} bytes",
+            obj.bytes_moved,
+            page.bytes_moved
+        );
+        assert!(
+            obj.stall_cycles < page.stall_cycles,
+            "object {} vs page {} stalls",
+            obj.stall_cycles,
+            page.stall_cycles
+        );
+    }
+
+    #[test]
+    fn dense_pages_favour_page_granularity() {
+        let cfg = FarMemConfig {
+            hot_per_page: 16, // the whole page is hot
+            ..FarMemConfig::default()
+        };
+        let page = run_farmem(&cfg, Granularity::Page);
+        let obj = run_farmem(&cfg, Granularity::Object);
+        assert!(
+            page.stall_cycles < obj.stall_cycles,
+            "page {} vs object {}",
+            page.stall_cycles,
+            obj.stall_cycles
+        );
+    }
+
+    #[test]
+    fn sweep_has_a_crossover() {
+        let series = density_sweep(&FarMemConfig::default());
+        let first_winner = series
+            .first()
+            .map(|(_, p, o)| o.stall_cycles < p.stall_cycles);
+        let last_winner = series
+            .last()
+            .map(|(_, p, o)| o.stall_cycles < p.stall_cycles);
+        assert_eq!(first_winner, Some(true), "objects must win when sparse");
+        assert_eq!(last_winner, Some(false), "pages must win when dense");
+    }
+
+    #[test]
+    fn bytes_moved_scale_with_density_only_for_objects() {
+        let sparse = FarMemConfig {
+            hot_per_page: 1,
+            ..FarMemConfig::default()
+        };
+        let dense = FarMemConfig {
+            hot_per_page: 8,
+            ..FarMemConfig::default()
+        };
+        let obj_sparse = run_farmem(&sparse, Granularity::Object);
+        let obj_dense = run_farmem(&dense, Granularity::Object);
+        assert_eq!(obj_dense.bytes_moved, 8 * obj_sparse.bytes_moved);
+        let page_sparse = run_farmem(&sparse, Granularity::Page);
+        let page_dense = run_farmem(&dense, Granularity::Page);
+        assert_eq!(page_dense.bytes_moved, page_sparse.bytes_moved);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = FarMemConfig::default();
+        let a = run_farmem(&cfg, Granularity::Object);
+        let b = run_farmem(&cfg, Granularity::Object);
+        assert_eq!(a.bytes_moved, b.bytes_moved);
+        assert_eq!(a.stall_cycles, b.stall_cycles);
+    }
+}

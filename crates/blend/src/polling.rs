@@ -1,0 +1,364 @@
+//! Blended device drivers: compiler-injected polling.
+//!
+//! The pass places `poll_devices()` checks exactly where compiler-based
+//! timing places time checks (loop headers, function entries, long
+//! straight-line runs), so polls execute at a bounded dynamic interval on
+//! every path. The experiment runs a real (IR) program over a stream of
+//! device events and compares:
+//!
+//! - **interrupt-driven**: each event interrupts the program (dispatch +
+//!   handler + return stolen from compute);
+//! - **blended polling**: events wait for the next injected poll; the poll
+//!   itself is a constant-time check.
+//!
+//! The §V-C claim is qualitative — polled devices "appear to behave as if
+//! they were interrupt-driven, but no interrupts ever occur" — which the
+//! tests make quantitative: comparable service latency at bounded poll
+//! gaps, lower CPU cost per event, zero interrupt dispatches.
+
+use interweave_core::machine::MachineConfig;
+use interweave_core::rng::SplitMix64;
+use interweave_core::stats::Summary;
+use interweave_ir::analysis::{Cfg, Dominators, LoopForest};
+use interweave_ir::inst::{Inst, Intrinsic};
+use interweave_ir::interp::{HookAction, Interp, InterpConfig, Memory, RuntimeHooks};
+use interweave_ir::passes::{Pass, PassStats};
+use interweave_ir::programs::Program;
+use interweave_ir::types::Val;
+use interweave_ir::Module;
+
+/// The poll-injection pass (placement identical to timing injection —
+/// §V-C: "the compiler injects this polling check throughout the kernel
+/// using compiler-based timing").
+#[derive(Debug, Clone)]
+pub struct InjectPolling {
+    /// Maximum straight-line instructions between polls.
+    pub max_run: usize,
+}
+
+impl Default for InjectPolling {
+    fn default() -> InjectPolling {
+        InjectPolling { max_run: 48 }
+    }
+}
+
+impl Pass for InjectPolling {
+    fn name(&self) -> &'static str {
+        "inject-polling"
+    }
+
+    fn run(&mut self, m: &mut Module) -> PassStats {
+        let mut stats = PassStats::default();
+        for f in &mut m.funcs {
+            let cfg = Cfg::build(f);
+            let dom = Dominators::compute(&cfg);
+            let loops = LoopForest::find(&cfg, &dom);
+            let mut check_blocks: Vec<usize> = vec![0];
+            for l in &loops.loops {
+                check_blocks.push(l.header.index());
+            }
+            check_blocks.sort_unstable();
+            check_blocks.dedup();
+
+            for (bi, b) in f.blocks.iter_mut().enumerate() {
+                let mut out = Vec::with_capacity(b.insts.len() + 2);
+                if check_blocks.contains(&bi) {
+                    out.push(Inst::Intr(None, Intrinsic::PollDevices, vec![]));
+                    stats.bump("polls_inserted", 1);
+                }
+                let mut run = 0usize;
+                for inst in b.insts.drain(..) {
+                    let resets = matches!(
+                        inst,
+                        Inst::Call(_, _, _) | Inst::Intr(_, Intrinsic::PollDevices, _)
+                    );
+                    out.push(inst);
+                    run = if resets { 0 } else { run + 1 };
+                    if run >= self.max_run {
+                        out.push(Inst::Intr(None, Intrinsic::PollDevices, vec![]));
+                        stats.bump("polls_inserted", 1);
+                        run = 0;
+                    }
+                }
+                b.insts = out;
+            }
+        }
+        stats
+    }
+}
+
+/// How device events reach their handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveMode {
+    /// Conventional: interrupt per event.
+    InterruptDriven,
+    /// Blended: compiler-injected polls.
+    BlendedPolling,
+}
+
+/// Device and experiment parameters.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Mean inter-arrival gap between device events, cycles.
+    pub mean_gap: u64,
+    /// Handler work per event, cycles.
+    pub handler: u64,
+    /// RNG seed for arrivals.
+    pub seed: u64,
+}
+
+/// Measured outcome.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// Drive mode.
+    pub mode: DriveMode,
+    /// Events serviced.
+    pub serviced: u64,
+    /// Service latency distribution (arrival → handler completion).
+    pub latency: Summary,
+    /// Total program cycles (compute + device machinery).
+    pub total_cycles: u64,
+    /// Cycles spent on device machinery (dispatch/poll + handler).
+    pub device_cycles: u64,
+    /// Interrupts dispatched.
+    pub interrupts: u64,
+}
+
+/// Hooks servicing a pre-generated arrival stream at injected polls.
+struct PollServer {
+    arrivals: Vec<u64>,
+    next: usize,
+    handler: u64,
+    latency: Summary,
+    device_cycles: u64,
+    polls: u64,
+}
+
+impl RuntimeHooks for PollServer {
+    fn intrinsic(
+        &mut self,
+        which: Intrinsic,
+        _args: &[Val],
+        _mem: &mut Memory,
+        now: u64,
+    ) -> HookAction {
+        match which {
+            Intrinsic::PollDevices => {
+                self.polls += 1;
+                // Constant-time check (§V-C): one flag test.
+                let mut cycles = 3u64;
+                self.device_cycles += 3;
+                let mut t = now;
+                while self.next < self.arrivals.len() && self.arrivals[self.next] <= t {
+                    // Service in poll context: handler only, no dispatch.
+                    t += self.handler;
+                    cycles += self.handler;
+                    self.device_cycles += self.handler;
+                    self.latency.add((t - self.arrivals[self.next]) as f64);
+                    self.next += 1;
+                }
+                HookAction::Continue {
+                    value: None,
+                    cycles,
+                }
+            }
+            _ => HookAction::Continue {
+                value: None,
+                cycles: 0,
+            },
+        }
+    }
+}
+
+fn gen_arrivals(cfg: &DeviceConfig, horizon: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut t = 0f64;
+    let mut out = Vec::new();
+    loop {
+        t += rng.exponential(cfg.mean_gap as f64);
+        if t as u64 >= horizon {
+            break;
+        }
+        out.push(t as u64);
+    }
+    out
+}
+
+/// Run the device experiment over one program.
+pub fn run_device_experiment(
+    program: &Program,
+    dev: &DeviceConfig,
+    mc: &MachineConfig,
+    mode: DriveMode,
+) -> DeviceReport {
+    match mode {
+        DriveMode::BlendedPolling => {
+            let mut m = program.module.clone();
+            InjectPolling::default().run(&mut m);
+            // Pre-generate more arrivals than the program can outlive; the
+            // horizon is refined after the run.
+            let mut probe = Interp::new(InterpConfig::default());
+            probe.start(&m, program.entry, &program.args);
+            // First pass to learn the program duration (deterministic).
+            struct NoEvents;
+            impl RuntimeHooks for NoEvents {
+                fn intrinsic(
+                    &mut self,
+                    _w: Intrinsic,
+                    _a: &[Val],
+                    _m: &mut Memory,
+                    _n: u64,
+                ) -> HookAction {
+                    HookAction::Continue {
+                        value: None,
+                        cycles: 3,
+                    }
+                }
+            }
+            probe.run_to_completion(&m, &mut NoEvents);
+            let horizon = probe.stats.cycles;
+
+            let mut server = PollServer {
+                arrivals: gen_arrivals(dev, horizon),
+                next: 0,
+                handler: dev.handler,
+                latency: Summary::new(),
+                device_cycles: 0,
+                polls: 0,
+            };
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&m, program.entry, &program.args);
+            it.run_to_completion(&m, &mut server);
+            DeviceReport {
+                mode,
+                serviced: server.latency.count(),
+                latency: server.latency,
+                total_cycles: it.stats.cycles,
+                device_cycles: server.device_cycles,
+                interrupts: 0,
+            }
+        }
+        DriveMode::InterruptDriven => {
+            // The uninstrumented program runs; each event interrupts it.
+            use interweave_ir::interp::NullHooks;
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&program.module, program.entry, &program.args);
+            it.run_to_completion(&program.module, &mut NullHooks);
+            let compute = it.stats.cycles;
+
+            let per_event = mc.dispatch_cost().get() + dev.handler + mc.cost.intr_return.get();
+            let arrivals = gen_arrivals(dev, compute);
+            let mut latency = Summary::new();
+            for _ in &arrivals {
+                latency.add((mc.dispatch_cost().get() + dev.handler) as f64);
+            }
+            let device_cycles = per_event * arrivals.len() as u64;
+            DeviceReport {
+                mode,
+                serviced: arrivals.len() as u64,
+                latency,
+                total_cycles: compute + device_cycles,
+                device_cycles,
+                interrupts: arrivals.len() as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interweave_ir::programs;
+    use interweave_ir::verify::assert_valid;
+
+    fn setup() -> (Program, DeviceConfig, MachineConfig) {
+        (
+            programs::stencil1d(96, 24),
+            DeviceConfig {
+                mean_gap: 4_000,
+                handler: 250,
+                seed: 21,
+            },
+            MachineConfig::xeon_server_2s(),
+        )
+    }
+
+    #[test]
+    fn injection_pass_is_valid_and_preserves_semantics() {
+        use interweave_ir::interp::NullHooks;
+        for p in programs::suite(1) {
+            let mut base = Interp::new(InterpConfig::default());
+            base.start(&p.module, p.entry, &p.args);
+            let expected = base.run_to_completion(&p.module, &mut NullHooks);
+            let mut m = p.module.clone();
+            InjectPolling::default().run(&mut m);
+            assert_valid(&m);
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&m, p.entry, &p.args);
+            struct Quiet;
+            impl RuntimeHooks for Quiet {
+                fn intrinsic(
+                    &mut self,
+                    _w: Intrinsic,
+                    _a: &[Val],
+                    _m: &mut Memory,
+                    _n: u64,
+                ) -> HookAction {
+                    HookAction::Continue {
+                        value: None,
+                        cycles: 3,
+                    }
+                }
+            }
+            let got = it.run_to_completion(&m, &mut Quiet);
+            assert_eq!(got, expected, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn no_interrupts_ever_occur_under_blending() {
+        let (p, dev, mc) = setup();
+        let r = run_device_experiment(&p, &dev, &mc, DriveMode::BlendedPolling);
+        assert_eq!(r.interrupts, 0);
+        assert!(r.serviced > 10, "serviced only {}", r.serviced);
+    }
+
+    #[test]
+    fn polled_latency_is_interrupt_like() {
+        // "These devices appear to behave as if they were interrupt-driven":
+        // mean polled service latency within a small multiple of the
+        // interrupt path's.
+        let (p, dev, mc) = setup();
+        let pol = run_device_experiment(&p, &dev, &mc, DriveMode::BlendedPolling);
+        let irq = run_device_experiment(&p, &dev, &mc, DriveMode::InterruptDriven);
+        assert!(
+            pol.latency.mean() < 3.0 * irq.latency.mean(),
+            "polled {:.0} vs interrupt {:.0}",
+            pol.latency.mean(),
+            irq.latency.mean()
+        );
+    }
+
+    #[test]
+    fn blending_costs_less_cpu_per_event_at_high_rates() {
+        let (p, mut dev, mc) = setup();
+        dev.mean_gap = 1_500; // high event rate
+        let pol = run_device_experiment(&p, &dev, &mc, DriveMode::BlendedPolling);
+        let irq = run_device_experiment(&p, &dev, &mc, DriveMode::InterruptDriven);
+        let pol_per_event = pol.device_cycles as f64 / pol.serviced.max(1) as f64;
+        let irq_per_event = irq.device_cycles as f64 / irq.serviced.max(1) as f64;
+        assert!(
+            pol_per_event < irq_per_event,
+            "polled {pol_per_event:.0}/event vs interrupt {irq_per_event:.0}/event"
+        );
+    }
+
+    #[test]
+    fn all_events_serviced_in_order() {
+        let (p, dev, mc) = setup();
+        let r = run_device_experiment(&p, &dev, &mc, DriveMode::BlendedPolling);
+        // Latency is finite for every serviced event and positive.
+        assert!(r.latency.min() >= 0.0);
+        assert!(r.latency.max() < 1_000_000.0);
+    }
+}

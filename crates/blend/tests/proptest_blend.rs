@@ -1,0 +1,64 @@
+//! Property tests for blending: far-memory byte accounting and the poll-gap
+//! latency bound, over arbitrary configurations.
+
+use interweave_blend::block::{run_block, BlockConfig, CompletionMode};
+use interweave_blend::farmem::{run_farmem, FarMemConfig, Granularity};
+use interweave_core::machine::MachineConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte accounting is exact under any geometry: the page path moves
+    /// whole pages, the object path moves exactly the hot bytes.
+    #[test]
+    fn farmem_byte_accounting(
+        pages in 1usize..64,
+        objects_per_page in 1usize..32,
+        hot in 1usize..32,
+        reuse in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let hot = hot.min(objects_per_page);
+        let cfg = FarMemConfig {
+            pages,
+            objects_per_page,
+            object_bytes: 128,
+            hot_per_page: hot,
+            reuse,
+            seed,
+            ..FarMemConfig::default()
+        };
+        let page = run_farmem(&cfg, Granularity::Page);
+        let obj = run_farmem(&cfg, Granularity::Object);
+        prop_assert_eq!(page.bytes_moved, (pages * objects_per_page) as u64 * 128);
+        prop_assert_eq!(obj.bytes_moved, (pages * hot) as u64 * 128);
+        prop_assert_eq!(obj.transfers, (pages * hot) as u64);
+        prop_assert_eq!(page.transfers, pages as u64);
+        prop_assert_eq!(page.accesses, obj.accesses);
+        // Object path never moves more bytes than the page path.
+        prop_assert!(obj.bytes_moved <= page.bytes_moved);
+    }
+
+    /// Under blended polling, no completion ever waits longer than one poll
+    /// gap plus its handler, for any load.
+    #[test]
+    fn poll_gap_is_a_hard_latency_bound(
+        gap in 100u64..10_000,
+        submit_gap in 500u64..10_000,
+        handler in 50u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BlockConfig {
+            requests: 300,
+            submit_gap,
+            service: (2_000, 9_000),
+            handler,
+            seed,
+        };
+        let mc = MachineConfig::xeon_server_2s();
+        let r = run_block(&cfg, &mc, CompletionMode::BlendedPolling { poll_gap: gap });
+        prop_assert!(r.latency.max() <= (gap + handler) as f64);
+        prop_assert_eq!(r.interrupts, 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Static guard-coverage verification.
+//!
+//! PIK admission (§IV-A) rests on the claim that a transformed module
+//! cannot perform an unchecked access. The attestation hash proves the
+//! module wasn't modified; this verifier proves the stronger property
+//! *directly*: on every path to every load/store, the accessed register is
+//! covered — by a dominating object guard of the same (single-definition)
+//! register, or by a range guard of the (loop-invariant) base it was
+//! derived from. The same must-dataflow as guard elision, run as a checker
+//! instead of a rewriter: elision removes guards the analysis proves
+//! redundant, coverage rejects accesses the analysis cannot prove guarded.
+
+use crate::guards::flag_value;
+use interweave_ir::analysis::{Cfg, DefInfo};
+use interweave_ir::inst::{Inst, Intrinsic};
+use interweave_ir::types::Reg;
+use interweave_ir::Module;
+
+/// One uncovered access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageError {
+    /// Function name.
+    pub func: String,
+    /// Block index.
+    pub block: usize,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl std::fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: bb{} inst {} performs an unguarded {}",
+            self.func,
+            self.block,
+            self.inst,
+            if self.write { "write" } else { "read" }
+        )
+    }
+}
+
+#[derive(Clone, PartialEq)]
+struct CovState {
+    // Registers proven guarded (read / write).
+    read: Vec<bool>,
+    write: Vec<bool>,
+    // Objects (base registers) proven range-guarded (read / write).
+    obj_read: Vec<bool>,
+    obj_write: Vec<bool>,
+}
+
+impl CovState {
+    fn empty(n: usize) -> CovState {
+        CovState {
+            read: vec![false; n],
+            write: vec![false; n],
+            obj_read: vec![false; n],
+            obj_write: vec![false; n],
+        }
+    }
+    fn intersect(&mut self, o: &CovState) {
+        for (a, b) in self.read.iter_mut().zip(&o.read) {
+            *a &= b;
+        }
+        for (a, b) in self.write.iter_mut().zip(&o.write) {
+            *a &= b;
+        }
+        for (a, b) in self.obj_read.iter_mut().zip(&o.obj_read) {
+            *a &= b;
+        }
+        for (a, b) in self.obj_write.iter_mut().zip(&o.obj_write) {
+            *a &= b;
+        }
+    }
+    fn clear(&mut self) {
+        self.read.iter_mut().for_each(|b| *b = false);
+        self.write.iter_mut().for_each(|b| *b = false);
+        self.obj_read.iter_mut().for_each(|b| *b = false);
+        self.obj_write.iter_mut().for_each(|b| *b = false);
+    }
+    fn kill(&mut self, r: u32) {
+        self.read[r as usize] = false;
+        self.write[r as usize] = false;
+        self.obj_read[r as usize] = false;
+        self.obj_write[r as usize] = false;
+    }
+}
+
+/// Verify every access in every function is guard-covered. Returns all
+/// violations (empty = fully covered).
+pub fn verify_coverage(m: &Module) -> Vec<CoverageError> {
+    let mut errors = Vec::new();
+    for f in &m.funcs {
+        let n = f.n_regs;
+        if f.blocks.is_empty() {
+            continue;
+        }
+        let cfg = Cfg::build(f);
+        let defs = DefInfo::compute(f);
+
+        // The (unique, single-def) gep base of a register, if any.
+        let gep_base = |r: Reg| -> Option<Reg> {
+            if !defs.is_single_def(r) {
+                return None;
+            }
+            for b in &f.blocks {
+                for i in &b.insts {
+                    if let Inst::Gep(d, base, _, _, _) = i {
+                        if *d == r {
+                            return Some(*base).filter(|b| defs.is_single_def(*b));
+                        }
+                    }
+                }
+            }
+            None
+        };
+
+        let covered = |st: &CovState, addr: Reg, write: bool| -> bool {
+            let direct = if write {
+                st.write[addr.0 as usize]
+            } else {
+                st.read[addr.0 as usize]
+            };
+            if direct {
+                return true;
+            }
+            match gep_base(addr) {
+                Some(b) => {
+                    if write {
+                        st.obj_write[b.0 as usize]
+                    } else {
+                        st.obj_read[b.0 as usize]
+                    }
+                }
+                None => false,
+            }
+        };
+
+        let apply = |st: &mut CovState,
+                     bi: usize,
+                     f: &interweave_ir::Function,
+                     mut report: Option<&mut Vec<CoverageError>>| {
+            for (ii, inst) in f.blocks[bi].insts.iter().enumerate() {
+                match inst {
+                    Inst::Intr(_, Intrinsic::CaratGuard, args) => {
+                        // Sound even for multi-definition registers: the
+                        // kill-on-def rule removes the fact the moment the
+                        // register could hold a different value.
+                        let a = args[0];
+                        let w = flag_value(f, &defs, args[1]) == Some(1);
+                        st.read[a.0 as usize] = true;
+                        if w {
+                            st.write[a.0 as usize] = true;
+                        }
+                    }
+                    Inst::Intr(_, Intrinsic::CaratGuardRange, args) => {
+                        let a = args[0];
+                        let w = flag_value(f, &defs, args[1]) == Some(1);
+                        // Object coverage through gep bases demands a
+                        // single-definition base (otherwise a gep-derived
+                        // address may refer to an older base value).
+                        if defs.is_single_def(a) {
+                            st.obj_read[a.0 as usize] = true;
+                            if w {
+                                st.obj_write[a.0 as usize] = true;
+                            }
+                        }
+                        // A range guard also covers direct accesses through
+                        // the base register itself.
+                        st.read[a.0 as usize] = true;
+                        if w {
+                            st.write[a.0 as usize] = true;
+                        }
+                    }
+                    Inst::Intr(_, Intrinsic::CaratTrackFree, _) | Inst::Free(_) => st.clear(),
+                    Inst::Call(d, _, _) => {
+                        st.clear();
+                        if let Some(d) = d {
+                            st.kill(d.0);
+                        }
+                    }
+                    Inst::Load(_, a, _) => {
+                        if let Some(out) = report.as_deref_mut() {
+                            if !covered(st, *a, false) {
+                                out.push(CoverageError {
+                                    func: f.name.clone(),
+                                    block: bi,
+                                    inst: ii,
+                                    write: false,
+                                });
+                            }
+                        }
+                        if let Some(d) = inst.def() {
+                            st.kill(d.0);
+                        }
+                    }
+                    Inst::Store(a, _, _) => {
+                        if let Some(out) = report.as_deref_mut() {
+                            if !covered(st, *a, true) {
+                                out.push(CoverageError {
+                                    func: f.name.clone(),
+                                    block: bi,
+                                    inst: ii,
+                                    write: true,
+                                });
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(d) = inst.def() {
+                            st.kill(d.0);
+                        }
+                    }
+                }
+            }
+        };
+
+        // Fixpoint over out-states.
+        let mut outs: Vec<Option<CovState>> = vec![None; f.blocks.len()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.rpo {
+                let bi = b.index();
+                let mut state = if bi == 0 {
+                    CovState::empty(n)
+                } else {
+                    let mut acc: Option<CovState> = None;
+                    for &p in &cfg.preds[bi] {
+                        if let Some(o) = &outs[p.index()] {
+                            match &mut acc {
+                                None => acc = Some(o.clone()),
+                                Some(a) => a.intersect(o),
+                            }
+                        }
+                    }
+                    match acc {
+                        Some(a) => a,
+                        None => continue,
+                    }
+                };
+                apply(&mut state, bi, f, None);
+                if outs[bi].as_ref() != Some(&state) {
+                    outs[bi] = Some(state);
+                    changed = true;
+                }
+            }
+        }
+
+        // Checking pass.
+        for &b in &cfg.rpo {
+            let bi = b.index();
+            let mut state = if bi == 0 {
+                CovState::empty(n)
+            } else {
+                let mut acc: Option<CovState> = None;
+                for &p in &cfg.preds[bi] {
+                    if let Some(o) = &outs[p.index()] {
+                        match &mut acc {
+                            None => acc = Some(o.clone()),
+                            Some(a) => a.intersect(o),
+                        }
+                    }
+                }
+                match acc {
+                    Some(a) => a,
+                    None => continue,
+                }
+            };
+            apply(&mut state, bi, f, Some(&mut errors));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument;
+    use interweave_ir::programs;
+
+    #[test]
+    fn uninstrumented_programs_fail_coverage() {
+        for p in programs::suite(1) {
+            let has_mem = p.module.funcs.iter().any(|f| {
+                f.blocks
+                    .iter()
+                    .any(|b| b.insts.iter().any(|i| i.is_mem_access()))
+            });
+            let errs = verify_coverage(&p.module);
+            assert_eq!(errs.is_empty(), !has_mem, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn naive_instrumentation_is_fully_covered() {
+        for p in programs::suite(1) {
+            let mut m = p.module.clone();
+            instrument(&mut m, false);
+            let errs = verify_coverage(&m);
+            assert!(errs.is_empty(), "{}: {errs:?}", p.name);
+        }
+    }
+
+    #[test]
+    fn optimized_instrumentation_is_still_fully_covered() {
+        // The load-bearing theorem: hoisting + elision never lose coverage.
+        for p in programs::suite(2) {
+            let mut m = p.module.clone();
+            instrument(&mut m, true);
+            let errs = verify_coverage(&m);
+            assert!(errs.is_empty(), "{}: {errs:?}", p.name);
+        }
+    }
+
+    #[test]
+    fn stripping_one_guard_is_detected() {
+        use interweave_ir::inst::{Inst, Intrinsic};
+        let p = programs::stream_triad(16);
+        let mut m = p.module.clone();
+        instrument(&mut m, true);
+        // Remove the first range guard.
+        'strip: for f in &mut m.funcs {
+            for b in &mut f.blocks {
+                if let Some(pos) = b.insts.iter().position(|i| {
+                    matches!(
+                        i,
+                        Inst::Intr(_, Intrinsic::CaratGuard | Intrinsic::CaratGuardRange, _)
+                    )
+                }) {
+                    b.insts.remove(pos);
+                    break 'strip;
+                }
+            }
+        }
+        let errs = verify_coverage(&m);
+        assert!(!errs.is_empty(), "stripped guard must be caught");
+    }
+
+    #[test]
+    fn errors_carry_usable_locations() {
+        let p = programs::dot(8);
+        let errs = verify_coverage(&p.module);
+        assert!(!errs.is_empty());
+        let e = &errs[0];
+        assert_eq!(e.func, "dot");
+        let rendered = e.to_string();
+        assert!(rendered.contains("unguarded"));
+    }
+}

@@ -1,0 +1,251 @@
+//! A deterministic discrete-event queue.
+//!
+//! Every simulator in the workspace (kernel scheduler, heartbeat signaling,
+//! coherence protocol, device models) advances simulated time by popping the
+//! earliest pending event from an [`EventQueue`]. Determinism matters: the
+//! paper's comparisons (Linux vs. Nautilus stacks running *the same
+//! workload*) are only meaningful if a run is a pure function of its
+//! configuration, so ties in event time are broken by insertion order
+//! (FIFO), never by heap internals.
+
+use crate::time::Cycles;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at an absolute simulated time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: Cycles,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue generic over the event payload.
+///
+/// ```
+/// use interweave_core::{EventQueue, Cycles};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles(100), "timer");
+/// q.schedule(Cycles(50), "ipi");
+/// q.schedule(Cycles(100), "second-timer"); // same time: FIFO after "timer"
+///
+/// assert_eq!(q.pop().unwrap(), (Cycles(50), "ipi"));
+/// assert_eq!(q.pop().unwrap(), (Cycles(100), "timer"));
+/// assert_eq!(q.pop().unwrap(), (Cycles(100), "second-timer"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulator's "now").
+    #[inline]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a simulator bug; it panics in debug builds
+    /// and is clamped to `now` in release builds so long sweeps fail soft.
+    pub fn schedule(&mut self, at: Cycles, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedule `payload` `delay` cycles after the current time.
+    pub fn schedule_in(&mut self, delay: Cycles, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the earliest event, advancing `now` to its time.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.payload))
+    }
+
+    /// Pop the earliest event only if it fires at or before `deadline`.
+    pub fn pop_before(&mut self, deadline: Cycles) -> Option<(Cycles, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advance `now` to `t` without firing anything (idle time).
+    ///
+    /// Panics (debug) if events earlier than `t` are pending — skipping over
+    /// pending work would silently corrupt a simulation.
+    pub fn advance_to(&mut self, t: Cycles) {
+        debug_assert!(
+            self.peek_time().is_none_or(|p| p >= t),
+            "advance_to({t}) would skip a pending event at {:?}",
+            self.peek_time()
+        );
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Drop all pending events matching `pred`, returning how many were
+    /// removed. Used e.g. to cancel a thread's timers on exit.
+    pub fn cancel_where(&mut self, mut pred: impl FnMut(&E) -> bool) -> usize {
+        let before = self.heap.len();
+        let kept: Vec<Scheduled<E>> = self.heap.drain().filter(|s| !pred(&s.payload)).collect();
+        self.heap = kept.into();
+        before - self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(30), 3);
+        q.schedule(Cycles(10), 1);
+        q.schedule(Cycles(20), 2);
+        assert_eq!(q.pop(), Some((Cycles(10), 1)));
+        assert_eq!(q.pop(), Some((Cycles(20), 2)));
+        assert_eq!(q.pop(), Some((Cycles(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycles(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles(5), i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(42), ());
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycles(42));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), "a");
+        q.pop();
+        q.schedule_in(Cycles(5), "b");
+        assert_eq!(q.pop(), Some((Cycles(15), "b")));
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(100), "late");
+        assert_eq!(q.pop_before(Cycles(50)), None);
+        assert_eq!(q.pop_before(Cycles(100)), Some((Cycles(100), "late")));
+    }
+
+    #[test]
+    fn cancel_where_removes_matching() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(1), 1);
+        q.schedule(Cycles(2), 2);
+        q.schedule(Cycles(3), 3);
+        let n = q.cancel_where(|e| *e % 2 == 1);
+        assert_eq!(n, 2);
+        assert_eq!(q.pop(), Some((Cycles(2), 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn advance_to_moves_idle_time() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(Cycles(500));
+        assert_eq!(q.now(), Cycles(500));
+        // Going backwards is a no-op.
+        q.advance_to(Cycles(100));
+        assert_eq!(q.now(), Cycles(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn schedule_in_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(100), ());
+        q.pop();
+        q.schedule(Cycles(50), ());
+    }
+}

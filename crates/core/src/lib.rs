@@ -1,0 +1,47 @@
+//! # interweave-core
+//!
+//! The hardware substrate of the Interweave laboratory: a deterministic,
+//! discrete-event simulated machine with an explicit cycle-cost model.
+//!
+//! The paper this library reproduces — *The Case for an Interwoven Parallel
+//! Hardware/Software Stack* (Hale, Campanoni, Hardavellas, Dinda; SC
+//! Workshops 2021) — argues that the costs imposed by the layered commodity
+//! stack (interrupt dispatch, kernel/user crossings, paging and TLBs,
+//! always-on cache coherence) can be removed by *interweaving* the compiler,
+//! runtime, kernel, and hardware. Every experiment in the workspace therefore
+//! needs a machine on which those costs are explicit, configurable, and
+//! measurable. This crate provides it:
+//!
+//! - [`time`]: cycle-granularity simulated time and frequency conversion.
+//! - [`event`]: a deterministic discrete-event queue, generic over the event
+//!   payload, used by every simulator in the workspace.
+//! - [`machine`]: machine topology ([`machine::MachineConfig`]) and the cost
+//!   model ([`machine::CostModel`]) with presets for the platforms the paper
+//!   evaluates on (Xeon Phi KNL, dual-socket x64 server, 8-socket 192-core).
+//! - [`interrupt`]: interrupt delivery modes, including the paper's proposed
+//!   *pipeline interrupts* (§V-D) delivered at predicted-branch cost.
+//! - [`stack`]: the interweaving axes as data — which timing source,
+//!   signaling path, address translation, coherence policy, and isolation
+//!   mechanism a stack composition uses.
+//! - [`stats`]: online statistics, histograms, and geometric means used to
+//!   report every figure and table.
+//! - [`energy`]: interconnect/cache energy accounting (Fig. 7).
+//! - [`rng`]: a small deterministic RNG so all experiments are reproducible.
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod event;
+pub mod interrupt;
+pub mod machine;
+pub mod rng;
+pub mod stack;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use interrupt::DeliveryMode;
+pub use machine::{CostModel, MachineConfig, Platform};
+pub use rng::SplitMix64;
+pub use stack::StackConfig;
+pub use time::{Cycles, Freq, MicroSeconds};

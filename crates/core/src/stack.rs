@@ -1,0 +1,170 @@
+//! The interweaving axes as data.
+//!
+//! Figure 1 of the paper sketches a system where the compiler, runtime,
+//! kernel, and hardware are blended per application. [`StackConfig`] names
+//! the design axes that the paper's examples vary, so an experiment can say
+//! precisely *which* stack composition it is measuring and reports can label
+//! series consistently. Each axis corresponds to one section of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where timing events come from (§IV-C, compiler-based timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimingSource {
+    /// Hardware timer interrupts through the interrupt path.
+    HardwareTimer,
+    /// Compiler-injected calls into the timer framework — no interrupts.
+    CompilerInjected,
+}
+
+/// How out-of-band events reach parallel workers (§IV-B, heartbeat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalPath {
+    /// Commodity path: kernel timers + POSIX signals into user space.
+    LinuxSignals,
+    /// Interwoven path: LAPIC timer on one CPU broadcast by IPI directly to
+    /// kernel-mode workers (the Nautilus/Nemo design of Fig. 2).
+    NkIpiBroadcast,
+}
+
+/// How addresses are translated and protected (§IV-A, CARAT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Translation {
+    /// Conventional paging with TLBs; protection by hardware.
+    Paging,
+    /// Identity mapping with the largest page size; no protection (raw
+    /// Nautilus).
+    Identity,
+    /// CARAT: physical addressing everywhere, protection and mobility by
+    /// compiler-inserted guards and a tracking runtime.
+    Carat,
+}
+
+/// Cache-coherence policy (§V-B, selective coherence deactivation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoherencePolicy {
+    /// Hardware MESI for all memory, always on.
+    FullMesi,
+    /// MESI extended with selective deactivation driven by language-level
+    /// sharing knowledge.
+    Selective,
+}
+
+/// Isolation mechanism for launching functions/tasks (§IV-D, virtines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Isolation {
+    /// Conventional OS process.
+    Process,
+    /// Container (namespaced process with image setup).
+    Container,
+    /// Full virtual machine with a general-purpose guest.
+    FullVm,
+    /// A virtine: minimal VM context with custom stack, compiler-created.
+    Virtine,
+    /// A bespoke context (§V-E): synthesized runtime, possibly no OS at all.
+    Bespoke,
+}
+
+/// A complete stack composition: one point in the interweaving design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Timing-event source.
+    pub timing: TimingSource,
+    /// Out-of-band signaling path.
+    pub signal: SignalPath,
+    /// Address translation and protection scheme.
+    pub translation: Translation,
+    /// Cache-coherence policy.
+    pub coherence: CoherencePolicy,
+    /// Isolation mechanism for task launch.
+    pub isolation: Isolation,
+}
+
+impl StackConfig {
+    /// The commodity layered stack the paper's figures use as a baseline:
+    /// Linux-like kernel, hardware timers, signals, paging, full coherence,
+    /// process isolation.
+    pub fn commodity() -> StackConfig {
+        StackConfig {
+            timing: TimingSource::HardwareTimer,
+            signal: SignalPath::LinuxSignals,
+            translation: Translation::Paging,
+            coherence: CoherencePolicy::FullMesi,
+            isolation: Isolation::Process,
+        }
+    }
+
+    /// The fully interwoven stack of Fig. 1: compiler timing, IPI broadcast
+    /// signaling, CARAT translation, selective coherence, virtine isolation.
+    pub fn interwoven() -> StackConfig {
+        StackConfig {
+            timing: TimingSource::CompilerInjected,
+            signal: SignalPath::NkIpiBroadcast,
+            translation: Translation::Carat,
+            coherence: CoherencePolicy::Selective,
+            isolation: Isolation::Virtine,
+        }
+    }
+
+    /// Raw Nautilus as described in §III: kernel-mode everything, identity
+    /// mapping, hardware timers but direct (no crossing) delivery.
+    pub fn nautilus() -> StackConfig {
+        StackConfig {
+            timing: TimingSource::HardwareTimer,
+            signal: SignalPath::NkIpiBroadcast,
+            translation: Translation::Identity,
+            coherence: CoherencePolicy::FullMesi,
+            isolation: Isolation::Process,
+        }
+    }
+
+    /// Count of axes on which `self` differs from the commodity stack — a
+    /// crude "degree of interweaving" used in reports.
+    pub fn interweaving_degree(&self) -> usize {
+        let c = StackConfig::commodity();
+        usize::from(self.timing != c.timing)
+            + usize::from(self.signal != c.signal)
+            + usize::from(self.translation != c.translation)
+            + usize::from(self.coherence != c.coherence)
+            + usize::from(self.isolation != c.isolation)
+    }
+}
+
+impl fmt::Display for StackConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "timing={:?} signal={:?} translation={:?} coherence={:?} isolation={:?}",
+            self.timing, self.signal, self.translation, self.coherence, self.isolation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commodity_has_degree_zero() {
+        assert_eq!(StackConfig::commodity().interweaving_degree(), 0);
+    }
+
+    #[test]
+    fn interwoven_differs_on_every_axis() {
+        assert_eq!(StackConfig::interwoven().interweaving_degree(), 5);
+    }
+
+    #[test]
+    fn nautilus_is_partially_interwoven() {
+        let d = StackConfig::nautilus().interweaving_degree();
+        assert!(d > 0 && d < 5, "nautilus degree = {d}");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = StackConfig::commodity().to_string();
+        assert!(s.contains("Paging"));
+        assert!(s.contains("LinuxSignals"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Online statistics used by every experiment report.
+//!
+//! The paper summarizes with geometric means (CARAT's <6 % overhead, RTK's
+//! 22 % gain), rate stability (Fig. 3's "consistent, stable rate"), and
+//! cycle-cost distributions (Fig. 4). This module provides the corresponding
+//! estimators: Welford online mean/variance, fixed-bucket histograms with
+//! percentile queries, and geometric-mean helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean); the Fig. 3 stability
+    /// metric — a "consistent, stable rate" is a low CV.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A fixed-width-bucket histogram over `[0, bucket_width × buckets)`, with
+/// an overflow bucket; supports percentile queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` buckets of width `bucket_width`.
+    pub fn new(bucket_width: f64, buckets: usize) -> Histogram {
+        assert!(bucket_width > 0.0 && buckets > 0);
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        let idx = (x / self.bucket_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate `p`-th percentile (0 < p ≤ 100) by bucket upper edge.
+    /// Returns `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as f64 + 1.0) * self.bucket_width);
+            }
+        }
+        // Landed in the overflow bucket; report the histogram's upper bound.
+        Some(self.bucket_width * self.counts.len() as f64)
+    }
+
+    /// Fraction of observations that overflowed the tracked range.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.total as f64
+        }
+    }
+}
+
+/// Geometric mean of strictly positive values. Returns 0.0 for an empty
+/// slice; ignores non-positive entries are a caller bug and panic in debug.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    for &x in xs {
+        debug_assert!(x > 0.0, "geomean requires positive values, got {x}");
+        log_sum += x.max(f64::MIN_POSITIVE).ln();
+    }
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Geometric-mean *speedup* of paired (baseline, variant) times: values >1
+/// mean `variant` is faster. Convenience used by Figs. 6 and 7 reports.
+pub fn geomean_speedup(pairs: &[(f64, f64)]) -> f64 {
+    let ratios: Vec<f64> = pairs.iter().map(|&(base, var)| base / var).collect();
+    geomean(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn cv_measures_stability() {
+        let mut stable = Summary::new();
+        let mut jittery = Summary::new();
+        for i in 0..100 {
+            stable.add(100.0 + (i % 2) as f64); // ±0.5%
+            jittery.add(100.0 + (i % 10) as f64 * 20.0); // large swings
+        }
+        assert!(stable.cv() < 0.01);
+        assert!(jittery.cv() > 0.2);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(10.0, 10);
+        for i in 0..100 {
+            h.add(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((40.0..=60.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(99.0).unwrap();
+        assert!(p99 >= 90.0);
+    }
+
+    #[test]
+    fn histogram_overflow() {
+        let mut h = Histogram::new(1.0, 4);
+        h.add(0.5);
+        h.add(100.0);
+        assert_eq!(h.overflow_fraction(), 0.5);
+    }
+
+    #[test]
+    fn histogram_empty_percentile_is_none() {
+        let h = Histogram::new(1.0, 4);
+        assert!(h.percentile(50.0).is_none());
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        // geomean(1, 4) = 2; geomean(2, 8) = 4.
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_speedup_pairs() {
+        // Variant twice as fast in both cases → speedup 2.
+        let s = geomean_speedup(&[(10.0, 5.0), (4.0, 2.0)]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Machine configurations and stack descriptions are serde-serializable so
+//! experiments can persist exactly what they ran on; these tests pin the
+//! round-trip.
+
+use interweave_core::machine::MachineConfig;
+use interweave_core::stack::StackConfig;
+use interweave_core::Cycles;
+
+#[test]
+fn machine_configs_round_trip_through_json() {
+    for mc in [
+        MachineConfig::phi_knl(),
+        MachineConfig::xeon_server_2s(),
+        MachineConfig::big_server_8s(),
+        MachineConfig::riscv_openpiton(),
+        MachineConfig::test(3).with_pipeline_interrupts(),
+    ] {
+        let json = serde_json::to_string(&mc).expect("serialize");
+        let back: MachineConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, mc);
+    }
+}
+
+#[test]
+fn stack_configs_round_trip_through_json() {
+    for sc in [
+        StackConfig::commodity(),
+        StackConfig::interwoven(),
+        StackConfig::nautilus(),
+    ] {
+        let json = serde_json::to_string(&sc).expect("serialize");
+        let back: StackConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, sc);
+    }
+}
+
+#[test]
+fn cycles_serialize_as_plain_integers() {
+    let json = serde_json::to_string(&Cycles(1234)).unwrap();
+    assert_eq!(json, "1234");
+    let back: Cycles = serde_json::from_str("777").unwrap();
+    assert_eq!(back, Cycles(777));
+}

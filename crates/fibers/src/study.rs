@@ -1,0 +1,146 @@
+//! The Fig. 4 study: switch-cost decomposition and granularity floors.
+//!
+//! Combines the analytic switch-cost rows (from the kernel crate's cost
+//! composition) with *measured* runtime behaviour: a sweep over preemption
+//! quanta finds the smallest quantum at which mechanism overhead stays
+//! under 50 % — the "granularity floor" §IV-C reports as <600 cycles for
+//! compiler-timed fibers on KNL, against >4× coarser for the commodity
+//! Linux thread design.
+
+use crate::runtime::{run_fibers, PreemptMode};
+use interweave_core::machine::MachineConfig;
+use interweave_ir::programs::{self, Program};
+use interweave_kernel::threads::{
+    fig4_rows, granularity_floor, switch_cost, OsKind, SwitchBreakdown, SwitchKind,
+};
+
+/// One analytic row of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Configuration label (as in the figure).
+    pub label: String,
+    /// Uses FP state.
+    pub fp: bool,
+    /// Cost decomposition.
+    pub breakdown: SwitchBreakdown,
+}
+
+/// The analytic half of the figure.
+pub fn analytic_rows(mc: &MachineConfig) -> Vec<Fig4Row> {
+    fig4_rows(mc)
+        .into_iter()
+        .map(|(label, fp, breakdown)| Fig4Row {
+            label,
+            fp,
+            breakdown,
+        })
+        .collect()
+}
+
+/// Measured overhead for one (mode, quantum) point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Preemption mechanism.
+    pub mode: PreemptMode,
+    /// Quantum in cycles.
+    pub quantum: u64,
+    /// Mechanism overhead fraction (switches + checks over total).
+    pub overhead: f64,
+    /// Switches performed.
+    pub switches: u64,
+}
+
+fn sweep_workload() -> Vec<Program> {
+    vec![
+        programs::stream_triad(32),
+        programs::matvec(8),
+        programs::fib(12),
+        programs::histogram(128, 16),
+    ]
+}
+
+/// Sweep quanta for both mechanisms.
+pub fn overhead_sweep(mc: &MachineConfig, quanta: &[u64]) -> Vec<SweepPoint> {
+    let w = sweep_workload();
+    let mut out = Vec::new();
+    for &q in quanta {
+        for mode in [PreemptMode::CompilerTimed, PreemptMode::HardwareTimer] {
+            let r = run_fibers(&w, q, mc, mode);
+            out.push(SweepPoint {
+                mode,
+                quantum: q,
+                overhead: r.overhead_fraction(),
+                switches: r.switches,
+            });
+        }
+    }
+    out
+}
+
+/// The analytic granularity floor (quantum where switch overhead = 50 %)
+/// for a mechanism, per §IV-C's definition.
+pub fn floor_cycles(mc: &MachineConfig, kind: SwitchKind, os: OsKind, fp: bool) -> u64 {
+    granularity_floor(switch_cost(mc, os, kind, false, fp).total()).get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knl() -> MachineConfig {
+        MachineConfig::phi_knl()
+    }
+
+    #[test]
+    fn comptime_floor_under_600_and_4x_better_than_linux() {
+        // The two headline callouts of Fig. 4.
+        let fiber_nofp = floor_cycles(&knl(), SwitchKind::FiberCompilerTimed, OsKind::Nk, false);
+        assert!(fiber_nofp < 600, "floor {fiber_nofp}");
+        let linux_fp = floor_cycles(&knl(), SwitchKind::ThreadInterrupt, OsKind::Linux, true);
+        let fiber_fp = floor_cycles(&knl(), SwitchKind::FiberCompilerTimed, OsKind::Nk, true);
+        let ratio = linux_fp as f64 / fiber_fp as f64;
+        assert!(
+            ratio > 3.0,
+            "granularity ratio linux/fiber = {ratio:.1} ({linux_fp} vs {fiber_fp})"
+        );
+    }
+
+    #[test]
+    fn sweep_shows_crossover_structure() {
+        // At fine quanta compiler timing wins decisively; at coarse quanta
+        // both mechanisms' overheads converge toward zero.
+        let pts = overhead_sweep(&knl(), &[2_000, 200_000]);
+        let get = |q, m| {
+            pts.iter()
+                .find(|p| p.quantum == q && p.mode == m)
+                .unwrap()
+                .overhead
+        };
+        let fine_ct = get(2_000, PreemptMode::CompilerTimed);
+        let fine_hw = get(2_000, PreemptMode::HardwareTimer);
+        assert!(
+            fine_ct < fine_hw,
+            "fine: ct {fine_ct:.3} vs hw {fine_hw:.3}"
+        );
+        let coarse_ct = get(200_000, PreemptMode::CompilerTimed);
+        let coarse_hw = get(200_000, PreemptMode::HardwareTimer);
+        assert!(coarse_ct < 0.2 && coarse_hw < 0.2);
+    }
+
+    #[test]
+    fn analytic_rows_are_complete_and_ordered() {
+        let rows = analytic_rows(&knl());
+        assert_eq!(rows.len(), 12);
+        let find = |label: &str| {
+            rows.iter()
+                .find(|r| r.label == label)
+                .unwrap_or_else(|| panic!("missing row {label}"))
+                .breakdown
+                .total()
+        };
+        // Ordering of the figure: Linux threads > NK threads > fibers.
+        assert!(find("Linux threads (non-RT, FP)") > find("Threads (non-RT, FP)"));
+        assert!(find("Threads (non-RT, FP)") > find("Fibers-CompTime (FP)"));
+        assert!(find("Fibers-CompTime (no-FP)") < find("Fibers-CompTime (FP)"));
+    }
+}

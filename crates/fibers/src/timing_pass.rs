@@ -1,0 +1,207 @@
+//! The timing-injection pass.
+//!
+//! §IV-C: "the compiler transform needs to introduce timing calls
+//! statically, so that they occur dynamically at some desired rate
+//! regardless of the code path taken through the kernel+application
+//! ensemble as it runs. Modern compiler analysis makes this possible."
+//!
+//! Placement policy (the standard result from the SC'20 system):
+//! - at the top of every natural-loop *header* — every iteration of every
+//!   loop passes a check;
+//! - at every function entry — call chains (including recursion) cannot
+//!   escape checking;
+//! - inside any straight-line run longer than [`InjectTiming::max_run`]
+//!   instructions — long blocks cannot stretch the gap unboundedly.
+//!
+//! With this policy the dynamic gap between two consecutive checks is
+//! bounded by the cost of the longest check-free path: at most `max_run`
+//! instructions plus one block's worth of non-loop straight-line code. The
+//! `placement_bound_holds` test measures actual gaps over the benchmark
+//! suite to validate the bound.
+
+use interweave_ir::analysis::{Cfg, Dominators, LoopForest};
+use interweave_ir::inst::{Inst, Intrinsic};
+use interweave_ir::passes::{Pass, PassStats};
+use interweave_ir::Module;
+
+/// The injection pass.
+#[derive(Debug, Clone)]
+pub struct InjectTiming {
+    /// Maximum instructions in a straight-line run before an extra check is
+    /// inserted.
+    pub max_run: usize,
+}
+
+impl Default for InjectTiming {
+    fn default() -> InjectTiming {
+        InjectTiming { max_run: 48 }
+    }
+}
+
+impl Pass for InjectTiming {
+    fn name(&self) -> &'static str {
+        "inject-timing"
+    }
+
+    fn run(&mut self, m: &mut Module) -> PassStats {
+        let mut stats = PassStats::default();
+        for f in &mut m.funcs {
+            let cfg = Cfg::build(f);
+            let dom = Dominators::compute(&cfg);
+            let loops = LoopForest::find(&cfg, &dom);
+            let mut check_blocks: Vec<usize> = vec![0]; // function entry
+            for l in &loops.loops {
+                check_blocks.push(l.header.index());
+            }
+            check_blocks.sort_unstable();
+            check_blocks.dedup();
+
+            for (bi, b) in f.blocks.iter_mut().enumerate() {
+                let mut out = Vec::with_capacity(b.insts.len() + 2);
+                if check_blocks.contains(&bi) {
+                    out.push(Inst::Intr(None, Intrinsic::TimeCheck, vec![]));
+                    stats.bump("checks_inserted", 1);
+                }
+                let mut run = 0usize;
+                for inst in b.insts.drain(..) {
+                    // A call transfers to a function whose entry checks, so
+                    // it resets the straight-line run.
+                    let resets = matches!(
+                        inst,
+                        Inst::Call(_, _, _) | Inst::Intr(_, Intrinsic::TimeCheck, _)
+                    );
+                    out.push(inst);
+                    run = if resets { 0 } else { run + 1 };
+                    if run >= self.max_run {
+                        out.push(Inst::Intr(None, Intrinsic::TimeCheck, vec![]));
+                        stats.bump("checks_inserted", 1);
+                        run = 0;
+                    }
+                }
+                b.insts = out;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interweave_ir::interp::{HookAction, Interp, InterpConfig, Memory, RuntimeHooks};
+    use interweave_ir::programs;
+    use interweave_ir::types::Val;
+    use interweave_ir::verify::assert_valid;
+
+    /// Hooks that record the cycle gap between consecutive time checks.
+    #[derive(Default)]
+    struct GapRecorder {
+        last: Option<u64>,
+        max_gap: u64,
+        checks: u64,
+    }
+
+    impl RuntimeHooks for GapRecorder {
+        fn intrinsic(
+            &mut self,
+            which: Intrinsic,
+            _args: &[Val],
+            _mem: &mut Memory,
+            now: u64,
+        ) -> HookAction {
+            if which == Intrinsic::TimeCheck {
+                if let Some(l) = self.last {
+                    self.max_gap = self.max_gap.max(now - l);
+                }
+                self.last = Some(now);
+                self.checks += 1;
+            }
+            HookAction::Continue {
+                value: None,
+                cycles: if which == Intrinsic::TimeCheck { 2 } else { 0 },
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_checks_at_entries_and_loop_headers() {
+        let p = programs::stream_triad(16);
+        let mut m = p.module.clone();
+        let stats = InjectTiming::default().run(&mut m);
+        assert_valid(&m);
+        // Entry + 3 loop headers at minimum.
+        assert!(stats.get("checks_inserted") >= 4);
+    }
+
+    #[test]
+    fn placement_bound_holds_across_the_suite() {
+        // §IV-C's key property: checks execute at a bounded dynamic
+        // interval on every path. With max_run=48 and instruction costs of
+        // 1–3 cycles (+30 for allocs), a gap beyond ~400 cycles would mean
+        // a check-free path escaped the policy.
+        for prog in programs::suite(1) {
+            let mut m = prog.module.clone();
+            InjectTiming::default().run(&mut m);
+            assert_valid(&m);
+            let mut rec = GapRecorder::default();
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&m, prog.entry, &prog.args);
+            it.run_to_completion(&m, &mut rec);
+            assert!(rec.checks > 0, "{}: no checks executed", prog.name);
+            assert!(
+                rec.max_gap <= 400,
+                "{}: max check gap {} cycles",
+                prog.name,
+                rec.max_gap
+            );
+        }
+    }
+
+    #[test]
+    fn recursion_is_checked_via_function_entries() {
+        let prog = programs::fib(14);
+        let mut m = prog.module.clone();
+        InjectTiming::default().run(&mut m);
+        let mut rec = GapRecorder::default();
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, prog.entry, &prog.args);
+        it.run_to_completion(&m, &mut rec);
+        // fib(14) makes ~1200 calls; every call checks.
+        assert!(rec.checks > 1000);
+        assert!(rec.max_gap <= 100, "max gap {}", rec.max_gap);
+    }
+
+    #[test]
+    fn long_straight_line_blocks_get_mid_block_checks() {
+        use interweave_ir::{BinOp, FunctionBuilder};
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("straight", 1);
+        let mut v = fb.param(0);
+        let one = fb.const_i(1);
+        for _ in 0..200 {
+            v = fb.bin(BinOp::Add, v, one);
+        }
+        fb.ret(Some(v));
+        m.add(fb.finish());
+        let stats = InjectTiming { max_run: 48 }.run(&mut m);
+        // Entry check + ~4 mid-block checks.
+        assert!(stats.get("checks_inserted") >= 4);
+    }
+
+    #[test]
+    fn transformation_preserves_results() {
+        use interweave_ir::interp::NullHooks;
+        for prog in programs::suite(1) {
+            let mut base = Interp::new(InterpConfig::default());
+            base.start(&prog.module, prog.entry, &prog.args);
+            let expected = base.run_to_completion(&prog.module, &mut NullHooks);
+
+            let mut m = prog.module.clone();
+            InjectTiming::default().run(&mut m);
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&m, prog.entry, &prog.args);
+            let got = it.run_to_completion(&m, &mut GapRecorder::default());
+            assert_eq!(got, expected, "{}", prog.name);
+        }
+    }
+}

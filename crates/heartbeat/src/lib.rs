@@ -1,0 +1,37 @@
+//! # interweave-heartbeat
+//!
+//! Heartbeat scheduling with interwoven event delivery (§IV-B of the paper;
+//! TPAL, Rainey et al., PLDI 2021).
+//!
+//! Heartbeat scheduling promotes latent parallelism at a fixed period ♥
+//! (typically 20–100 µs). The promotion signal must reach every worker CPU
+//! at that rate, with low jitter, forever. Fig. 2 contrasts the two paths:
+//!
+//! - **Linux**: a kernel timer fires, a POSIX signal is queued, the target
+//!   thread is interrupted, a user signal frame is built, the handler runs,
+//!   `sigreturn` crosses back — per CPU, per beat. The machinery saturates
+//!   below ~40 µs periods and jitters under load ("unsteady rates" in the
+//!   figure).
+//! - **Nautilus (Nemo)**: the CPU-0 LAPIC timer fires and the handler
+//!   broadcasts an IPI; workers take a ~1500-cycle kernel-mode delivery.
+//!   The hardware floor is microseconds below any requested ♥.
+//!
+//! Modules:
+//! - [`deque`]: the work-stealing deque TPAL workers schedule with.
+//! - [`tpal`]: the promotion state machine (sequential/parallel variants,
+//!   split-on-beat) — the scheduling half of heartbeat, tested at the
+//!   logical level.
+//! - [`sim`]: the Fig. 3 timing simulation: per-CPU beat delivery under
+//!   either signaling path, measuring achieved rate, stability, and
+//!   scheduling overhead.
+//! - [`scaling`]: the end-to-end payoff — speedup curves of heartbeat-
+//!   promoted loops with bounded scheduling overhead.
+
+#![warn(missing_docs)]
+
+pub mod deque;
+pub mod scaling;
+pub mod sim;
+pub mod tpal;
+
+pub use sim::{run_heartbeat, HeartbeatConfig, HeartbeatResult, SignalKind};

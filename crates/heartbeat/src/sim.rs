@@ -1,0 +1,358 @@
+//! The Fig. 3 timing simulation: achieved vs. target heartbeat rate.
+//!
+//! For a target period ♥ and CPU count, simulate beat delivery over a run:
+//!
+//! - **Linux path** (Fig. 2, right): per-CPU POSIX timers. The effective
+//!   period floors at the kernel's signal machinery limit, each delivery
+//!   pays the signal round trip plus a timer re-arm syscall, hrtimer slack
+//!   jitters every fire, coalescing drops beats that land on a still-busy
+//!   handler, and background noise delays deliveries.
+//! - **Nautilus path** (Fig. 2, left): the CPU-0 LAPIC timer fires on its
+//!   programmed cycle; CPU 0 broadcasts IPIs; workers pay a short
+//!   deterministic kernel-mode delivery. No jitter sources exist (§III:
+//!   deterministic interrupt path lengths).
+//!
+//! Reported per run: achieved rate (fraction of target), inter-beat
+//! stability (coefficient of variation), and scheduling overhead (delivery
+//! + promotion-handler cycles as a fraction of CPU time).
+
+use interweave_core::machine::MachineConfig;
+use interweave_core::rng::SplitMix64;
+use interweave_core::stats::Summary;
+use interweave_core::time::Cycles;
+use interweave_kernel::os::{LinuxModel, NkModel, OsModel};
+
+/// Which signaling path delivers heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalKind {
+    /// Kernel timers + POSIX signals into user space.
+    LinuxSignals,
+    /// LAPIC timer on CPU 0 broadcast via IPI (Nautilus/Nemo).
+    NkIpi,
+}
+
+impl SignalKind {
+    /// Display name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SignalKind::LinuxSignals => "Linux",
+            SignalKind::NkIpi => "Nautilus",
+        }
+    }
+}
+
+/// One heartbeat experiment.
+#[derive(Debug, Clone)]
+pub struct HeartbeatConfig {
+    /// The machine (16 CPUs at 3.3 GHz in the paper's Fig. 3 setup).
+    pub machine: MachineConfig,
+    /// Signaling path under test.
+    pub kind: SignalKind,
+    /// Worker CPUs receiving beats.
+    pub cpus: usize,
+    /// Target heartbeat period ♥ in µs (paper: 20 and 100).
+    pub target_us: f64,
+    /// Simulated duration in µs.
+    pub duration_us: f64,
+    /// Promotion-handler work per beat, cycles (varies by benchmark: how
+    /// much latent parallelism bookkeeping a beat performs).
+    pub handler_work: Cycles,
+    /// RNG seed (jitter and noise are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl HeartbeatConfig {
+    /// The paper's Fig. 3 setup on a given path: 16 CPUs, 50 ms run.
+    pub fn fig3(kind: SignalKind, target_us: f64, handler_work: Cycles) -> HeartbeatConfig {
+        HeartbeatConfig {
+            machine: MachineConfig::xeon_server_2s().with_cores(16),
+            kind,
+            cpus: 16,
+            target_us,
+            duration_us: 50_000.0,
+            handler_work,
+            seed: 0x48_42,
+        }
+    }
+}
+
+/// Measured outcome of one heartbeat run.
+#[derive(Debug, Clone)]
+pub struct HeartbeatResult {
+    /// Target rate in beats/ms/CPU.
+    pub target_rate: f64,
+    /// Achieved mean rate in beats/ms/CPU.
+    pub achieved_rate: f64,
+    /// Mean coefficient of variation of inter-beat intervals (stability; 0
+    /// = perfectly steady).
+    pub interbeat_cv: f64,
+    /// Scheduling overhead: (delivery + handler) cycles / total CPU cycles,
+    /// in percent.
+    pub overhead_pct: f64,
+    /// Beats delivered across all CPUs.
+    pub delivered: u64,
+    /// Beats lost to coalescing (Linux path only).
+    pub coalesced: u64,
+}
+
+impl HeartbeatResult {
+    /// Achieved rate as a fraction of target (Fig. 3's y-axis).
+    pub fn fraction_of_target(&self) -> f64 {
+        self.achieved_rate / self.target_rate
+    }
+}
+
+/// Run one heartbeat experiment.
+///
+/// ```
+/// use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
+/// use interweave_core::Cycles;
+///
+/// let nk = run_heartbeat(&HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1000)));
+/// assert!(nk.fraction_of_target() > 0.99); // Nautilus sustains ♥ = 20 µs
+/// let lx = run_heartbeat(&HeartbeatConfig::fig3(SignalKind::LinuxSignals, 20.0, Cycles(1000)));
+/// assert!(lx.fraction_of_target() < 0.6); // Linux cannot
+/// ```
+pub fn run_heartbeat(cfg: &HeartbeatConfig) -> HeartbeatResult {
+    match cfg.kind {
+        SignalKind::LinuxSignals => run_linux(cfg),
+        SignalKind::NkIpi => run_nk(cfg),
+    }
+}
+
+fn summarize(
+    cfg: &HeartbeatConfig,
+    beat_times: &[Vec<Cycles>],
+    overhead_cycles: u64,
+    coalesced: u64,
+) -> HeartbeatResult {
+    let freq = cfg.machine.freq;
+    let dur = freq.cycles_per_us(cfg.duration_us);
+    let mut delivered = 0u64;
+    let mut cv = Summary::new();
+    for times in beat_times {
+        delivered += times.len() as u64;
+        if times.len() >= 3 {
+            let mut intervals = Summary::new();
+            for w in times.windows(2) {
+                intervals.add((w[1] - w[0]).as_f64());
+            }
+            cv.add(intervals.cv());
+        }
+    }
+    let per_ms = 1000.0 / cfg.target_us;
+    let achieved = delivered as f64 / cfg.cpus as f64 / (cfg.duration_us / 1000.0);
+    HeartbeatResult {
+        target_rate: per_ms,
+        achieved_rate: achieved,
+        interbeat_cv: cv.mean(),
+        overhead_pct: 100.0 * overhead_cycles as f64 / (dur.get() * cfg.cpus as u64) as f64,
+        delivered,
+        coalesced,
+    }
+}
+
+fn run_linux(cfg: &HeartbeatConfig) -> HeartbeatResult {
+    let lx = LinuxModel::new(cfg.machine.clone());
+    let freq = cfg.machine.freq;
+    let dur = freq.cycles_per_us(cfg.duration_us);
+    let target = freq.cycles_per_us(cfg.target_us);
+    // The kernel's signal machinery cannot cycle faster than its floor.
+    let period = target.max(lx.timer_min_period());
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut beat_times: Vec<Vec<Cycles>> = vec![Vec::new(); cfg.cpus];
+    let mut overhead = 0u64;
+    let mut coalesced = 0u64;
+
+    // Per-beat receiver cost: signal round trip + the promotion handler +
+    // re-arming the interval timer (a syscall). Handler work costs ~2x in
+    // signal context: the crossing evicted the worker's cache and TLB state
+    // (measured as multi-microsecond effective signal costs in [36]).
+    let deliver_cost = lx.event_deliver() + cfg.handler_work * 2 + lx.event_send();
+
+    for times in beat_times.iter_mut() {
+        let mut fire = period; // first fire one period in
+        let mut busy_until = Cycles::ZERO;
+        while fire < dur {
+            let mut deliver_at = fire + lx.timer_jitter(&mut rng);
+            // Background noise occasionally lands on the delivery path.
+            if let Some(n) = lx.sample_noise(&mut rng) {
+                if n.after < period {
+                    deliver_at += n.duration;
+                    overhead += n.duration.get();
+                }
+            }
+            if deliver_at < busy_until {
+                // The previous handler still runs: the signal coalesces
+                // (SIGALRM does not queue) — a lost beat.
+                coalesced += 1;
+            } else {
+                times.push(deliver_at);
+                busy_until = deliver_at + deliver_cost;
+                overhead += deliver_cost.get();
+            }
+            fire += period;
+        }
+    }
+    summarize(cfg, &beat_times, overhead, coalesced)
+}
+
+fn run_nk(cfg: &HeartbeatConfig) -> HeartbeatResult {
+    let nk = NkModel::new(cfg.machine.clone());
+    let freq = cfg.machine.freq;
+    let dur = freq.cycles_per_us(cfg.duration_us);
+    let target = freq.cycles_per_us(cfg.target_us);
+    let period = target.max(nk.timer_min_period());
+
+    let c = &cfg.machine.cost;
+    let mut beat_times: Vec<Vec<Cycles>> = vec![Vec::new(); cfg.cpus];
+    let mut overhead = 0u64;
+
+    // CPU 0: timer dispatch + re-arm + broadcast + its own handler work.
+    let cpu0_cost = cfg.machine.dispatch_cost()
+        + c.timer_program
+        + c.ipi_send * (cfg.cpus as u64 - 1)
+        + cfg.handler_work
+        + c.intr_return;
+    // Workers: IPI delivery + handler work.
+    let worker_cost = nk.event_deliver() + cfg.handler_work;
+
+    let mut fire = period;
+    while fire < dur {
+        beat_times[0].push(fire);
+        overhead += cpu0_cost.get();
+        for times in beat_times.iter_mut().skip(1) {
+            times.push(fire + c.ipi_latency);
+            overhead += worker_cost.get();
+        }
+        fire += period;
+    }
+    summarize(cfg, &beat_times, overhead, 0)
+}
+
+/// The Fig. 3 benchmark set: TPAL-style workloads differing in how much
+/// promotion bookkeeping one beat performs.
+pub fn fig3_benchmarks() -> Vec<(&'static str, Cycles)> {
+    vec![
+        ("plus-reduce-array", Cycles(400)),
+        ("spmv", Cycles(700)),
+        ("floyd-warshall", Cycles(1000)),
+        ("srad", Cycles(1300)),
+        ("knapsack", Cycles(1600)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: SignalKind, target_us: f64, handler: u64) -> HeartbeatResult {
+        run_heartbeat(&HeartbeatConfig::fig3(kind, target_us, Cycles(handler)))
+    }
+
+    #[test]
+    fn nautilus_hits_target_at_100us_and_20us() {
+        // Fig. 3: "Nautilus not only hits the target, but it also delivers
+        // a consistent, stable rate at both 100 µs and 20 µs."
+        for h in [100.0, 20.0] {
+            let r = run(SignalKind::NkIpi, h, 1500);
+            assert!(
+                r.fraction_of_target() > 0.99,
+                "♥={h}: fraction {}",
+                r.fraction_of_target()
+            );
+            assert!(r.interbeat_cv < 0.01, "♥={h}: cv {}", r.interbeat_cv);
+        }
+    }
+
+    #[test]
+    fn linux_undershoots_at_20us() {
+        let r = run(SignalKind::LinuxSignals, 20.0, 1500);
+        assert!(
+            r.fraction_of_target() < 0.6,
+            "fraction {}",
+            r.fraction_of_target()
+        );
+    }
+
+    #[test]
+    fn linux_is_unsteady_compared_to_nautilus() {
+        let lx = run(SignalKind::LinuxSignals, 100.0, 1500);
+        let nk = run(SignalKind::NkIpi, 100.0, 1500);
+        assert!(
+            lx.interbeat_cv > 10.0 * nk.interbeat_cv.max(1e-9),
+            "linux cv {} vs nk cv {}",
+            lx.interbeat_cv,
+            nk.interbeat_cv
+        );
+        assert!(lx.interbeat_cv > 0.02);
+    }
+
+    #[test]
+    fn overhead_band_matches_the_paper() {
+        // §IV-B: "scheduling overheads are 13–22% on Linux, and reduce to at
+        // most 4.9% in Nautilus". Our model lands in the same order: Linux
+        // several-fold worse, Nautilus under the 4.9% bound at ♥=20 µs.
+        for (name, hw) in fig3_benchmarks() {
+            let nk = run(SignalKind::NkIpi, 20.0, hw.get());
+            let lx = run(SignalKind::LinuxSignals, 20.0, hw.get());
+            assert!(
+                nk.overhead_pct <= 4.9,
+                "{name}: nk overhead {:.2}%",
+                nk.overhead_pct
+            );
+            assert!(
+                lx.overhead_pct > 1.8 * nk.overhead_pct,
+                "{name}: lx {:.2}% vs nk {:.2}%",
+                lx.overhead_pct,
+                nk.overhead_pct
+            );
+        }
+    }
+
+    #[test]
+    fn linux_coalesces_beats_under_pressure() {
+        // With a heavy handler at a saturated period, some signals land on
+        // a busy handler and are lost.
+        let r = run(SignalKind::LinuxSignals, 20.0, 12_000);
+        assert!(r.coalesced > 0, "expected coalescing, got {r:?}");
+    }
+
+    #[test]
+    fn linux_approaches_target_at_long_periods() {
+        // At ♥ = 1 ms the commodity path keeps up (it is fine for coarse
+        // beats — the paper's point is the *fine-grain* regime).
+        let r = run(SignalKind::LinuxSignals, 1000.0, 1500);
+        assert!(
+            r.fraction_of_target() > 0.95,
+            "fraction {}",
+            r.fraction_of_target()
+        );
+    }
+
+    #[test]
+    fn pipeline_interrupts_cut_nk_overhead_further() {
+        // §V-D ablation: delivering beats as pipeline interrupts removes
+        // the dispatch cost from every worker delivery.
+        let mut cfg = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1500));
+        let base = run_heartbeat(&cfg);
+        cfg.machine = cfg.machine.with_pipeline_interrupts();
+        let pipe = run_heartbeat(&cfg);
+        assert!(
+            pipe.overhead_pct < base.overhead_pct * 0.75,
+            "pipe {:.2}% vs idt {:.2}%",
+            pipe.overhead_pct,
+            base.overhead_pct
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(SignalKind::LinuxSignals, 20.0, 1500);
+        let b = run(SignalKind::LinuxSignals, 20.0, 1500);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.coalesced, b.coalesced);
+        assert!((a.interbeat_cv - b.interbeat_cv).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Register-definition analysis.
+//!
+//! The IR uses mutable registers rather than strict SSA, so passes that
+//! reason "this register still holds the same pointer" (guard elision,
+//! guard hoisting) must know where registers are (re)defined. [`DefInfo`]
+//! records, per register, every definition site; registers with exactly one
+//! static definition behave like SSA names.
+
+use crate::func::Function;
+use crate::types::{BlockId, Reg};
+
+/// A definition site: block and instruction index within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefSite {
+    /// Defining block.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+}
+
+/// Definition sites for every register of a function.
+#[derive(Debug, Clone)]
+pub struct DefInfo {
+    /// `sites[r]` lists every definition of register `r`. Parameters have an
+    /// implicit definition at function entry which is *not* listed.
+    pub sites: Vec<Vec<DefSite>>,
+    n_params: usize,
+}
+
+impl DefInfo {
+    /// Compute definition sites for `f`.
+    pub fn compute(f: &Function) -> DefInfo {
+        let mut sites = vec![Vec::new(); f.n_regs];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                if let Some(d) = inst.def() {
+                    sites[d.0 as usize].push(DefSite {
+                        block: BlockId(bi as u32),
+                        inst: ii,
+                    });
+                }
+            }
+        }
+        DefInfo {
+            sites,
+            n_params: f.n_params,
+        }
+    }
+
+    /// True when `r` has exactly one static definition (counting the
+    /// implicit parameter definition). Such registers hold one value for the
+    /// whole execution, so a dominating guard of `r` covers every later use.
+    pub fn is_single_def(&self, r: Reg) -> bool {
+        let explicit = self.sites[r.0 as usize].len();
+        if (r.0 as usize) < self.n_params {
+            explicit == 0
+        } else {
+            explicit == 1
+        }
+    }
+
+    /// True when `r` is never redefined inside any block of `blocks`
+    /// (loop-invariance check for hoisting).
+    pub fn invariant_in(&self, r: Reg, blocks: &[BlockId]) -> bool {
+        self.sites[r.0 as usize]
+            .iter()
+            .all(|s| !blocks.contains(&s.block))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::inst::{BinOp, CmpOp};
+
+    #[test]
+    fn single_def_and_multi_def() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let p = fb.param(0);
+        let z = fb.const_i(0);
+        let i = fb.mov(z); // def 1 of i
+        let one = fb.const_i(1);
+        fb.bin_to(i, BinOp::Add, i, one); // def 2 of i
+        fb.ret(None);
+        let f = fb.finish();
+        let info = DefInfo::compute(&f);
+        assert!(info.is_single_def(p)); // param, never redefined
+        assert!(info.is_single_def(z));
+        assert!(!info.is_single_def(i));
+    }
+
+    #[test]
+    fn redefined_param_is_not_single_def() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let p = fb.param(0);
+        let z = fb.const_i(0);
+        fb.mov_to(p, z);
+        fb.ret(None);
+        let info = DefInfo::compute(&fb.finish());
+        assert!(!info.is_single_def(p));
+    }
+
+    #[test]
+    fn invariance_wrt_blocks() {
+        // i is redefined in the loop body (bb2); p never is.
+        let mut fb = FunctionBuilder::new("f", 1);
+        let p = fb.param(0);
+        let z = fb.const_i(0);
+        let i = fb.mov(z);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(head);
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::Lt, i, p);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let one = fb.const_i(1);
+        fb.bin_to(i, BinOp::Add, i, one);
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let info = DefInfo::compute(&f);
+        let loop_blocks = [head, body];
+        assert!(info.invariant_in(p, &loop_blocks));
+        assert!(!info.invariant_in(i, &loop_blocks));
+    }
+}

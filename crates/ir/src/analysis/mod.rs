@@ -1,0 +1,22 @@
+//! Program analyses.
+//!
+//! These are the "modern code analysis techniques" §IV-A credits with making
+//! guard aggregation and hoisting possible, and §IV-C credits with placing
+//! timing calls "so that they occur dynamically at some desired rate
+//! regardless of the code path taken":
+//!
+//! - [`mod@cfg`]: predecessors/successors and reverse postorder.
+//! - [`dom`]: dominator tree (Cooper–Harvey–Kennedy).
+//! - [`loops`]: natural-loop detection with preheader identification.
+//! - [`defs`]: register definition counting (single-assignment discovery for
+//!   the mutable-register IR).
+
+pub mod cfg;
+pub mod defs;
+pub mod dom;
+pub mod loops;
+
+pub use cfg::Cfg;
+pub use defs::DefInfo;
+pub use dom::Dominators;
+pub use loops::{Loop, LoopForest};

@@ -1,0 +1,312 @@
+//! Leaf-function inlining.
+//!
+//! Interwoven code crosses layers through tiny runtime helpers; inlining
+//! them is how "the compiler blends the code of the application and the
+//! code of Nautilus at a low level, including below the level of individual
+//! functions" (Fig. 1's ④). The pass inlines *leaf* callees (no calls of
+//! their own) under a size threshold:
+//!
+//! - the call's block is split at the call site;
+//! - the callee's blocks are appended with registers and block ids
+//!   remapped;
+//! - parameters become moves from the argument registers;
+//! - every `ret` becomes a move to the call's destination plus a branch to
+//!   the continuation block.
+//!
+//! One call site is transformed per iteration until fixpoint, so chains of
+//! calls to leaves all disappear.
+
+use crate::func::Block;
+use crate::inst::{Inst, Term};
+use crate::passes::{Pass, PassStats};
+use crate::types::{BlockId, FuncId, Reg};
+use crate::Module;
+
+/// The inlining pass.
+#[derive(Debug, Clone)]
+pub struct Inline {
+    /// Largest callee (in instructions) worth inlining.
+    pub max_callee_insts: usize,
+}
+
+impl Default for Inline {
+    fn default() -> Inline {
+        Inline {
+            max_callee_insts: 24,
+        }
+    }
+}
+
+fn is_leaf(m: &Module, f: FuncId) -> bool {
+    m.func(f)
+        .blocks
+        .iter()
+        .all(|b| !b.insts.iter().any(|i| matches!(i, Inst::Call(_, _, _))))
+}
+
+/// Find the first inlinable call site in `f`: `(block, index, callee)`.
+fn find_site(m: &Module, fi: usize, max: usize) -> Option<(usize, usize, FuncId)> {
+    let f = &m.funcs[fi];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if let Inst::Call(_, g, _) = inst {
+                if g.index() != fi && is_leaf(m, *g) && m.func(*g).inst_count() <= max {
+                    return Some((bi, ii, *g));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn remap_reg(r: Reg, offset: u32) -> Reg {
+    Reg(r.0 + offset)
+}
+
+impl Pass for Inline {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn run(&mut self, m: &mut Module) -> PassStats {
+        let mut stats = PassStats::default();
+        for fi in 0..m.funcs.len() {
+            // Fixpoint per function with a generous fuse.
+            for _round in 0..64 {
+                let Some((bi, ii, callee_id)) = find_site(m, fi, self.max_callee_insts) else {
+                    break;
+                };
+                let callee = m.func(callee_id).clone();
+                let f = &mut m.funcs[fi];
+                let reg_off = f.n_regs as u32;
+                let blk_off = f.blocks.len() as u32;
+                f.n_regs += callee.n_regs;
+
+                // Split the calling block.
+                let (dst, args) = match &f.blocks[bi].insts[ii] {
+                    Inst::Call(d, _, a) => (*d, a.clone()),
+                    _ => unreachable!("site located above"),
+                };
+                let tail: Vec<Inst> = f.blocks[bi].insts.split_off(ii + 1);
+                f.blocks[bi].insts.pop(); // drop the call itself
+                let cont_id = BlockId(blk_off); // continuation block first
+                let cont = Block {
+                    insts: tail,
+                    term: f.blocks[bi].term.take(),
+                };
+                f.blocks.push(cont);
+
+                // Append remapped callee blocks after the continuation.
+                let entry_id = BlockId(blk_off + 1);
+                for (cbi, cb) in callee.blocks.iter().enumerate() {
+                    let mut insts: Vec<Inst> = Vec::with_capacity(cb.insts.len() + 2);
+                    // Parameter moves at the entry block.
+                    if cbi == 0 {
+                        for (k, &arg) in args.iter().enumerate() {
+                            insts.push(Inst::Mov(Reg(reg_off + k as u32), arg));
+                        }
+                    }
+                    for inst in &cb.insts {
+                        insts.push(remap_inst(inst, reg_off));
+                    }
+                    let term = match cb.term.as_ref().expect("verified callee") {
+                        Term::Br(t) => Term::Br(BlockId(t.0 + blk_off + 1)),
+                        Term::CondBr(c, t, e) => Term::CondBr(
+                            remap_reg(*c, reg_off),
+                            BlockId(t.0 + blk_off + 1),
+                            BlockId(e.0 + blk_off + 1),
+                        ),
+                        Term::Ret(v) => {
+                            if let (Some(d), Some(v)) = (dst, v) {
+                                insts.push(Inst::Mov(d, remap_reg(*v, reg_off)));
+                            }
+                            Term::Br(cont_id)
+                        }
+                    };
+                    f.blocks.push(Block {
+                        insts,
+                        term: Some(term),
+                    });
+                }
+
+                // The calling block now jumps into the inlined body.
+                f.blocks[bi].term = Some(Term::Br(entry_id));
+                stats.bump("inlined", 1);
+            }
+        }
+        stats
+    }
+}
+
+fn remap_inst(i: &Inst, off: u32) -> Inst {
+    let r = |x: Reg| remap_reg(x, off);
+    match i {
+        Inst::ConstI(d, v) => Inst::ConstI(r(*d), *v),
+        Inst::ConstF(d, v) => Inst::ConstF(r(*d), *v),
+        Inst::Mov(d, s) => Inst::Mov(r(*d), r(*s)),
+        Inst::Bin(d, op, a, b) => Inst::Bin(r(*d), *op, r(*a), r(*b)),
+        Inst::Cmp(d, op, a, b) => Inst::Cmp(r(*d), *op, r(*a), r(*b)),
+        Inst::Select(d, c, a, b) => Inst::Select(r(*d), r(*c), r(*a), r(*b)),
+        Inst::Alloc(d, s) => Inst::Alloc(r(*d), r(*s)),
+        Inst::Free(p) => Inst::Free(r(*p)),
+        Inst::Load(d, a, o) => Inst::Load(r(*d), r(*a), *o),
+        Inst::Store(a, o, v) => Inst::Store(r(*a), *o, r(*v)),
+        Inst::Gep(d, b, i2, s, o) => Inst::Gep(r(*d), r(*b), r(*i2), *s, *o),
+        Inst::Call(d, g, args) => Inst::Call(d.map(r), *g, args.iter().map(|&a| r(a)).collect()),
+        Inst::Intr(d, w, args) => Inst::Intr(d.map(r), *w, args.iter().map(|&a| r(a)).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::interp::{Interp, InterpConfig, NullHooks};
+    use crate::types::Val;
+    use crate::verify::assert_valid;
+    use crate::{BinOp, CmpOp};
+
+    /// helper(x, y) = x*y + 1; caller(a) = helper(a, a+2) - helper(a, 3).
+    fn module_with_helper() -> Module {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("helper", 2);
+        let x = fb.param(0);
+        let y = fb.param(1);
+        let p = fb.bin(BinOp::Mul, x, y);
+        let one = fb.const_i(1);
+        let r = fb.bin(BinOp::Add, p, one);
+        fb.ret(Some(r));
+        let helper = m.add(fb.finish());
+
+        let mut fb = FunctionBuilder::new("caller", 1);
+        let a = fb.param(0);
+        let two = fb.const_i(2);
+        let a2 = fb.bin(BinOp::Add, a, two);
+        let c1 = fb.call(helper, &[a, a2]);
+        let three = fb.const_i(3);
+        let c2 = fb.call(helper, &[a, three]);
+        let d = fb.bin(BinOp::Sub, c1, c2);
+        fb.ret(Some(d));
+        m.add(fb.finish());
+        m
+    }
+
+    fn run(m: &Module, f: &str, args: &[Val]) -> Option<Val> {
+        let id = m.by_name(f).expect("function");
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(m, id, args);
+        it.run_to_completion(m, &mut NullHooks)
+    }
+
+    #[test]
+    fn inlines_both_call_sites_and_preserves_semantics() {
+        let mut m = module_with_helper();
+        let expected = run(&m, "caller", &[Val::I(7)]);
+        let stats = Inline::default().run(&mut m);
+        assert_valid(&m);
+        assert_eq!(stats.get("inlined"), 2);
+        // No calls remain in the caller.
+        let caller = m.func(m.by_name("caller").unwrap());
+        assert_eq!(caller.count_insts(|i| matches!(i, Inst::Call(_, _, _))), 0);
+        assert_eq!(run(&m, "caller", &[Val::I(7)]), expected);
+        // helper(7,9)-helper(7,3) = 64-22 = 42.
+        assert_eq!(expected, Some(Val::I(42)));
+    }
+
+    #[test]
+    fn recursion_is_never_inlined() {
+        let p = crate::programs::fib(10);
+        let mut m = p.module.clone();
+        let stats = Inline::default().run(&mut m);
+        assert_eq!(stats.get("inlined"), 0);
+        assert_eq!(run(&m, "fib", &[Val::I(10)]), Some(Val::I(55)));
+    }
+
+    #[test]
+    fn size_threshold_respected() {
+        let mut m = module_with_helper();
+        let stats = Inline {
+            max_callee_insts: 1, // helper has 3 insts
+        }
+        .run(&mut m);
+        assert_eq!(stats.get("inlined"), 0);
+    }
+
+    #[test]
+    fn branchy_callees_inline_correctly() {
+        // abs(x) with a diamond, called twice.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("abs", 1);
+        let x = fb.param(0);
+        let zero = fb.const_i(0);
+        let c = fb.cmp(CmpOp::Lt, x, zero);
+        let neg = fb.new_block();
+        let pos = fb.new_block();
+        fb.cond_br(c, neg, pos);
+        fb.switch_to(neg);
+        let nx = fb.bin(BinOp::Sub, zero, x);
+        fb.ret(Some(nx));
+        fb.switch_to(pos);
+        fb.ret(Some(x));
+        let abs = m.add(fb.finish());
+
+        let mut fb = FunctionBuilder::new("caller", 2);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let aa = fb.call(abs, &[a]);
+        let ab = fb.call(abs, &[b]);
+        let s = fb.bin(BinOp::Add, aa, ab);
+        fb.ret(Some(s));
+        m.add(fb.finish());
+
+        let expected = run(&m, "caller", &[Val::I(-5), Val::I(9)]);
+        let stats = Inline::default().run(&mut m);
+        assert_valid(&m);
+        assert_eq!(stats.get("inlined"), 2);
+        assert_eq!(run(&m, "caller", &[Val::I(-5), Val::I(9)]), expected);
+        assert_eq!(expected, Some(Val::I(14)));
+    }
+
+    #[test]
+    fn inlining_composes_with_the_whole_suite() {
+        for p in crate::programs::suite(1) {
+            let expected = {
+                let mut it = Interp::new(InterpConfig::default());
+                it.start(&p.module, p.entry, &p.args);
+                it.run_to_completion(&p.module, &mut NullHooks)
+            };
+            let mut m = p.module.clone();
+            Inline::default().run(&mut m);
+            assert_valid(&m);
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&m, p.entry, &p.args);
+            let got = it.run_to_completion(&m, &mut NullHooks);
+            assert_eq!(got, expected, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn void_callees_and_ignored_returns_work() {
+        // side(x): store x into a global-ish buffer passed by pointer.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("side", 2);
+        let ptr = fb.param(0);
+        let v = fb.param(1);
+        fb.store(ptr, 0, v);
+        fb.ret(None);
+        let side = m.add(fb.finish());
+
+        let mut fb = FunctionBuilder::new("caller", 0);
+        let sz = fb.const_i(8);
+        let buf = fb.alloc(sz);
+        let seven = fb.const_i(7);
+        fb.call_void(side, &[buf, seven]);
+        let back = fb.load(buf, 0);
+        fb.ret(Some(back));
+        m.add(fb.finish());
+
+        Inline::default().run(&mut m);
+        assert_valid(&m);
+        assert_eq!(run(&m, "caller", &[]), Some(Val::I(7)));
+    }
+}

@@ -1,0 +1,1144 @@
+//! The IR interpreter: cycle-accounted execution with runtime hooks.
+//!
+//! The interpreter plays the role of "the machine running compiled code" for
+//! every compiler-involved experiment:
+//!
+//! - Each instruction has a cycle cost ([`InterpConfig`]); totals feed the
+//!   overhead measurements (CARAT's <6 %, timing-check overhead, etc.).
+//! - [`RuntimeHooks`] supplies the behaviour of interweaving intrinsics
+//!   (guards, time checks, polls) *and* a per-access policy hook used by the
+//!   paging/TLB model, so the same program can run under different stacks.
+//! - Execution is *fuel-bounded*: [`Interp::run`] returns after a given
+//!   cycle budget so kernels can schedule interpreted threads preemptively,
+//!   and time checks can yield mid-program (the fiber experiments).
+//! - Memory is a flat physical address space with an allocator that tracks
+//!   *pointer provenance* per word and per register. Provenance is the
+//!   ground truth CARAT's tracking runtime is validated against, and it is
+//!   what makes defragmentation (§IV-A's "memory can be managed at
+//!   arbitrary granularity") exact: when an allocation moves, every live
+//!   pointer to it — in memory or in registers — is found and patched.
+
+use crate::inst::{BinOp, CmpOp, Inst, Intrinsic, Term};
+use crate::module::Module;
+use crate::types::{BlockId, FuncId, Reg, Val};
+use std::collections::BTreeMap;
+
+/// Identifier of a live allocation (provenance tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AllocId(pub u64);
+
+/// Per-instruction cycle costs and interpreter limits.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Cost of arithmetic/compare/select/mov/const.
+    pub cost_arith: u64,
+    /// Cost of a load (cache-hit assumption; translation extras come from
+    /// hooks).
+    pub cost_load: u64,
+    /// Cost of a store.
+    pub cost_store: u64,
+    /// Cost of pointer arithmetic (`gep`).
+    pub cost_gep: u64,
+    /// Allocator fast-path cost.
+    pub cost_alloc: u64,
+    /// Free fast-path cost.
+    pub cost_free: u64,
+    /// Call (frame setup) cost.
+    pub cost_call: u64,
+    /// Return cost.
+    pub cost_ret: u64,
+    /// Branch cost.
+    pub cost_branch: u64,
+    /// Maximum call depth before a stack-overflow trap.
+    pub max_depth: usize,
+    /// Heap base address (allocations start here; 0 stays null).
+    pub heap_base: u64,
+    /// Heap size in bytes.
+    pub heap_size: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> InterpConfig {
+        InterpConfig {
+            cost_arith: 1,
+            cost_load: 3,
+            cost_store: 3,
+            cost_gep: 1,
+            cost_alloc: 30,
+            cost_free: 15,
+            cost_call: 5,
+            cost_ret: 3,
+            cost_branch: 1,
+            max_depth: 4096,
+            heap_base: 0x10_000,
+            heap_size: 1 << 30,
+        }
+    }
+}
+
+/// An execution fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// Access to an address outside every live allocation.
+    BadAccess {
+        /// Faulting address.
+        addr: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// A guard or policy hook denied the access (CARAT protection fault).
+    ProtectionFault {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Allocator exhausted.
+    OutOfMemory,
+    /// Call depth exceeded `max_depth`.
+    StackOverflow,
+    /// Free of an address that is not a live allocation base.
+    BadFree {
+        /// The bogus address.
+        addr: u64,
+    },
+    /// A hook aborted execution with a message.
+    Aborted(String),
+}
+
+/// One memory word: a value plus the provenance of the pointer it may hold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MemCell {
+    val: Val,
+    prov: Option<AllocId>,
+}
+
+/// Metadata for one live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Provenance id.
+    pub id: AllocId,
+    /// Base address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// Flat physical memory with an allocator and provenance tracking.
+///
+/// Addresses are bytes; loads and stores move 8-byte words (the IR's only
+/// access width). The allocator is first-fit over a free list with a bump
+/// fallback — deliberately fragmentation-prone, because CARAT's
+/// defragmentation experiment needs fragmentation to repair.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: BTreeMap<u64, MemCell>,
+    /// Live allocations keyed by base address.
+    allocs: BTreeMap<u64, Allocation>,
+    /// Free blocks keyed by base address → size.
+    free: BTreeMap<u64, u64>,
+    bump: u64,
+    limit: u64,
+    next_id: u64,
+    /// Total bytes currently allocated.
+    pub live_bytes: u64,
+}
+
+impl Memory {
+    /// Fresh memory per the config's heap geometry.
+    pub fn new(cfg: &InterpConfig) -> Memory {
+        Memory {
+            words: BTreeMap::new(),
+            allocs: BTreeMap::new(),
+            free: BTreeMap::new(),
+            bump: cfg.heap_base,
+            limit: cfg.heap_base + cfg.heap_size,
+            next_id: 1,
+            live_bytes: 0,
+        }
+    }
+
+    /// Allocate `size` bytes (rounded up to 8); returns the allocation.
+    pub fn alloc(&mut self, size: u64) -> Result<Allocation, Trap> {
+        let size = size.max(8).div_ceil(8) * 8;
+        // First-fit in the free list.
+        let slot = self
+            .free
+            .iter()
+            .find(|(_, &sz)| sz >= size)
+            .map(|(&b, &sz)| (b, sz));
+        let base = if let Some((b, sz)) = slot {
+            self.free.remove(&b);
+            if sz > size {
+                self.free.insert(b + size, sz - size);
+            }
+            b
+        } else {
+            let b = self.bump;
+            if b + size > self.limit {
+                return Err(Trap::OutOfMemory);
+            }
+            self.bump += size;
+            b
+        };
+        let a = Allocation {
+            id: AllocId(self.next_id),
+            base,
+            size,
+        };
+        self.next_id += 1;
+        self.allocs.insert(base, a);
+        self.live_bytes += size;
+        Ok(a)
+    }
+
+    /// Free the allocation based at `addr`.
+    pub fn free(&mut self, addr: u64) -> Result<Allocation, Trap> {
+        let a = self.allocs.remove(&addr).ok_or(Trap::BadFree { addr })?;
+        // Clear its words and return the range to the free list.
+        let keys: Vec<u64> = self
+            .words
+            .range(a.base..a.base + a.size)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            self.words.remove(&k);
+        }
+        self.free.insert(a.base, a.size);
+        self.coalesce_around(a.base);
+        self.live_bytes -= a.size;
+        Ok(a)
+    }
+
+    fn coalesce_around(&mut self, base: u64) {
+        // Merge with the next block if adjacent.
+        if let Some(&size) = self.free.get(&base) {
+            if let Some((&nb, &nsz)) = self.free.range(base + size..).next() {
+                if nb == base + size {
+                    self.free.remove(&nb);
+                    *self.free.get_mut(&base).expect("present") = size + nsz;
+                }
+            }
+        }
+        // Merge with the previous block if adjacent.
+        if let Some((&pb, &psz)) = self.free.range(..base).next_back() {
+            if pb + psz == base {
+                let size = self.free.remove(&base).expect("present");
+                *self.free.get_mut(&pb).expect("present") = psz + size;
+            }
+        }
+    }
+
+    /// The allocation containing `addr`, if any.
+    pub fn containing(&self, addr: u64) -> Option<Allocation> {
+        self.allocs
+            .range(..=addr)
+            .next_back()
+            .map(|(_, &a)| a)
+            .filter(|a| addr < a.base + a.size)
+    }
+
+    /// Load the word at `addr` (must lie in a live allocation; reads of
+    /// never-written words are zero, like fresh pages).
+    pub fn load(&self, addr: u64) -> Result<(Val, Option<AllocId>), Trap> {
+        if self.containing(addr).is_none() {
+            return Err(Trap::BadAccess { addr, write: false });
+        }
+        Ok(self
+            .words
+            .get(&addr)
+            .map(|c| (c.val, c.prov))
+            .unwrap_or((Val::I(0), None)))
+    }
+
+    /// Store a word (with provenance) at `addr`.
+    pub fn store(&mut self, addr: u64, val: Val, prov: Option<AllocId>) -> Result<(), Trap> {
+        if self.containing(addr).is_none() {
+            return Err(Trap::BadAccess { addr, write: true });
+        }
+        self.words.insert(addr, MemCell { val, prov });
+        Ok(())
+    }
+
+    /// All live allocations in address order.
+    pub fn allocations(&self) -> Vec<Allocation> {
+        self.allocs.values().copied().collect()
+    }
+
+    /// Number of live allocations.
+    pub fn n_allocs(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Free-list fragmentation: number of free holes below the bump pointer.
+    pub fn free_holes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The free list as `(base, size)` pairs in address order (used by
+    /// CARAT's compaction to plan downward moves).
+    pub fn free_blocks(&self) -> Vec<(u64, u64)> {
+        self.free.iter().map(|(&b, &s)| (b, s)).collect()
+    }
+
+    /// Move the allocation with id `id` to a freshly allocated region,
+    /// patching every memory word whose provenance is `id` so stored
+    /// pointers stay valid. Returns `(old_base, new_base)`.
+    ///
+    /// This is the memory-mobility half of CARAT (§IV-A): data movement
+    /// "operates similarly to a garbage collector". Register patching is the
+    /// interpreter's job (the runtime cannot see registers) — see
+    /// [`Interp::patch_provenance`].
+    pub fn move_allocation(&mut self, id: AllocId) -> Result<(u64, u64), Trap> {
+        let old = *self
+            .allocs
+            .values()
+            .find(|a| a.id == id)
+            .ok_or(Trap::Aborted(format!("move of dead allocation {id:?}")))?;
+        // Allocate the new home first (may trap OOM).
+        let size = old.size;
+        let new = self.alloc(size)?;
+        // Preserve identity: the moved allocation keeps its provenance id.
+        let new_base = new.base;
+        self.allocs.get_mut(&new_base).expect("just inserted").id = id;
+        // Copy words.
+        let old_words: Vec<(u64, MemCell)> = self
+            .words
+            .range(old.base..old.base + old.size)
+            .map(|(&k, &c)| (k, c))
+            .collect();
+        for (k, c) in &old_words {
+            self.words.insert(new_base + (k - old.base), *c);
+        }
+        // Release the old region (also clears old words).
+        self.allocs.insert(old.base, old); // reinstate so free() finds it
+        self.free(old.base)?;
+        // Patch every stored pointer into the moved allocation.
+        let patches: Vec<(u64, i64, Option<AllocId>)> = self
+            .words
+            .iter()
+            .filter(|(_, c)| c.prov == Some(id))
+            .map(|(&k, c)| (k, c.val.as_i(), c.prov))
+            .collect();
+        for (k, v, prov) in patches {
+            let off = (v as u64).wrapping_sub(old.base);
+            self.words.insert(
+                k,
+                MemCell {
+                    val: Val::I((new_base + off) as i64),
+                    prov,
+                },
+            );
+        }
+        Ok((old.base, new_base))
+    }
+}
+
+/// One call frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    func: FuncId,
+    block: BlockId,
+    ip: usize,
+    /// Register file.
+    pub regs: Vec<Val>,
+    /// Pointer provenance of each register.
+    pub prov: Vec<Option<AllocId>>,
+    /// Register to receive the callee's return value.
+    ret_to: Option<Reg>,
+}
+
+/// Result of an intrinsic hook.
+#[derive(Debug, Clone)]
+pub enum HookAction {
+    /// Continue, charging `cycles` and writing `value` to the destination.
+    Continue {
+        /// Value produced (if the intrinsic has a destination).
+        value: Option<Val>,
+        /// Cycles charged for the intrinsic's work.
+        cycles: u64,
+    },
+    /// Charge `cycles`, then pause execution (status [`ExecStatus::Yielded`]).
+    Yield {
+        /// Cycles charged before yielding.
+        cycles: u64,
+    },
+    /// Abort with a trap.
+    Trap(Trap),
+}
+
+/// Environment supplied by the stack the program runs on.
+pub trait RuntimeHooks {
+    /// Handle an interweaving intrinsic. `mem` is the program's memory;
+    /// `now` is the cycles consumed so far in this interpreter.
+    fn intrinsic(
+        &mut self,
+        which: Intrinsic,
+        args: &[Val],
+        mem: &mut Memory,
+        now: u64,
+    ) -> HookAction;
+
+    /// Per-access policy (translation cost, protection). Returns extra
+    /// cycles to charge. The default is a no-op (identity-mapped Nautilus:
+    /// "TLB misses are extremely rare ... there are no page faults").
+    fn check_access(&mut self, _addr: u64, _write: bool, _now: u64) -> Result<u64, Trap> {
+        Ok(0)
+    }
+
+    /// Observe an allocation (CARAT cross-checks its tracking table).
+    fn on_alloc(&mut self, _a: Allocation) {}
+
+    /// Observe a free.
+    fn on_free(&mut self, _a: Allocation) {}
+}
+
+/// Hooks for a plain run: no intrinsic behaviour, no access policy.
+#[derive(Debug, Clone, Default)]
+pub struct NullHooks;
+
+impl RuntimeHooks for NullHooks {
+    fn intrinsic(
+        &mut self,
+        which: Intrinsic,
+        _args: &[Val],
+        _mem: &mut Memory,
+        _now: u64,
+    ) -> HookAction {
+        match which {
+            // With no runtime attached, reading the timer returns the cycle
+            // count so far — good enough for organic programs.
+            Intrinsic::ReadTimer => HookAction::Continue {
+                value: Some(Val::I(0)),
+                cycles: 1,
+            },
+            _ => HookAction::Continue {
+                value: Some(Val::I(0)),
+                cycles: 0,
+            },
+        }
+    }
+}
+
+/// Why [`Interp::run`] returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecStatus {
+    /// The outermost function returned (with its value, if any).
+    Done(Option<Val>),
+    /// The cycle budget was exhausted mid-program.
+    OutOfFuel,
+    /// A hook requested a yield (fiber switch, heartbeat promotion point).
+    Yielded,
+    /// Execution trapped.
+    Trapped(Trap),
+}
+
+/// Cumulative execution statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Total cycles consumed (instruction costs + hook charges).
+    pub cycles: u64,
+    /// Instructions executed (terminators included).
+    pub insts: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Intrinsics executed, by injected/organic split.
+    pub injected_intrinsics: u64,
+    /// Cycles charged by hooks for injected intrinsics — the numerator of
+    /// every "instrumentation overhead" measurement.
+    pub injected_cycles: u64,
+    /// Values emitted through the `Trace` intrinsic (testing).
+    pub trace: Vec<i64>,
+}
+
+/// The interpreter: a module, a memory, a frame stack, and statistics.
+pub struct Interp {
+    cfg: InterpConfig,
+    /// Program memory (public so runtimes can inspect/move allocations).
+    pub mem: Memory,
+    frames: Vec<Frame>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+    done_value: Option<Val>,
+}
+
+impl Interp {
+    /// New interpreter. The module is passed to [`Interp::start`] and
+    /// [`Interp::run`] rather than borrowed, so long-lived owners (PIK
+    /// processes, virtines, fibers) can hold interpreter state without
+    /// self-referential lifetimes. Passing a *different* module between
+    /// calls is a logic error; debug builds catch gross mismatches through
+    /// out-of-range panics.
+    pub fn new(cfg: InterpConfig) -> Interp {
+        let mem = Memory::new(&cfg);
+        Interp {
+            cfg,
+            mem,
+            frames: Vec::new(),
+            stats: ExecStats::default(),
+            done_value: None,
+        }
+    }
+
+    /// Begin a call to `f` with integer/float arguments. Replaces any
+    /// existing call stack.
+    pub fn start(&mut self, module: &Module, f: FuncId, args: &[Val]) {
+        let func = module.func(f);
+        assert_eq!(
+            args.len(),
+            func.n_params,
+            "{} expects {} args",
+            func.name,
+            func.n_params
+        );
+        let mut regs = vec![Val::I(0); func.n_regs];
+        let prov = vec![None; func.n_regs];
+        regs[..args.len()].copy_from_slice(args);
+        self.frames = vec![Frame {
+            func: f,
+            block: BlockId(0),
+            ip: 0,
+            regs,
+            prov,
+            ret_to: None,
+        }];
+        self.done_value = None;
+    }
+
+    /// True when the program has finished or trapped (nothing to resume).
+    pub fn finished(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Swap this interpreter's memory for another, returning the previous
+    /// one. This is how a *shared single address space* is modelled (the
+    /// PIK kernel, §IV-A): the kernel owns one [`Memory`] and lends it to
+    /// whichever process runs its slice; allocator state and contents
+    /// travel with it, so every process's allocations coexist in the same
+    /// physical space.
+    pub fn swap_memory(&mut self, mem: Memory) -> Memory {
+        std::mem::replace(&mut self.mem, mem)
+    }
+
+    /// The value returned by the outermost call once finished.
+    pub fn result(&self) -> Option<Val> {
+        self.done_value
+    }
+
+    /// Patch every register (in every live frame) whose provenance is `id`,
+    /// relocating it from `old_base` to `new_base`. Pairs with
+    /// [`Memory::move_allocation`] to complete a defragmentation step.
+    pub fn patch_provenance(&mut self, id: AllocId, old_base: u64, new_base: u64) -> usize {
+        let mut patched = 0;
+        for fr in &mut self.frames {
+            for (r, p) in fr.regs.iter_mut().zip(fr.prov.iter()) {
+                if *p == Some(id) {
+                    let off = (r.as_i() as u64).wrapping_sub(old_base);
+                    *r = Val::I((new_base + off) as i64);
+                    patched += 1;
+                }
+            }
+        }
+        patched
+    }
+
+    /// Run until completion, yield, trap, or `fuel` cycles are consumed.
+    /// Resumable: calling `run` again continues where the last call left
+    /// off (after a yield or out-of-fuel return).
+    pub fn run(&mut self, module: &Module, hooks: &mut dyn RuntimeHooks, fuel: u64) -> ExecStatus {
+        let start_cycles = self.stats.cycles;
+        loop {
+            if self.frames.is_empty() {
+                return ExecStatus::Done(self.done_value);
+            }
+            if self.stats.cycles - start_cycles >= fuel {
+                return ExecStatus::OutOfFuel;
+            }
+            match self.step(module, hooks) {
+                StepOut::Continue => {}
+                StepOut::Yield => return ExecStatus::Yielded,
+                StepOut::Trap(t) => return ExecStatus::Trapped(t),
+            }
+        }
+    }
+
+    /// Run to completion with a generous default budget; panics on traps.
+    /// Convenience for tests and single-shot program execution.
+    pub fn run_to_completion(
+        &mut self,
+        module: &Module,
+        hooks: &mut dyn RuntimeHooks,
+    ) -> Option<Val> {
+        loop {
+            match self.run(module, hooks, u64::MAX / 4) {
+                ExecStatus::Done(v) => return v,
+                ExecStatus::Yielded => continue,
+                ExecStatus::OutOfFuel => continue,
+                ExecStatus::Trapped(t) => panic!("program trapped: {t:?}"),
+            }
+        }
+    }
+
+    fn charge(&mut self, c: u64) {
+        self.stats.cycles += c;
+    }
+
+    fn step(&mut self, module: &Module, hooks: &mut dyn RuntimeHooks) -> StepOut {
+        let fi = self.frames.len() - 1;
+        let (func_id, block, ip) = {
+            let fr = &self.frames[fi];
+            (fr.func, fr.block, fr.ip)
+        };
+        let func = module.func(func_id);
+        let blk = &func.blocks[block.index()];
+
+        if ip >= blk.insts.len() {
+            // Execute the terminator.
+            self.stats.insts += 1;
+            let term = blk.term.clone().expect("verified IR");
+            match term {
+                Term::Br(t) => {
+                    self.charge(self.cfg.cost_branch);
+                    let fr = &mut self.frames[fi];
+                    fr.block = t;
+                    fr.ip = 0;
+                }
+                Term::CondBr(c, t, e) => {
+                    self.charge(self.cfg.cost_branch);
+                    let taken = self.frames[fi].regs[c.0 as usize].is_true();
+                    let fr = &mut self.frames[fi];
+                    fr.block = if taken { t } else { e };
+                    fr.ip = 0;
+                }
+                Term::Ret(v) => {
+                    self.charge(self.cfg.cost_ret);
+                    let (val, prov) = match v {
+                        Some(r) => {
+                            let fr = &self.frames[fi];
+                            (Some(fr.regs[r.0 as usize]), fr.prov[r.0 as usize])
+                        }
+                        None => (None, None),
+                    };
+                    let ret_to = self.frames[fi].ret_to;
+                    self.frames.pop();
+                    match self.frames.last_mut() {
+                        Some(caller) => {
+                            if let Some(dst) = ret_to {
+                                caller.regs[dst.0 as usize] = val.unwrap_or(Val::I(0));
+                                caller.prov[dst.0 as usize] = prov;
+                            }
+                        }
+                        None => self.done_value = val,
+                    }
+                }
+            }
+            return StepOut::Continue;
+        }
+
+        let inst = blk.insts[ip].clone();
+        self.frames[fi].ip += 1;
+        self.stats.insts += 1;
+
+        macro_rules! reg {
+            ($r:expr) => {
+                self.frames[fi].regs[$r.0 as usize]
+            };
+        }
+        macro_rules! prov {
+            ($r:expr) => {
+                self.frames[fi].prov[$r.0 as usize]
+            };
+        }
+        macro_rules! set {
+            ($d:expr, $v:expr, $p:expr) => {{
+                self.frames[fi].regs[$d.0 as usize] = $v;
+                self.frames[fi].prov[$d.0 as usize] = $p;
+            }};
+        }
+
+        match inst {
+            Inst::ConstI(d, v) => {
+                self.charge(self.cfg.cost_arith);
+                set!(d, Val::I(v), None);
+            }
+            Inst::ConstF(d, v) => {
+                self.charge(self.cfg.cost_arith);
+                set!(d, Val::F(v), None);
+            }
+            Inst::Mov(d, s) => {
+                self.charge(self.cfg.cost_arith);
+                let (v, p) = (reg!(s), prov!(s));
+                set!(d, v, p);
+            }
+            Inst::Bin(d, op, a, b) => {
+                self.charge(self.cfg.cost_arith);
+                let (va, vb) = (reg!(a), reg!(b));
+                let val = match op {
+                    BinOp::Add => Val::I(va.as_i().wrapping_add(vb.as_i())),
+                    BinOp::Sub => Val::I(va.as_i().wrapping_sub(vb.as_i())),
+                    BinOp::Mul => Val::I(va.as_i().wrapping_mul(vb.as_i())),
+                    BinOp::Div => {
+                        if vb.as_i() == 0 {
+                            return StepOut::Trap(Trap::DivByZero);
+                        }
+                        Val::I(va.as_i().wrapping_div(vb.as_i()))
+                    }
+                    BinOp::Rem => {
+                        if vb.as_i() == 0 {
+                            return StepOut::Trap(Trap::DivByZero);
+                        }
+                        Val::I(va.as_i().wrapping_rem(vb.as_i()))
+                    }
+                    BinOp::And => Val::I(va.as_i() & vb.as_i()),
+                    BinOp::Or => Val::I(va.as_i() | vb.as_i()),
+                    BinOp::Xor => Val::I(va.as_i() ^ vb.as_i()),
+                    BinOp::Shl => Val::I(va.as_i().wrapping_shl(vb.as_i() as u32)),
+                    BinOp::Shr => Val::I(va.as_i().wrapping_shr(vb.as_i() as u32)),
+                    BinOp::FAdd => Val::F(va.as_f() + vb.as_f()),
+                    BinOp::FSub => Val::F(va.as_f() - vb.as_f()),
+                    BinOp::FMul => Val::F(va.as_f() * vb.as_f()),
+                    BinOp::FDiv => Val::F(va.as_f() / vb.as_f()),
+                };
+                // Pointer arithmetic through Add/Sub keeps provenance when
+                // exactly one operand is a pointer.
+                let p = match op {
+                    BinOp::Add | BinOp::Sub => match (prov!(a), prov!(b)) {
+                        (Some(p), None) => Some(p),
+                        (None, Some(p)) => Some(p),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                set!(d, val, p);
+            }
+            Inst::Cmp(d, op, a, b) => {
+                self.charge(self.cfg.cost_arith);
+                let (va, vb) = (reg!(a), reg!(b));
+                let r = match (va, vb) {
+                    (Val::F(x), _) | (_, Val::F(x)) => {
+                        let _ = x;
+                        let (x, y) = (va.as_f(), vb.as_f());
+                        match op {
+                            CmpOp::Eq => x == y,
+                            CmpOp::Ne => x != y,
+                            CmpOp::Lt => x < y,
+                            CmpOp::Le => x <= y,
+                            CmpOp::Gt => x > y,
+                            CmpOp::Ge => x >= y,
+                        }
+                    }
+                    (Val::I(x), Val::I(y)) => match op {
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                    },
+                };
+                set!(d, Val::I(r as i64), None);
+            }
+            Inst::Select(d, c, a, b) => {
+                self.charge(self.cfg.cost_arith);
+                let (v, p) = if reg!(c).is_true() {
+                    (reg!(a), prov!(a))
+                } else {
+                    (reg!(b), prov!(b))
+                };
+                set!(d, v, p);
+            }
+            Inst::Alloc(d, s) => {
+                self.charge(self.cfg.cost_alloc);
+                let size = reg!(s).as_i().max(0) as u64;
+                match self.mem.alloc(size) {
+                    Ok(a) => {
+                        hooks.on_alloc(a);
+                        set!(d, Val::I(a.base as i64), Some(a.id));
+                    }
+                    Err(t) => return StepOut::Trap(t),
+                }
+            }
+            Inst::Free(p) => {
+                self.charge(self.cfg.cost_free);
+                let addr = reg!(p).as_ptr();
+                match self.mem.free(addr) {
+                    Ok(a) => hooks.on_free(a),
+                    Err(t) => return StepOut::Trap(t),
+                }
+            }
+            Inst::Load(d, a, off) => {
+                self.charge(self.cfg.cost_load);
+                self.stats.loads += 1;
+                let addr = (reg!(a).as_i() + off) as u64;
+                match hooks.check_access(addr, false, self.stats.cycles) {
+                    Ok(extra) => self.charge(extra),
+                    Err(t) => return StepOut::Trap(t),
+                }
+                match self.mem.load(addr) {
+                    Ok((v, p)) => set!(d, v, p),
+                    Err(t) => return StepOut::Trap(t),
+                }
+            }
+            Inst::Store(a, off, v) => {
+                self.charge(self.cfg.cost_store);
+                self.stats.stores += 1;
+                let addr = (reg!(a).as_i() + off) as u64;
+                match hooks.check_access(addr, true, self.stats.cycles) {
+                    Ok(extra) => self.charge(extra),
+                    Err(t) => return StepOut::Trap(t),
+                }
+                let (val, p) = (reg!(v), prov!(v));
+                if let Err(t) = self.mem.store(addr, val, p) {
+                    return StepOut::Trap(t);
+                }
+            }
+            Inst::Gep(d, b, i, scale, off) => {
+                self.charge(self.cfg.cost_gep);
+                let base = reg!(b).as_i();
+                let idx = reg!(i).as_i();
+                let addr = base.wrapping_add(idx.wrapping_mul(scale)).wrapping_add(off);
+                let p = prov!(b);
+                set!(d, Val::I(addr), p);
+            }
+            Inst::Call(dst, g, args) => {
+                self.charge(self.cfg.cost_call);
+                if self.frames.len() >= self.cfg.max_depth {
+                    return StepOut::Trap(Trap::StackOverflow);
+                }
+                let callee = module.func(g);
+                debug_assert_eq!(
+                    args.len(),
+                    callee.n_params,
+                    "arity mismatch calling {}",
+                    callee.name
+                );
+                let mut regs = vec![Val::I(0); callee.n_regs];
+                let mut prov = vec![None; callee.n_regs];
+                for (i, &r) in args.iter().enumerate() {
+                    regs[i] = self.frames[fi].regs[r.0 as usize];
+                    prov[i] = self.frames[fi].prov[r.0 as usize];
+                }
+                self.frames.push(Frame {
+                    func: g,
+                    block: BlockId(0),
+                    ip: 0,
+                    regs,
+                    prov,
+                    ret_to: dst,
+                });
+            }
+            Inst::Intr(dst, which, args) => {
+                let argv: Vec<Val> = args
+                    .iter()
+                    .map(|&r| self.frames[fi].regs[r.0 as usize])
+                    .collect();
+                if which.is_injected() {
+                    self.stats.injected_intrinsics += 1;
+                }
+                let action = hooks.intrinsic(which, &argv, &mut self.mem, self.stats.cycles);
+                if which == Intrinsic::Trace {
+                    if let Some(v) = argv.first() {
+                        self.stats.trace.push(v.as_i());
+                    }
+                }
+                match action {
+                    HookAction::Continue { value, cycles } => {
+                        self.charge(cycles);
+                        if which.is_injected() {
+                            self.stats.injected_cycles += cycles;
+                        }
+                        if let Some(d) = dst {
+                            set!(d, value.unwrap_or(Val::I(0)), None);
+                        }
+                    }
+                    HookAction::Yield { cycles } => {
+                        self.charge(cycles);
+                        if which.is_injected() {
+                            self.stats.injected_cycles += cycles;
+                        }
+                        if let Some(d) = dst {
+                            set!(d, Val::I(0), None);
+                        }
+                        return StepOut::Yield;
+                    }
+                    HookAction::Trap(t) => return StepOut::Trap(t),
+                }
+            }
+        }
+        StepOut::Continue
+    }
+}
+
+enum StepOut {
+    Continue,
+    Yield,
+    Trap(Trap),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::inst::{BinOp, CmpOp, Intrinsic};
+
+    fn run_main(m: &Module, args: &[Val]) -> (Option<Val>, ExecStats) {
+        let main = m.by_name("main").expect("main");
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(m, main, args);
+        let v = it.run_to_completion(m, &mut NullHooks);
+        (v, it.stats.clone())
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        // main(x) = x * 2 + 3
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("main", 1);
+        let x = fb.param(0);
+        let two = fb.const_i(2);
+        let three = fb.const_i(3);
+        let t = fb.bin(BinOp::Mul, x, two);
+        let r = fb.bin(BinOp::Add, t, three);
+        fb.ret(Some(r));
+        m.add(fb.finish());
+        let (v, stats) = run_main(&m, &[Val::I(10)]);
+        assert_eq!(v, Some(Val::I(23)));
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn loop_sums_array() {
+        // main(n): a = alloc(8n); a[i] = i; return sum(a[i])
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("main", 1);
+        let n = fb.param(0);
+        let eight = fb.const_i(8);
+        let bytes = fb.bin(BinOp::Mul, n, eight);
+        let a = fb.alloc(bytes);
+        let zero = fb.const_i(0);
+        let i = fb.mov(zero);
+        let sum = fb.mov(zero);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let head2 = fb.new_block();
+        let body2 = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(head);
+        // fill loop
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::Lt, i, n);
+        fb.cond_br(c, body, head2);
+        fb.switch_to(body);
+        let p = fb.gep(a, i, 8, 0);
+        fb.store(p, 0, i);
+        let one = fb.const_i(1);
+        fb.bin_to(i, BinOp::Add, i, one);
+        fb.br(head);
+        // sum loop
+        fb.switch_to(head2);
+        fb.mov_to(i, zero);
+        fb.br(body2);
+        fb.switch_to(body2);
+        let c2 = fb.cmp(CmpOp::Lt, i, n);
+        let cont = fb.new_block();
+        fb.cond_br(c2, cont, exit);
+        fb.switch_to(cont);
+        let p2 = fb.gep(a, i, 8, 0);
+        let v = fb.load(p2, 0);
+        fb.bin_to(sum, BinOp::Add, sum, v);
+        let one2 = fb.const_i(1);
+        fb.bin_to(i, BinOp::Add, i, one2);
+        fb.br(body2);
+        fb.switch_to(exit);
+        fb.free(a);
+        fb.ret(Some(sum));
+        m.add(fb.finish());
+
+        let (v, stats) = run_main(&m, &[Val::I(10)]);
+        assert_eq!(v, Some(Val::I(45)));
+        assert_eq!(stats.loads, 10);
+        assert_eq!(stats.stores, 10);
+    }
+
+    #[test]
+    fn recursive_fib() {
+        // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)  — Fig. 5's kernel.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("fib", 1);
+        let n = fb.param(0);
+        let two = fb.const_i(2);
+        let c = fb.cmp(CmpOp::Lt, n, two);
+        let base = fb.new_block();
+        let rec = fb.new_block();
+        fb.cond_br(c, base, rec);
+        fb.switch_to(base);
+        fb.ret(Some(n));
+        fb.switch_to(rec);
+        let one = fb.const_i(1);
+        let n1 = fb.bin(BinOp::Sub, n, one);
+        let n2 = fb.bin(BinOp::Sub, n, two);
+        let fid = FuncId(0);
+        let a = fb.call(fid, &[n1]);
+        let b = fb.call(fid, &[n2]);
+        let s = fb.bin(BinOp::Add, a, b);
+        fb.ret(Some(s));
+        m.add(fb.finish());
+
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[Val::I(15)]);
+        let v = it.run_to_completion(&m, &mut NullHooks);
+        assert_eq!(v, Some(Val::I(610)));
+    }
+
+    #[test]
+    fn fuel_bounds_execution() {
+        // Infinite loop must return OutOfFuel, and remain resumable.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("main", 0);
+        let head = fb.new_block();
+        fb.br(head);
+        fb.switch_to(head);
+        fb.br(head);
+        m.add(fb.finish());
+
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[]);
+        assert_eq!(it.run(&m, &mut NullHooks, 1000), ExecStatus::OutOfFuel);
+        let c1 = it.stats.cycles;
+        assert_eq!(it.run(&m, &mut NullHooks, 1000), ExecStatus::OutOfFuel);
+        assert!(it.stats.cycles >= c1 + 1000);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("main", 1);
+        let x = fb.param(0);
+        let z = fb.const_i(0);
+        let r = fb.bin(BinOp::Div, x, z);
+        fb.ret(Some(r));
+        m.add(fb.finish());
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[Val::I(5)]);
+        assert_eq!(
+            it.run(&m, &mut NullHooks, u64::MAX / 4),
+            ExecStatus::Trapped(Trap::DivByZero)
+        );
+    }
+
+    #[test]
+    fn wild_access_traps() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("main", 0);
+        let bogus = fb.const_i(0xdead_beef);
+        let _ = fb.load(bogus, 0);
+        fb.ret(None);
+        m.add(fb.finish());
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[]);
+        match it.run(&m, &mut NullHooks, u64::MAX / 4) {
+            ExecStatus::Trapped(Trap::BadAccess { addr, write: false }) => {
+                assert_eq!(addr, 0xdead_beef)
+            }
+            other => panic!("expected BadAccess, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stack_overflow_traps() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("main", 0);
+        fb.call_void(FuncId(0), &[]);
+        fb.ret(None);
+        m.add(fb.finish());
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[]);
+        assert_eq!(
+            it.run(&m, &mut NullHooks, u64::MAX / 4),
+            ExecStatus::Trapped(Trap::StackOverflow)
+        );
+    }
+
+    #[test]
+    fn trace_intrinsic_records() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("main", 0);
+        let v = fb.const_i(7);
+        fb.intr_void(Intrinsic::Trace, &[v]);
+        fb.ret(None);
+        m.add(fb.finish());
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[]);
+        it.run_to_completion(&m, &mut NullHooks);
+        assert_eq!(it.stats.trace, vec![7]);
+    }
+
+    #[test]
+    fn allocator_reuses_freed_blocks_and_coalesces() {
+        let cfg = InterpConfig::default();
+        let mut mem = Memory::new(&cfg);
+        let a = mem.alloc(64).unwrap();
+        let b = mem.alloc(64).unwrap();
+        let c = mem.alloc(64).unwrap();
+        assert_eq!(mem.n_allocs(), 3);
+        mem.free(a.base).unwrap();
+        mem.free(b.base).unwrap();
+        // a and b coalesce into one 128-byte hole.
+        assert_eq!(mem.free_holes(), 1);
+        let d = mem.alloc(128).unwrap();
+        assert_eq!(d.base, a.base, "coalesced hole should be reused");
+        mem.free(c.base).unwrap();
+        mem.free(d.base).unwrap();
+    }
+
+    #[test]
+    fn move_allocation_patches_stored_pointers() {
+        let cfg = InterpConfig::default();
+        let mut mem = Memory::new(&cfg);
+        let a = mem.alloc(64).unwrap();
+        let holder = mem.alloc(16).unwrap();
+        // holder[0] = &a[24]; a[24] = 99.
+        mem.store(holder.base, Val::I((a.base + 24) as i64), Some(a.id))
+            .unwrap();
+        mem.store(a.base + 24, Val::I(99), None).unwrap();
+
+        let (old, new) = mem.move_allocation(a.id).unwrap();
+        assert_eq!(old, a.base);
+        assert_ne!(new, old);
+        // The stored pointer has been patched and still reaches the value.
+        let (ptr, prov) = mem.load(holder.base).unwrap();
+        assert_eq!(ptr.as_ptr(), new + 24);
+        assert_eq!(prov, Some(a.id));
+        let (v, _) = mem.load(ptr.as_ptr()).unwrap();
+        assert_eq!(v, Val::I(99));
+        // The old location is gone.
+        assert!(mem.load(old + 24).is_err());
+    }
+
+    #[test]
+    fn provenance_flows_through_gep_and_memory() {
+        // p = alloc; q = gep p; store q to memory; load it back: provenance
+        // must survive the round trip.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("main", 0);
+        let sz = fb.const_i(64);
+        let p = fb.alloc(sz);
+        let one = fb.const_i(1);
+        let q = fb.gep(p, one, 8, 0);
+        let slot_sz = fb.const_i(8);
+        let slot = fb.alloc(slot_sz);
+        fb.store(slot, 0, q);
+        let back = fb.load(slot, 0);
+        fb.store(back, 0, one); // store through the reloaded pointer
+        fb.ret(Some(p));
+        m.add(fb.finish());
+
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[]);
+        let p = it.run_to_completion(&m, &mut NullHooks).unwrap().as_ptr();
+        let (v, _) = it.mem.load(p + 8).unwrap();
+        assert_eq!(v, Val::I(1));
+    }
+}

@@ -1,0 +1,347 @@
+//! Classic cleanup optimizations: constant folding and dead-code
+//! elimination.
+//!
+//! The interweaving passes leave tidy-up opportunities behind: guard flag
+//! constants, hoisted-away address computations, unused induction copies.
+//! These passes fold and remove them — and, more importantly for the
+//! workspace, they are *adversaries* for the instrumentation passes' tests:
+//! instrumentation must survive composition with an optimizer that deletes
+//! everything unused and rewrites everything constant.
+//!
+//! Scope notes (kept deliberately conservative):
+//! - folding only rewrites an instruction when **all** definitions of its
+//!   operands are the same constant (the IR has mutable registers);
+//! - DCE never removes memory operations, calls, intrinsics, or anything
+//!   with observable effects; it removes pure value definitions whose
+//!   results are never used anywhere in the function.
+
+use crate::inst::{BinOp, CmpOp, Inst};
+use crate::passes::{Pass, PassStats};
+use crate::types::Reg;
+use crate::Module;
+use std::collections::HashMap;
+
+/// Constant-folding pass.
+#[derive(Debug, Default, Clone)]
+pub struct ConstFold;
+
+/// The single constant value a register holds across all its definitions,
+/// if that is the case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Known {
+    I(i64),
+    F(f64),
+    /// Defined more than once with different values, or non-constant.
+    Varies,
+}
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn run(&mut self, m: &mut Module) -> PassStats {
+        let mut stats = PassStats::default();
+        for f in &mut m.funcs {
+            // Gather per-register constant-ness across the whole function
+            // (sound without SSA: a register counts as constant only if
+            // every definition assigns the same literal).
+            let mut known: HashMap<Reg, Known> = HashMap::new();
+            let mut note = |r: Reg, v: Known| match known.get(&r) {
+                None => {
+                    known.insert(r, v);
+                }
+                Some(&old) if old == v => {}
+                Some(_) => {
+                    known.insert(r, Known::Varies);
+                }
+            };
+            for b in &f.blocks {
+                for i in &b.insts {
+                    match i {
+                        Inst::ConstI(d, v) => note(*d, Known::I(*v)),
+                        Inst::ConstF(d, v) => note(*d, Known::F(*v)),
+                        other => {
+                            if let Some(d) = other.def() {
+                                note(d, Known::Varies);
+                            }
+                        }
+                    }
+                }
+            }
+            let get = |r: Reg| match known.get(&r) {
+                Some(Known::I(v)) => Some(*v),
+                _ => None,
+            };
+
+            // Rewrite foldable integer ops and comparisons in place.
+            for b in &mut f.blocks {
+                for i in &mut b.insts {
+                    let folded = match i {
+                        Inst::Bin(d, op, a, bb) => match (get(*a), get(*bb)) {
+                            (Some(x), Some(y)) => fold_bin(*op, x, y).map(|v| Inst::ConstI(*d, v)),
+                            _ => None,
+                        },
+                        Inst::Cmp(d, op, a, bb) => match (get(*a), get(*bb)) {
+                            (Some(x), Some(y)) => {
+                                Some(Inst::ConstI(*d, fold_cmp(*op, x, y) as i64))
+                            }
+                            _ => None,
+                        },
+                        Inst::Select(d, c, a, bb) => get(*c).map(|cv| {
+                            let src = if cv != 0 { *a } else { *bb };
+                            Inst::Mov(*d, src)
+                        }),
+                        _ => None,
+                    };
+                    if let Some(new) = folded {
+                        *i = new;
+                        stats.bump("folded", 1);
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+fn fold_bin(op: BinOp, x: i64, y: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return None; // preserve the trap
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32),
+        BinOp::Shr => x.wrapping_shr(y as u32),
+        // Float ops are left alone (registers holding F constants fold via
+        // a separate rule only when exactness is guaranteed; skipped).
+        BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => return None,
+    })
+}
+
+fn fold_cmp(op: CmpOp, x: i64, y: i64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+/// Dead-code elimination: remove pure value definitions whose registers are
+/// never read.
+#[derive(Debug, Default, Clone)]
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&mut self, m: &mut Module) -> PassStats {
+        let mut stats = PassStats::default();
+        for f in &mut m.funcs {
+            // Iterate: removing one dead def can orphan another.
+            loop {
+                let mut used = vec![false; f.n_regs];
+                let mut buf = Vec::new();
+                for b in &f.blocks {
+                    for i in &b.insts {
+                        buf.clear();
+                        i.uses(&mut buf);
+                        for r in &buf {
+                            used[r.0 as usize] = true;
+                        }
+                    }
+                    match &b.term {
+                        Some(crate::inst::Term::CondBr(c, _, _)) => used[c.0 as usize] = true,
+                        Some(crate::inst::Term::Ret(Some(r))) => used[r.0 as usize] = true,
+                        _ => {}
+                    }
+                }
+                // The return-value register and params count as used? Params
+                // have no defining instruction; nothing to remove there.
+                let mut removed = 0u64;
+                for b in &mut f.blocks {
+                    let before = b.insts.len();
+                    b.insts.retain(|i| {
+                        let pure = matches!(
+                            i,
+                            Inst::ConstI(_, _)
+                                | Inst::ConstF(_, _)
+                                | Inst::Mov(_, _)
+                                | Inst::Bin(_, _, _, _)
+                                | Inst::Cmp(_, _, _, _)
+                                | Inst::Select(_, _, _, _)
+                                | Inst::Gep(_, _, _, _, _)
+                        );
+                        if !pure {
+                            return true;
+                        }
+                        match i.def() {
+                            Some(d) => used[d.0 as usize],
+                            None => true,
+                        }
+                    });
+                    removed += (before - b.insts.len()) as u64;
+                }
+                if removed == 0 {
+                    break;
+                }
+                stats.bump("removed", removed);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::interp::{Interp, InterpConfig, NullHooks};
+    use crate::types::{FuncId, Val};
+    use crate::verify::assert_valid;
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.const_i(6);
+        let b = fb.const_i(7);
+        let c = fb.bin(BinOp::Mul, a, b);
+        fb.ret(Some(c));
+        m.add(fb.finish());
+        let stats = ConstFold.run(&mut m);
+        assert_valid(&m);
+        assert_eq!(stats.get("folded"), 1);
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[]);
+        assert_eq!(it.run_to_completion(&m, &mut NullHooks), Some(Val::I(42)));
+    }
+
+    #[test]
+    fn does_not_fold_multiply_defined_registers() {
+        // i is assigned 0 then 1: not a constant.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", 0);
+        let z = fb.const_i(0);
+        let i = fb.mov(z);
+        let one = fb.const_i(1);
+        fb.bin_to(i, BinOp::Add, i, one);
+        let r = fb.bin(BinOp::Add, i, one);
+        fb.ret(Some(r));
+        m.add(fb.finish());
+        let stats = ConstFold.run(&mut m);
+        // Only ops over the true constants may fold; `i + one` must not.
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[]);
+        assert_eq!(it.run_to_completion(&m, &mut NullHooks), Some(Val::I(2)));
+        let _ = stats;
+    }
+
+    #[test]
+    fn preserves_division_traps() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", 0);
+        let a = fb.const_i(1);
+        let z = fb.const_i(0);
+        let d = fb.bin(BinOp::Div, a, z);
+        fb.ret(Some(d));
+        m.add(fb.finish());
+        let stats = ConstFold.run(&mut m);
+        assert_eq!(stats.get("folded"), 0, "div-by-zero must not fold away");
+    }
+
+    #[test]
+    fn dce_removes_unused_pure_chains() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", 1);
+        let p = fb.param(0);
+        let a = fb.const_i(10); // dead
+        let _b = fb.bin(BinOp::Add, a, a); // dead, depends on dead
+        let one = fb.const_i(1);
+        let r = fb.bin(BinOp::Add, p, one);
+        fb.ret(Some(r));
+        m.add(fb.finish());
+        let stats = Dce.run(&mut m);
+        assert_valid(&m);
+        assert_eq!(stats.get("removed"), 2);
+        assert_eq!(m.inst_count(), 2);
+    }
+
+    #[test]
+    fn dce_keeps_memory_ops_and_intrinsics() {
+        use crate::inst::Intrinsic;
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", 0);
+        let sz = fb.const_i(64);
+        let p = fb.alloc(sz); // has a def, but alloc is impure — kept
+        let _unused_load = fb.load(p, 0); // loads may trap — kept
+        fb.intr_void(Intrinsic::TimeCheck, &[]);
+        fb.free(p);
+        fb.ret(None);
+        m.add(fb.finish());
+        let before = m.inst_count();
+        Dce.run(&mut m);
+        assert_eq!(m.inst_count(), before);
+    }
+
+    #[test]
+    fn optimizer_composes_with_instrumentation_on_the_suite() {
+        use crate::passes::PassManager;
+        use crate::programs;
+        for prog in programs::suite(1) {
+            let mut base = Interp::new(InterpConfig::default());
+            base.start(&prog.module, prog.entry, &prog.args);
+            let expected = base.run_to_completion(&prog.module, &mut NullHooks);
+
+            let mut m = prog.module.clone();
+            PassManager::new().add(ConstFold).add(Dce).run(&mut m);
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&m, prog.entry, &prog.args);
+            let got = it.run_to_completion(&m, &mut NullHooks);
+            assert_eq!(got, expected, "{}", prog.name);
+            // The optimizer should never make a program bigger.
+            assert!(m.inst_count() <= prog.module.inst_count());
+        }
+    }
+
+    #[test]
+    fn select_with_constant_condition_becomes_mov() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", 2);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let one = fb.const_i(1);
+        let r = fb.select(one, a, b);
+        fb.ret(Some(r));
+        m.add(fb.finish());
+        ConstFold.run(&mut m);
+        let f0 = &m.funcs[0];
+        assert!(f0
+            .blocks
+            .iter()
+            .flat_map(|bb| bb.insts.iter())
+            .any(|i| matches!(i, Inst::Mov(_, _))));
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, FuncId(0), &[Val::I(5), Val::I(9)]);
+        assert_eq!(it.run_to_completion(&m, &mut NullHooks), Some(Val::I(5)));
+    }
+}

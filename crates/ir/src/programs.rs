@@ -1,0 +1,998 @@
+//! Benchmark-kernel builders.
+//!
+//! The paper's evaluations run NAS, Mantevo, PARSEC, and PBBS programs.
+//! Those suites' *kernels* — streaming triads, stencils, reductions, sparse
+//! gather/scatter, pointer chasing, recursive fork patterns — are what
+//! stress the mechanisms under study (guards per access for CARAT, loop
+//! structure for timing-call placement, recursion for virtines). This module
+//! builds IR programs with exactly those access patterns so every experiment
+//! crate draws workloads from one place.
+
+use crate::func::FunctionBuilder;
+use crate::inst::{BinOp, CmpOp};
+use crate::module::Module;
+use crate::types::{FuncId, Val};
+
+/// A ready-to-run benchmark program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Short kernel name (used as a row label in experiment tables).
+    pub name: String,
+    /// The module containing the kernel and its helpers.
+    pub module: Module,
+    /// Entry function.
+    pub entry: FuncId,
+    /// Arguments to pass to the entry function.
+    pub args: Vec<Val>,
+}
+
+/// STREAM-triad: `a[i] = b[i] + s * c[i]` over `n` elements, returning a
+/// checksum. Dense unit-stride loads/stores — the best case for guard
+/// hoisting (one range check covers the loop).
+pub fn stream_triad(n: i64) -> Program {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("stream_triad", 1);
+    let np = fb.param(0);
+    let eight = fb.const_i(8);
+    let bytes = fb.bin(BinOp::Mul, np, eight);
+    let a = fb.alloc(bytes);
+    let b = fb.alloc(bytes);
+    let c = fb.alloc(bytes);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+    let s = fb.const_f(3.0);
+
+    // init loop: b[i] = i, c[i] = 2i
+    let i = fb.mov(zero);
+    let init_head = fb.new_block();
+    let init_body = fb.new_block();
+    let triad_pre = fb.new_block();
+    fb.br(init_head);
+    fb.switch_to(init_head);
+    let cnd = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(cnd, init_body, triad_pre);
+    fb.switch_to(init_body);
+    let pb = fb.gep(b, i, 8, 0);
+    fb.store(pb, 0, i);
+    let two_i = fb.bin(BinOp::Add, i, i);
+    let pc = fb.gep(c, i, 8, 0);
+    fb.store(pc, 0, two_i);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(init_head);
+
+    // triad loop: a[i] = b[i] + s*c[i]
+    fb.switch_to(triad_pre);
+    fb.mov_to(i, zero);
+    let triad_head = fb.new_block();
+    let triad_body = fb.new_block();
+    let sum_pre = fb.new_block();
+    fb.br(triad_head);
+    fb.switch_to(triad_head);
+    let cnd2 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(cnd2, triad_body, sum_pre);
+    fb.switch_to(triad_body);
+    let pb2 = fb.gep(b, i, 8, 0);
+    let vb = fb.load(pb2, 0);
+    let pc2 = fb.gep(c, i, 8, 0);
+    let vc = fb.load(pc2, 0);
+    let scaled = fb.bin(BinOp::FMul, s, vc);
+    let sum = fb.bin(BinOp::FAdd, vb, scaled);
+    let pa = fb.gep(a, i, 8, 0);
+    fb.store(pa, 0, sum);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(triad_head);
+
+    // checksum loop
+    fb.switch_to(sum_pre);
+    fb.mov_to(i, zero);
+    let acc = fb.const_f(0.0);
+    let sum_head = fb.new_block();
+    let sum_body = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(sum_head);
+    fb.switch_to(sum_head);
+    let cnd3 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(cnd3, sum_body, exit);
+    fb.switch_to(sum_body);
+    let pa2 = fb.gep(a, i, 8, 0);
+    let va = fb.load(pa2, 0);
+    fb.bin_to(acc, BinOp::FAdd, acc, va);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(sum_head);
+    fb.switch_to(exit);
+    fb.free(a);
+    fb.free(b);
+    fb.free(c);
+    fb.ret(Some(acc));
+
+    let entry = m.add(fb.finish());
+    Program {
+        name: "stream-triad".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n)],
+    }
+}
+
+/// 1-D Jacobi stencil: `iters` sweeps of `b[i] = (a[i-1]+a[i]+a[i+1])/3`
+/// with a copy-back. The BT/SP-style iterative structure CARAT sees in NAS.
+pub fn stencil1d(n: i64, iters: i64) -> Program {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("stencil1d", 2);
+    let np = fb.param(0);
+    let it_max = fb.param(1);
+    let eight = fb.const_i(8);
+    let bytes = fb.bin(BinOp::Mul, np, eight);
+    let a = fb.alloc(bytes);
+    let b = fb.alloc(bytes);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+    let third = fb.const_f(1.0 / 3.0);
+    let n_minus_1 = fb.bin(BinOp::Sub, np, one);
+
+    // init: a[i] = i
+    let i = fb.mov(zero);
+    let ih = fb.new_block();
+    let ib = fb.new_block();
+    let outer_pre = fb.new_block();
+    fb.br(ih);
+    fb.switch_to(ih);
+    let c0 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c0, ib, outer_pre);
+    fb.switch_to(ib);
+    let p = fb.gep(a, i, 8, 0);
+    fb.store(p, 0, i);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(ih);
+
+    // outer iteration loop
+    fb.switch_to(outer_pre);
+    let t = fb.mov(zero);
+    let oh = fb.new_block();
+    let sweep_pre = fb.new_block();
+    let done = fb.new_block();
+    fb.br(oh);
+    fb.switch_to(oh);
+    let c1 = fb.cmp(CmpOp::Lt, t, it_max);
+    fb.cond_br(c1, sweep_pre, done);
+
+    // sweep: for i in 1..n-1: b[i] = (a[i-1]+a[i]+a[i+1]) / 3
+    fb.switch_to(sweep_pre);
+    fb.mov_to(i, one);
+    let sh = fb.new_block();
+    let sb = fb.new_block();
+    let copy_pre = fb.new_block();
+    fb.br(sh);
+    fb.switch_to(sh);
+    let c2 = fb.cmp(CmpOp::Lt, i, n_minus_1);
+    fb.cond_br(c2, sb, copy_pre);
+    fb.switch_to(sb);
+    let pm = fb.gep(a, i, 8, -8);
+    let vm = fb.load(pm, 0);
+    let pz = fb.gep(a, i, 8, 0);
+    let vz = fb.load(pz, 0);
+    let pp = fb.gep(a, i, 8, 8);
+    let vp = fb.load(pp, 0);
+    let s1 = fb.bin(BinOp::FAdd, vm, vz);
+    let s2 = fb.bin(BinOp::FAdd, s1, vp);
+    let avg = fb.bin(BinOp::FMul, s2, third);
+    let pb = fb.gep(b, i, 8, 0);
+    fb.store(pb, 0, avg);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(sh);
+
+    // copy-back: a[i] = b[i] for the interior
+    fb.switch_to(copy_pre);
+    fb.mov_to(i, one);
+    let ch = fb.new_block();
+    let cb = fb.new_block();
+    let latch = fb.new_block();
+    fb.br(ch);
+    fb.switch_to(ch);
+    let c3 = fb.cmp(CmpOp::Lt, i, n_minus_1);
+    fb.cond_br(c3, cb, latch);
+    fb.switch_to(cb);
+    let pb2 = fb.gep(b, i, 8, 0);
+    let v = fb.load(pb2, 0);
+    let pa2 = fb.gep(a, i, 8, 0);
+    fb.store(pa2, 0, v);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(ch);
+    fb.switch_to(latch);
+    fb.bin_to(t, BinOp::Add, t, one);
+    fb.br(oh);
+
+    // checksum = a[n/2]
+    fb.switch_to(done);
+    let two = fb.const_i(2);
+    let mid = fb.bin(BinOp::Div, np, two);
+    let pmid = fb.gep(a, mid, 8, 0);
+    let out = fb.load(pmid, 0);
+    fb.free(a);
+    fb.free(b);
+    fb.ret(Some(out));
+
+    let entry = m.add(fb.finish());
+    Program {
+        name: "stencil-1d".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n), Val::I(iters)],
+    }
+}
+
+/// Pointer chase: build a pseudo-random ring of `n` nodes, then follow
+/// `steps` links. Pointer-dense, data-dependent addresses — the worst case
+/// for guard *hoisting* (every access needs its own check) and the
+/// PARSEC-style irregular archetype.
+pub fn pointer_chase(n: i64, steps: i64) -> Program {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("pointer_chase", 2);
+    let np = fb.param(0);
+    let steps_p = fb.param(1);
+    let sixteen = fb.const_i(16);
+    let bytes = fb.bin(BinOp::Mul, np, sixteen); // node = {next, value}
+    let nodes = fb.alloc(bytes);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+
+    // Link node i → node (i * 7 + 1) % n  (a permutation when gcd(7, n)=1;
+    // callers pass n coprime with 7), value = i.
+    let seven = fb.const_i(7);
+    let i = fb.mov(zero);
+    let lh = fb.new_block();
+    let lb = fb.new_block();
+    let chase_pre = fb.new_block();
+    fb.br(lh);
+    fb.switch_to(lh);
+    let c0 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c0, lb, chase_pre);
+    fb.switch_to(lb);
+    let mul = fb.bin(BinOp::Mul, i, seven);
+    let plus = fb.bin(BinOp::Add, mul, one);
+    let nxt_idx = fb.bin(BinOp::Rem, plus, np);
+    let nxt_ptr = fb.gep(nodes, nxt_idx, 16, 0);
+    let slot = fb.gep(nodes, i, 16, 0);
+    fb.store(slot, 0, nxt_ptr); // node.next
+    fb.store(slot, 8, i); // node.value
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(lh);
+
+    // chase: cur = &nodes[0]; repeat steps: sum += cur->value; cur = cur->next
+    fb.switch_to(chase_pre);
+    let cur = fb.gep(nodes, zero, 16, 0);
+    let sum = fb.mov(zero);
+    let k = fb.mov(zero);
+    let chh = fb.new_block();
+    let chb = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(chh);
+    fb.switch_to(chh);
+    let c1 = fb.cmp(CmpOp::Lt, k, steps_p);
+    fb.cond_br(c1, chb, exit);
+    fb.switch_to(chb);
+    let v = fb.load(cur, 8);
+    fb.bin_to(sum, BinOp::Add, sum, v);
+    let nxt = fb.load(cur, 0);
+    fb.mov_to(cur, nxt);
+    fb.bin_to(k, BinOp::Add, k, one);
+    fb.br(chh);
+    fb.switch_to(exit);
+    fb.free(nodes);
+    fb.ret(Some(sum));
+
+    let entry = m.add(fb.finish());
+    Program {
+        name: "pointer-chase".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n), Val::I(steps)],
+    }
+}
+
+/// Recursive Fibonacci — Fig. 5's virtine example and the canonical
+/// fork-join recursion for heartbeat-style promotion.
+pub fn fib(n: i64) -> Program {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("fib", 1);
+    let np = fb.param(0);
+    let two = fb.const_i(2);
+    let c = fb.cmp(CmpOp::Lt, np, two);
+    let base = fb.new_block();
+    let rec = fb.new_block();
+    fb.cond_br(c, base, rec);
+    fb.switch_to(base);
+    fb.ret(Some(np));
+    fb.switch_to(rec);
+    let one = fb.const_i(1);
+    let n1 = fb.bin(BinOp::Sub, np, one);
+    let n2 = fb.bin(BinOp::Sub, np, two);
+    let self_id = FuncId(0);
+    let a = fb.call(self_id, &[n1]);
+    let b = fb.call(self_id, &[n2]);
+    let s = fb.bin(BinOp::Add, a, b);
+    fb.ret(Some(s));
+    let entry = m.add(fb.finish());
+    Program {
+        name: "fib".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n)],
+    }
+}
+
+/// Dense matrix–vector product `y = A·x` with an `n×n` matrix — the
+/// Mantevo-miniFE-style nested-loop archetype.
+pub fn matvec(n: i64) -> Program {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("matvec", 1);
+    let np = fb.param(0);
+    let eight = fb.const_i(8);
+    let nn = fb.bin(BinOp::Mul, np, np);
+    let mat_bytes = fb.bin(BinOp::Mul, nn, eight);
+    let vec_bytes = fb.bin(BinOp::Mul, np, eight);
+    let a = fb.alloc(mat_bytes);
+    let x = fb.alloc(vec_bytes);
+    let y = fb.alloc(vec_bytes);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+
+    // init: A[i*n+j] = i+j, x[i] = 1
+    let i = fb.mov(zero);
+    let ih = fb.new_block();
+    let ib = fb.new_block();
+    let mm_pre = fb.new_block();
+    fb.br(ih);
+    fb.switch_to(ih);
+    let c0 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c0, ib, mm_pre);
+    fb.switch_to(ib);
+    let px = fb.gep(x, i, 8, 0);
+    fb.store(px, 0, one);
+    let j = fb.mov(zero);
+    let jh = fb.new_block();
+    let jb = fb.new_block();
+    let ilatch = fb.new_block();
+    fb.br(jh);
+    fb.switch_to(jh);
+    let c1 = fb.cmp(CmpOp::Lt, j, np);
+    fb.cond_br(c1, jb, ilatch);
+    fb.switch_to(jb);
+    let row = fb.bin(BinOp::Mul, i, np);
+    let idx = fb.bin(BinOp::Add, row, j);
+    let pij = fb.gep(a, idx, 8, 0);
+    let vij = fb.bin(BinOp::Add, i, j);
+    fb.store(pij, 0, vij);
+    fb.bin_to(j, BinOp::Add, j, one);
+    fb.br(jh);
+    fb.switch_to(ilatch);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(ih);
+
+    // y[i] = Σ_j A[i*n+j]*x[j]
+    fb.switch_to(mm_pre);
+    fb.mov_to(i, zero);
+    let oh = fb.new_block();
+    let ob = fb.new_block();
+    let sum_pre = fb.new_block();
+    fb.br(oh);
+    fb.switch_to(oh);
+    let c2 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c2, ob, sum_pre);
+    fb.switch_to(ob);
+    let acc = fb.const_f(0.0);
+    fb.mov_to(j, zero);
+    let kh = fb.new_block();
+    let kb = fb.new_block();
+    let olatch = fb.new_block();
+    fb.br(kh);
+    fb.switch_to(kh);
+    let c3 = fb.cmp(CmpOp::Lt, j, np);
+    fb.cond_br(c3, kb, olatch);
+    fb.switch_to(kb);
+    let row2 = fb.bin(BinOp::Mul, i, np);
+    let idx2 = fb.bin(BinOp::Add, row2, j);
+    let pa = fb.gep(a, idx2, 8, 0);
+    let va = fb.load(pa, 0);
+    let pxj = fb.gep(x, j, 8, 0);
+    let vx = fb.load(pxj, 0);
+    let prod = fb.bin(BinOp::FMul, va, vx);
+    fb.bin_to(acc, BinOp::FAdd, acc, prod);
+    fb.bin_to(j, BinOp::Add, j, one);
+    fb.br(kh);
+    fb.switch_to(olatch);
+    let py = fb.gep(y, i, 8, 0);
+    fb.store(py, 0, acc);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(oh);
+
+    // checksum = Σ y[i]
+    fb.switch_to(sum_pre);
+    fb.mov_to(i, zero);
+    let total = fb.const_f(0.0);
+    let th = fb.new_block();
+    let tb = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(th);
+    fb.switch_to(th);
+    let c4 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c4, tb, exit);
+    fb.switch_to(tb);
+    let py2 = fb.gep(y, i, 8, 0);
+    let vy = fb.load(py2, 0);
+    fb.bin_to(total, BinOp::FAdd, total, vy);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(th);
+    fb.switch_to(exit);
+    fb.free(a);
+    fb.free(x);
+    fb.free(y);
+    fb.ret(Some(total));
+
+    let entry = m.add(fb.finish());
+    Program {
+        name: "matvec".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n)],
+    }
+}
+
+/// Histogram: scatter increments at LCG-pseudo-random buckets. Read-modify-
+/// write at data-dependent addresses — the irregular scatter archetype
+/// (PARSEC-style) that stresses guard elision without hoisting.
+pub fn histogram(n: i64, buckets: i64) -> Program {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("histogram", 2);
+    let np = fb.param(0);
+    let nb = fb.param(1);
+    let eight = fb.const_i(8);
+    let bytes = fb.bin(BinOp::Mul, nb, eight);
+    let h = fb.alloc(bytes);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+
+    // LCG state and constants (Numerical Recipes).
+    let seed = fb.const_i(12345);
+    let x = fb.mov(seed);
+    let a_c = fb.const_i(1_664_525);
+    let c_c = fb.const_i(1_013_904_223);
+    let mask = fb.const_i(0x7fff_ffff);
+
+    let i = fb.mov(zero);
+    let hh = fb.new_block();
+    let hb = fb.new_block();
+    let sum_pre = fb.new_block();
+    fb.br(hh);
+    fb.switch_to(hh);
+    let c0 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c0, hb, sum_pre);
+    fb.switch_to(hb);
+    let mul = fb.bin(BinOp::Mul, x, a_c);
+    let add = fb.bin(BinOp::Add, mul, c_c);
+    fb.bin_to(x, BinOp::And, add, mask);
+    let idx = fb.bin(BinOp::Rem, x, nb);
+    let p = fb.gep(h, idx, 8, 0);
+    let old = fb.load(p, 0);
+    let new = fb.bin(BinOp::Add, old, one);
+    fb.store(p, 0, new);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(hh);
+
+    // checksum: Σ bucket * index
+    fb.switch_to(sum_pre);
+    fb.mov_to(i, zero);
+    let sum = fb.mov(zero);
+    let sh = fb.new_block();
+    let sb = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(sh);
+    fb.switch_to(sh);
+    let c1 = fb.cmp(CmpOp::Lt, i, nb);
+    fb.cond_br(c1, sb, exit);
+    fb.switch_to(sb);
+    let p2 = fb.gep(h, i, 8, 0);
+    let v = fb.load(p2, 0);
+    let w = fb.bin(BinOp::Mul, v, i);
+    fb.bin_to(sum, BinOp::Add, sum, w);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(sh);
+    fb.switch_to(exit);
+    fb.free(h);
+    fb.ret(Some(sum));
+
+    let entry = m.add(fb.finish());
+    Program {
+        name: "histogram".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n), Val::I(buckets)],
+    }
+}
+
+/// Dot product: `Σ a[i] * b[i]` — the BLAS-1 archetype; dense, fully
+/// hoistable guards.
+pub fn dot(n: i64) -> Program {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("dot", 1);
+    let np = fb.param(0);
+    let eight = fb.const_i(8);
+    let bytes = fb.bin(BinOp::Mul, np, eight);
+    let a = fb.alloc(bytes);
+    let b = fb.alloc(bytes);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+
+    // init: a[i] = i, b[i] = 2
+    let two = fb.const_i(2);
+    let i = fb.mov(zero);
+    let ih = fb.new_block();
+    let ib = fb.new_block();
+    let dot_pre = fb.new_block();
+    fb.br(ih);
+    fb.switch_to(ih);
+    let c0 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c0, ib, dot_pre);
+    fb.switch_to(ib);
+    let pa = fb.gep(a, i, 8, 0);
+    fb.store(pa, 0, i);
+    let pb = fb.gep(b, i, 8, 0);
+    fb.store(pb, 0, two);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(ih);
+
+    fb.switch_to(dot_pre);
+    fb.mov_to(i, zero);
+    let acc = fb.const_f(0.0);
+    let dh = fb.new_block();
+    let db = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(dh);
+    fb.switch_to(dh);
+    let c1 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c1, db, exit);
+    fb.switch_to(db);
+    let pa2 = fb.gep(a, i, 8, 0);
+    let va = fb.load(pa2, 0);
+    let pb2 = fb.gep(b, i, 8, 0);
+    let vb = fb.load(pb2, 0);
+    let prod = fb.bin(BinOp::FMul, va, vb);
+    fb.bin_to(acc, BinOp::FAdd, acc, prod);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(dh);
+    fb.switch_to(exit);
+    fb.free(a);
+    fb.free(b);
+    fb.ret(Some(acc));
+    let entry = m.add(fb.finish());
+    Program {
+        name: "dot".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n)],
+    }
+}
+
+/// Matrix transpose `B[j][i] = A[i][j]` — strided dense accesses through
+/// invariant bases (the layout-transformation archetype).
+pub fn transpose(n: i64) -> Program {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("transpose", 1);
+    let np = fb.param(0);
+    let eight = fb.const_i(8);
+    let nn = fb.bin(BinOp::Mul, np, np);
+    let bytes = fb.bin(BinOp::Mul, nn, eight);
+    let a = fb.alloc(bytes);
+    let b = fb.alloc(bytes);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+
+    // init: A[i*n+j] = i*n + j
+    let i = fb.mov(zero);
+    let oh = fb.new_block();
+    let ob = fb.new_block();
+    let t_pre = fb.new_block();
+    fb.br(oh);
+    fb.switch_to(oh);
+    let c0 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c0, ob, t_pre);
+    fb.switch_to(ob);
+    let j = fb.mov(zero);
+    let jh = fb.new_block();
+    let jb = fb.new_block();
+    let olatch = fb.new_block();
+    fb.br(jh);
+    fb.switch_to(jh);
+    let c1 = fb.cmp(CmpOp::Lt, j, np);
+    fb.cond_br(c1, jb, olatch);
+    fb.switch_to(jb);
+    let row = fb.bin(BinOp::Mul, i, np);
+    let idx = fb.bin(BinOp::Add, row, j);
+    let pa = fb.gep(a, idx, 8, 0);
+    fb.store(pa, 0, idx);
+    fb.bin_to(j, BinOp::Add, j, one);
+    fb.br(jh);
+    fb.switch_to(olatch);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(oh);
+
+    // transpose: B[j*n+i] = A[i*n+j]
+    fb.switch_to(t_pre);
+    fb.mov_to(i, zero);
+    let th = fb.new_block();
+    let tb = fb.new_block();
+    let sum_pre = fb.new_block();
+    fb.br(th);
+    fb.switch_to(th);
+    let c2 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c2, tb, sum_pre);
+    fb.switch_to(tb);
+    fb.mov_to(j, zero);
+    let kh = fb.new_block();
+    let kb = fb.new_block();
+    let tlatch = fb.new_block();
+    fb.br(kh);
+    fb.switch_to(kh);
+    let c3 = fb.cmp(CmpOp::Lt, j, np);
+    fb.cond_br(c3, kb, tlatch);
+    fb.switch_to(kb);
+    let row2 = fb.bin(BinOp::Mul, i, np);
+    let src_idx = fb.bin(BinOp::Add, row2, j);
+    let col = fb.bin(BinOp::Mul, j, np);
+    let dst_idx = fb.bin(BinOp::Add, col, i);
+    let pa2 = fb.gep(a, src_idx, 8, 0);
+    let v = fb.load(pa2, 0);
+    let pb2 = fb.gep(b, dst_idx, 8, 0);
+    fb.store(pb2, 0, v);
+    fb.bin_to(j, BinOp::Add, j, one);
+    fb.br(kh);
+    fb.switch_to(tlatch);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(th);
+
+    // checksum = B[1*n+0] + B[(n-1)*n + (n-1)]
+    fb.switch_to(sum_pre);
+    let last = fb.bin(BinOp::Sub, nn, one);
+    let plast = fb.gep(b, last, 8, 0);
+    let vlast = fb.load(plast, 0);
+    let pfirst = fb.gep(b, np, 8, 0);
+    let vfirst = fb.load(pfirst, 0);
+    let out = fb.bin(BinOp::Add, vlast, vfirst);
+    fb.free(a);
+    fb.free(b);
+    fb.ret(Some(out));
+    let entry = m.add(fb.finish());
+    Program {
+        name: "transpose".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n)],
+    }
+}
+
+/// Breadth-first search over a synthetic graph: node `i` has edges to
+/// `(2i+1) mod n` and `(3i+2) mod n`. Explicit frontier queue, visited and
+/// depth arrays; returns the sum of BFS depths — the PBBS-style graph-
+/// traversal archetype (irregular reads through invariant bases).
+pub fn bfs(n: i64) -> Program {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("bfs", 1);
+    let np = fb.param(0);
+    let eight = fb.const_i(8);
+    let bytes = fb.bin(BinOp::Mul, np, eight);
+    let visited = fb.alloc(bytes);
+    let depth = fb.alloc(bytes);
+    let queue = fb.alloc(bytes);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+    let two = fb.const_i(2);
+    let three = fb.const_i(3);
+
+    // visited[0] = 1; queue[0] = 0; head = 0; tail = 1.
+    let pv0 = fb.gep(visited, zero, 8, 0);
+    fb.store(pv0, 0, one);
+    let pq0 = fb.gep(queue, zero, 8, 0);
+    fb.store(pq0, 0, zero);
+    let head = fb.mov(zero);
+    let tail = fb.mov(one);
+
+    // while head < tail
+    let wh = fb.new_block();
+    let wb = fb.new_block();
+    let sum_pre = fb.new_block();
+    fb.br(wh);
+    fb.switch_to(wh);
+    let c0 = fb.cmp(CmpOp::Lt, head, tail);
+    fb.cond_br(c0, wb, sum_pre);
+    fb.switch_to(wb);
+    let pqh = fb.gep(queue, head, 8, 0);
+    let u = fb.load(pqh, 0);
+    fb.bin_to(head, BinOp::Add, head, one);
+    let pdu = fb.gep(depth, u, 8, 0);
+    let du = fb.load(pdu, 0);
+    let d1 = fb.bin(BinOp::Add, du, one);
+
+    // Two edges; visit each if fresh.
+    let visit = |fb: &mut FunctionBuilder, target: crate::types::Reg| {
+        let pvt = fb.gep(visited, target, 8, 0);
+        let seen = fb.load(pvt, 0);
+        let fresh = fb.cmp(CmpOp::Eq, seen, zero);
+        let do_visit = fb.new_block();
+        let after = fb.new_block();
+        fb.cond_br(fresh, do_visit, after);
+        fb.switch_to(do_visit);
+        fb.store(pvt, 0, one);
+        let pdt = fb.gep(depth, target, 8, 0);
+        fb.store(pdt, 0, d1);
+        let pqt = fb.gep(queue, tail, 8, 0);
+        fb.store(pqt, 0, target);
+        fb.bin_to(tail, BinOp::Add, tail, one);
+        fb.br(after);
+        fb.switch_to(after);
+    };
+    let u2 = fb.bin(BinOp::Mul, u, two);
+    let e1raw = fb.bin(BinOp::Add, u2, one);
+    let e1 = fb.bin(BinOp::Rem, e1raw, np);
+    visit(&mut fb, e1);
+    let u3 = fb.bin(BinOp::Mul, u, three);
+    let e2raw = fb.bin(BinOp::Add, u3, two);
+    let e2 = fb.bin(BinOp::Rem, e2raw, np);
+    visit(&mut fb, e2);
+    fb.br(wh);
+
+    // checksum: sum of depths over visited nodes.
+    fb.switch_to(sum_pre);
+    let i = fb.mov(zero);
+    let sum = fb.mov(zero);
+    let sh = fb.new_block();
+    let sb = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(sh);
+    fb.switch_to(sh);
+    let c1 = fb.cmp(CmpOp::Lt, i, np);
+    fb.cond_br(c1, sb, exit);
+    fb.switch_to(sb);
+    let pvi = fb.gep(visited, i, 8, 0);
+    let vi = fb.load(pvi, 0);
+    let pdi = fb.gep(depth, i, 8, 0);
+    let di = fb.load(pdi, 0);
+    let contrib = fb.bin(BinOp::Mul, vi, di);
+    fb.bin_to(sum, BinOp::Add, sum, contrib);
+    fb.bin_to(i, BinOp::Add, i, one);
+    fb.br(sh);
+    fb.switch_to(exit);
+    fb.free(visited);
+    fb.free(depth);
+    fb.free(queue);
+    fb.ret(Some(sum));
+
+    let entry = m.add(fb.finish());
+    Program {
+        name: "bfs".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n)],
+    }
+}
+
+/// N-queens by bitboard recursion — pure register computation, deep
+/// recursion, zero memory traffic (the search-tree archetype; also the
+/// canonical "needs no runtime baggage" bespoke-context candidate).
+pub fn nqueens(n: i64) -> Program {
+    let mut m = Module::new();
+    // solve(cols, d1, d2, all) -> count
+    let mut fb = FunctionBuilder::new("nq_solve", 4);
+    let cols = fb.param(0);
+    let d1 = fb.param(1);
+    let d2 = fb.param(2);
+    let all = fb.param(3);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+
+    // if cols == all: return 1
+    let full = fb.cmp(CmpOp::Eq, cols, all);
+    let done = fb.new_block();
+    let search = fb.new_block();
+    fb.cond_br(full, done, search);
+    fb.switch_to(done);
+    fb.ret(Some(one));
+
+    // free = all & !(cols | d1 | d2); iterate over set bits.
+    fb.switch_to(search);
+    let occ0 = fb.bin(BinOp::Or, cols, d1);
+    let occ = fb.bin(BinOp::Or, occ0, d2);
+    let minus1 = fb.const_i(-1);
+    let notocc = fb.bin(BinOp::Xor, occ, minus1);
+    let free = fb.bin(BinOp::And, all, notocc);
+    let count = fb.mov(zero);
+    let rest = fb.mov(free);
+
+    let lh = fb.new_block();
+    let lb = fb.new_block();
+    let exit = fb.new_block();
+    fb.br(lh);
+    fb.switch_to(lh);
+    let any = fb.cmp(CmpOp::Ne, rest, zero);
+    fb.cond_br(any, lb, exit);
+    fb.switch_to(lb);
+    // bit = rest & -rest; rest &= rest - 1.
+    let negrest = fb.bin(BinOp::Sub, zero, rest);
+    let bit = fb.bin(BinOp::And, rest, negrest);
+    let restm1 = fb.bin(BinOp::Sub, rest, one);
+    fb.bin_to(rest, BinOp::And, rest, restm1);
+    // Recurse with (cols|bit, ((d1|bit)<<1)&all, (d2|bit)>>1, all).
+    let ncols = fb.bin(BinOp::Or, cols, bit);
+    let nd1a = fb.bin(BinOp::Or, d1, bit);
+    let nd1b = fb.bin(BinOp::Shl, nd1a, one);
+    let nd1 = fb.bin(BinOp::And, nd1b, all);
+    let nd2a = fb.bin(BinOp::Or, d2, bit);
+    let nd2 = fb.bin(BinOp::Shr, nd2a, one);
+    let sub = fb.call(FuncId(0), &[ncols, nd1, nd2, all]);
+    fb.bin_to(count, BinOp::Add, count, sub);
+    fb.br(lh);
+    fb.switch_to(exit);
+    fb.ret(Some(count));
+    m.add(fb.finish());
+
+    // entry(n): all = (1<<n)-1; solve(0,0,0,all)
+    let mut fb = FunctionBuilder::new("nqueens", 1);
+    let np = fb.param(0);
+    let one = fb.const_i(1);
+    let zero = fb.const_i(0);
+    let shifted = fb.bin(BinOp::Shl, one, np);
+    let all = fb.bin(BinOp::Sub, shifted, one);
+    let r = fb.call(FuncId(0), &[zero, zero, zero, all]);
+    fb.ret(Some(r));
+    let entry = m.add(fb.finish());
+    Program {
+        name: "nqueens".into(),
+        module: m,
+        entry,
+        args: vec![Val::I(n)],
+    }
+}
+
+/// The full kernel suite at a given scale factor (1 = test-sized). Used by
+/// the CARAT table and several property tests. The dense/irregular balance
+/// loosely mirrors the NAS + Mantevo + PARSEC composition of §IV-A (mostly
+/// dense kernels, one pointer-dense outlier).
+pub fn suite(scale: i64) -> Vec<Program> {
+    let s = scale.max(1);
+    vec![
+        stream_triad(64 * s),
+        stencil1d(64 * s, 4 * s),
+        pointer_chase(64 * s + 1, 256 * s), // n coprime with 7
+        matvec(12 * s),
+        histogram(256 * s, 32 * s),
+        dot(96 * s),
+        transpose(10 * s),
+        bfs(128 * s),
+        nqueens(6),
+        fib(12),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interp, InterpConfig, NullHooks};
+    use crate::verify::assert_valid;
+
+    fn run(p: &Program) -> Val {
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&p.module, p.entry, &p.args);
+        it.run_to_completion(&p.module, &mut NullHooks)
+            .expect("returns a value")
+    }
+
+    #[test]
+    fn all_suite_programs_verify_and_run() {
+        for p in suite(1) {
+            assert_valid(&p.module);
+            let _ = run(&p);
+        }
+    }
+
+    #[test]
+    fn stream_triad_checksum() {
+        // a[i] = i + 3*2i = 7i → Σ = 7 n(n-1)/2.
+        let p = stream_triad(10);
+        assert_eq!(run(&p), Val::F(7.0 * 45.0));
+    }
+
+    #[test]
+    fn fib_value() {
+        let p = fib(10);
+        assert_eq!(run(&p), Val::I(55));
+    }
+
+    #[test]
+    fn pointer_chase_visits_all_nodes_in_permutation() {
+        // With n coprime to 7, i → 7i+1 mod n is a permutation with a single
+        // cycle covering all nodes ⇔ chase of n steps sums all values.
+        let p = pointer_chase(15, 15);
+        // Σ 0..14 = 105 — only if the walk really is a full cycle; for the
+        // map i→7i+1 mod 15 starting at 0 the cycle may be shorter, so just
+        // check determinism and boundedness.
+        let v = run(&p).as_i();
+        assert!(v >= 0);
+        let v2 = run(&p).as_i();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn histogram_conserves_count() {
+        // Σ buckets = n increments; the weighted checksum is deterministic.
+        let p = histogram(100, 8);
+        let v1 = run(&p).as_i();
+        let v2 = run(&p).as_i();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn matvec_checksum() {
+        // A[i][j] = i+j, x = 1 → y[i] = Σ_j (i+j) = n*i + n(n-1)/2.
+        // Σ y = n*n(n-1)/2 + n*n(n-1)/2 = n²(n-1).
+        let n = 6i64;
+        let p = matvec(n);
+        assert_eq!(run(&p), Val::F((n * n * (n - 1)) as f64));
+    }
+
+    #[test]
+    fn dot_checksum() {
+        // Σ i*2 for i in 0..n = n(n-1).
+        let n = 20i64;
+        let p = dot(n);
+        assert_eq!(run(&p), Val::F((n * (n - 1)) as f64));
+    }
+
+    #[test]
+    fn transpose_checksum() {
+        // B[n] = A[1] = 1 (element (0,1) lands at (1,0)); B[n²-1] = n²-1.
+        let n = 8i64;
+        let p = transpose(n);
+        assert_eq!(run(&p), Val::I(1 + n * n - 1));
+    }
+
+    #[test]
+    fn nqueens_matches_known_counts() {
+        assert_eq!(run(&nqueens(4)), Val::I(2));
+        assert_eq!(run(&nqueens(6)), Val::I(4));
+        assert_eq!(run(&nqueens(8)), Val::I(92));
+    }
+
+    #[test]
+    fn bfs_matches_a_reference_implementation() {
+        // Reference BFS in Rust over the same synthetic graph.
+        fn reference(n: i64) -> i64 {
+            let n = n as usize;
+            let mut visited = vec![false; n];
+            let mut depth = vec![0i64; n];
+            let mut q = std::collections::VecDeque::new();
+            visited[0] = true;
+            q.push_back(0usize);
+            while let Some(u) = q.pop_front() {
+                for v in [(2 * u + 1) % n, (3 * u + 2) % n] {
+                    if !visited[v] {
+                        visited[v] = true;
+                        depth[v] = depth[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            (0..n).filter(|&i| visited[i]).map(|i| depth[i]).sum()
+        }
+        for n in [16i64, 64, 128, 333] {
+            let p = bfs(n);
+            assert_eq!(run(&p), Val::I(reference(n)), "bfs({n})");
+        }
+    }
+
+    #[test]
+    fn stencil_converges_toward_flat() {
+        let p = stencil1d(32, 8);
+        let v = run(&p).as_f();
+        // Initial a[i]=i; smoothing keeps interior values within range.
+        assert!(v > 0.0 && v < 32.0);
+    }
+}

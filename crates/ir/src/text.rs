@@ -1,0 +1,648 @@
+//! A textual IR format: printing and parsing.
+//!
+//! Useful for golden tests, debugging transformed modules, and shipping
+//! virtine/PIK images as artifacts. The syntax is line-oriented:
+//!
+//! ```text
+//! fn @fib(params=1, regs=7) virtine {
+//! bb0:
+//!   %1 = const 2
+//!   %2 = cmp.lt %0, %1
+//!   condbr %2, bb1, bb2
+//! bb1:
+//!   ret %0
+//! bb2:
+//!   %3 = const 1
+//!   %4 = sub %0, %3
+//!   %5 = call @fib(%4)
+//!   ...
+//! }
+//! ```
+//!
+//! `parse_module(&print_module(&m))` reproduces `m` exactly (the round-trip
+//! property test in `tests/` checks this over every benchmark program and
+//! its CARAT-instrumented form).
+
+use crate::func::{Block, Function};
+use crate::inst::{BinOp, CmpOp, Inst, Intrinsic, Term};
+use crate::module::Module;
+use crate::types::{BlockId, FuncId, Reg};
+use std::fmt::Write as _;
+
+/// A parse failure, with a line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::FAdd => "fadd",
+        BinOp::FSub => "fsub",
+        BinOp::FMul => "fmul",
+        BinOp::FDiv => "fdiv",
+    }
+}
+
+fn binop_from(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "fadd" => BinOp::FAdd,
+        "fsub" => BinOp::FSub,
+        "fmul" => BinOp::FMul,
+        "fdiv" => BinOp::FDiv,
+        _ => return None,
+    })
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn cmp_from(s: &str) -> Option<CmpOp> {
+    Some(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn intr_name(i: Intrinsic) -> &'static str {
+    match i {
+        Intrinsic::CaratGuard => "carat_guard",
+        Intrinsic::CaratGuardRange => "carat_guard_range",
+        Intrinsic::CaratTrackAlloc => "carat_track_alloc",
+        Intrinsic::CaratTrackFree => "carat_track_free",
+        Intrinsic::CaratTrackEscape => "carat_track_escape",
+        Intrinsic::TimeCheck => "time_check",
+        Intrinsic::PollDevices => "poll_devices",
+        Intrinsic::Yield => "yield",
+        Intrinsic::Promote => "promote",
+        Intrinsic::ReadTimer => "read_timer",
+        Intrinsic::Trace => "trace",
+    }
+}
+
+fn intr_from(s: &str) -> Option<Intrinsic> {
+    Some(match s {
+        "carat_guard" => Intrinsic::CaratGuard,
+        "carat_guard_range" => Intrinsic::CaratGuardRange,
+        "carat_track_alloc" => Intrinsic::CaratTrackAlloc,
+        "carat_track_free" => Intrinsic::CaratTrackFree,
+        "carat_track_escape" => Intrinsic::CaratTrackEscape,
+        "time_check" => Intrinsic::TimeCheck,
+        "poll_devices" => Intrinsic::PollDevices,
+        "yield" => Intrinsic::Yield,
+        "promote" => Intrinsic::Promote,
+        "read_timer" => Intrinsic::ReadTimer,
+        "trace" => Intrinsic::Trace,
+        _ => return None,
+    })
+}
+
+fn args_str(args: &[Reg]) -> String {
+    args.iter()
+        .map(|r| format!("%{}", r.0))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Print a module in the textual format.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for f in &m.funcs {
+        let v = if f.is_virtine { " virtine" } else { "" };
+        let _ = writeln!(
+            out,
+            "fn @{}(params={}, regs={}){v} {{",
+            f.name, f.n_params, f.n_regs
+        );
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let _ = writeln!(out, "bb{bi}:");
+            for i in &b.insts {
+                let _ = writeln!(out, "  {}", print_inst(i, m));
+            }
+            match &b.term {
+                Some(Term::Br(t)) => {
+                    let _ = writeln!(out, "  br bb{}", t.0);
+                }
+                Some(Term::CondBr(c, t, e)) => {
+                    let _ = writeln!(out, "  condbr %{}, bb{}, bb{}", c.0, t.0, e.0);
+                }
+                Some(Term::Ret(Some(r))) => {
+                    let _ = writeln!(out, "  ret %{}", r.0);
+                }
+                Some(Term::Ret(None)) => {
+                    let _ = writeln!(out, "  ret");
+                }
+                None => {
+                    let _ = writeln!(out, "  <unterminated>");
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn print_inst(i: &Inst, m: &Module) -> String {
+    match i {
+        Inst::ConstI(d, v) => format!("%{} = const {v}", d.0),
+        // {:?} prints f64 losslessly-enough for round-tripping through
+        // Rust's shortest-representation formatter.
+        Inst::ConstF(d, v) => format!("%{} = fconst {v:?}", d.0),
+        Inst::Mov(d, s) => format!("%{} = mov %{}", d.0, s.0),
+        Inst::Bin(d, op, a, b) => {
+            format!("%{} = {} %{}, %{}", d.0, binop_name(*op), a.0, b.0)
+        }
+        Inst::Cmp(d, op, a, b) => {
+            format!("%{} = cmp.{} %{}, %{}", d.0, cmp_name(*op), a.0, b.0)
+        }
+        Inst::Select(d, c, a, b) => {
+            format!("%{} = select %{}, %{}, %{}", d.0, c.0, a.0, b.0)
+        }
+        Inst::Alloc(d, s) => format!("%{} = alloc %{}", d.0, s.0),
+        Inst::Free(p) => format!("free %{}", p.0),
+        Inst::Load(d, a, off) => format!("%{} = load [%{}{:+}]", d.0, a.0, off),
+        Inst::Store(a, off, v) => format!("store [%{}{:+}], %{}", a.0, off, v.0),
+        Inst::Gep(d, b, i, scale, off) => {
+            format!("%{} = gep %{}, %{}, {scale}, {off}", d.0, b.0, i.0)
+        }
+        Inst::Call(d, g, args) => {
+            let callee = &m.func(*g).name;
+            match d {
+                Some(d) => format!("%{} = call @{}({})", d.0, callee, args_str(args)),
+                None => format!("call @{}({})", callee, args_str(args)),
+            }
+        }
+        Inst::Intr(d, which, args) => match d {
+            Some(d) => format!("%{} = intr {}({})", d.0, intr_name(*which), args_str(args)),
+            None => format!("intr {}({})", intr_name(*which), args_str(args)),
+        },
+    }
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        // Report the line most recently consumed (errors surface after
+        // `next()` has advanced past the offending line).
+        let idx = self
+            .at
+            .saturating_sub(1)
+            .min(self.lines.len().saturating_sub(1));
+        let line = self.lines.get(idx).map(|&(n, _)| n).unwrap_or(0);
+        Err(ParseError {
+            line,
+            msg: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.get(self.at).map(|&(_, s)| s)
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let s = self.peek();
+        if s.is_some() {
+            self.at += 1;
+        }
+        s
+    }
+}
+
+fn parse_reg(tok: &str) -> Option<Reg> {
+    tok.strip_prefix('%')
+        .and_then(|n| n.trim_end_matches(',').parse::<u32>().ok())
+        .map(Reg)
+}
+
+fn parse_block_ref(tok: &str) -> Option<BlockId> {
+    tok.strip_prefix("bb")
+        .and_then(|n| n.trim_end_matches(',').parse::<u32>().ok())
+        .map(BlockId)
+}
+
+fn parse_args(inner: &str) -> Option<Vec<Reg>> {
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|t| parse_reg(t.trim()))
+        .collect::<Option<Vec<_>>>()
+}
+
+/// Parse a module from the textual format. Function references resolve by
+/// name, so forward references are allowed; the result is verified.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let lines: Vec<(usize, &str)> = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with(';'))
+        .collect();
+    let mut p = Parser { lines, at: 0 };
+
+    // First pass: function names in order (for call resolution).
+    let mut names = Vec::new();
+    for &(_, l) in &p.lines {
+        if let Some(rest) = l.strip_prefix("fn @") {
+            let name = rest.split('(').next().unwrap_or("").to_string();
+            names.push(name);
+        }
+    }
+
+    let mut m = Module::new();
+    while p.peek().is_some() {
+        let f = parse_function(&mut p, &names)?;
+        m.add(f);
+    }
+    let errs = crate::verify::verify_module(&m);
+    if let Some(e) = errs.first() {
+        return Err(ParseError {
+            line: 0,
+            msg: format!("verification failed: {e}"),
+        });
+    }
+    Ok(m)
+}
+
+fn parse_function(p: &mut Parser<'_>, names: &[String]) -> Result<Function, ParseError> {
+    let header = match p.next() {
+        Some(h) => h,
+        None => return p.err("expected function header"),
+    };
+    let rest = match header.strip_prefix("fn @") {
+        Some(r) => r,
+        None => return p.err(format!("expected `fn @...`, found `{header}`")),
+    };
+    let (name, rest) = match rest.split_once('(') {
+        Some(x) => x,
+        None => return p.err("malformed function header"),
+    };
+    let (params_part, tail) = match rest.split_once(')') {
+        Some(x) => x,
+        None => return p.err("missing `)` in header"),
+    };
+    let mut n_params = 0usize;
+    let mut n_regs = 0usize;
+    for kv in params_part.split(',') {
+        let kv = kv.trim();
+        if let Some(v) = kv.strip_prefix("params=") {
+            n_params = v.parse().map_err(|_| ParseError {
+                line: 0,
+                msg: "bad params=".into(),
+            })?;
+        } else if let Some(v) = kv.strip_prefix("regs=") {
+            n_regs = v.parse().map_err(|_| ParseError {
+                line: 0,
+                msg: "bad regs=".into(),
+            })?;
+        }
+    }
+    let is_virtine = tail.contains("virtine");
+    if !tail.trim_end().ends_with('{') {
+        return p.err("expected `{` at end of header");
+    }
+
+    let mut blocks: Vec<Block> = Vec::new();
+    loop {
+        let line = match p.next() {
+            Some(l) => l,
+            None => return p.err("unexpected end of input in function body"),
+        };
+        if line == "}" {
+            break;
+        }
+        if let Some(lbl) = line.strip_suffix(':') {
+            let id = parse_block_ref(lbl)
+                .ok_or(ParseError {
+                    line: 0,
+                    msg: format!("bad block label `{lbl}`"),
+                })?
+                .index();
+            if id != blocks.len() {
+                return p.err(format!("blocks must be declared in order; got bb{id}"));
+            }
+            blocks.push(Block::new());
+            continue;
+        }
+        let b = match blocks.last_mut() {
+            Some(b) => b,
+            None => return p.err("instruction before any block label"),
+        };
+        if b.term.is_some() {
+            return p.err("instruction after terminator");
+        }
+        match parse_line(line, names) {
+            Ok(Parsed::Inst(i)) => b.insts.push(i),
+            Ok(Parsed::Term(t)) => b.term = Some(t),
+            Err(msg) => return p.err(msg),
+        }
+    }
+
+    Ok(Function {
+        name: name.to_string(),
+        n_params,
+        n_regs,
+        blocks,
+        is_virtine,
+    })
+}
+
+enum Parsed {
+    Inst(Inst),
+    Term(Term),
+}
+
+fn parse_line(line: &str, names: &[String]) -> Result<Parsed, String> {
+    // Terminators.
+    if let Some(rest) = line.strip_prefix("br ") {
+        let t = parse_block_ref(rest.trim()).ok_or("bad br target")?;
+        return Ok(Parsed::Term(Term::Br(t)));
+    }
+    if let Some(rest) = line.strip_prefix("condbr ") {
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        if toks.len() != 3 {
+            return Err("condbr needs 3 operands".into());
+        }
+        let c = parse_reg(toks[0]).ok_or("bad condbr cond")?;
+        let t = parse_block_ref(toks[1]).ok_or("bad condbr then")?;
+        let e = parse_block_ref(toks[2]).ok_or("bad condbr else")?;
+        return Ok(Parsed::Term(Term::CondBr(c, t, e)));
+    }
+    if line == "ret" {
+        return Ok(Parsed::Term(Term::Ret(None)));
+    }
+    if let Some(rest) = line.strip_prefix("ret ") {
+        let r = parse_reg(rest.trim()).ok_or("bad ret value")?;
+        return Ok(Parsed::Term(Term::Ret(Some(r))));
+    }
+
+    // Void instructions.
+    if let Some(rest) = line.strip_prefix("free ") {
+        let r = parse_reg(rest.trim()).ok_or("bad free operand")?;
+        return Ok(Parsed::Inst(Inst::Free(r)));
+    }
+    if let Some(rest) = line.strip_prefix("store [") {
+        // store [%a+off], %v
+        let (addr_part, rest) = rest.split_once(']').ok_or("missing ] in store")?;
+        let (a, off) = parse_addr(addr_part)?;
+        let v = parse_reg(rest.trim_start_matches(',').trim()).ok_or("bad store value")?;
+        return Ok(Parsed::Inst(Inst::Store(a, off, v)));
+    }
+    if let Some(rest) = line.strip_prefix("call @") {
+        let (inst, _) = parse_call(None, rest, names)?;
+        return Ok(Parsed::Inst(inst));
+    }
+    if let Some(rest) = line.strip_prefix("intr ") {
+        return Ok(Parsed::Inst(parse_intr(None, rest)?));
+    }
+
+    // `%d = ...` forms.
+    let (dst_tok, rhs) = line
+        .split_once('=')
+        .ok_or(format!("unrecognized line `{line}`"))?;
+    let d = parse_reg(dst_tok.trim()).ok_or("bad destination register")?;
+    let rhs = rhs.trim();
+
+    if let Some(v) = rhs.strip_prefix("const ") {
+        let v: i64 = v.trim().parse().map_err(|_| "bad const")?;
+        return Ok(Parsed::Inst(Inst::ConstI(d, v)));
+    }
+    if let Some(v) = rhs.strip_prefix("fconst ") {
+        let v: f64 = v.trim().parse().map_err(|_| "bad fconst")?;
+        return Ok(Parsed::Inst(Inst::ConstF(d, v)));
+    }
+    if let Some(s) = rhs.strip_prefix("mov ") {
+        let s = parse_reg(s.trim()).ok_or("bad mov source")?;
+        return Ok(Parsed::Inst(Inst::Mov(d, s)));
+    }
+    if let Some(rest) = rhs.strip_prefix("cmp.") {
+        let (op, ops) = rest.split_once(' ').ok_or("bad cmp")?;
+        let op = cmp_from(op).ok_or("unknown cmp op")?;
+        let regs = parse_args(ops).ok_or("bad cmp operands")?;
+        if regs.len() != 2 {
+            return Err("cmp needs 2 operands".into());
+        }
+        return Ok(Parsed::Inst(Inst::Cmp(d, op, regs[0], regs[1])));
+    }
+    if let Some(ops) = rhs.strip_prefix("select ") {
+        let regs = parse_args(ops).ok_or("bad select operands")?;
+        if regs.len() != 3 {
+            return Err("select needs 3 operands".into());
+        }
+        return Ok(Parsed::Inst(Inst::Select(d, regs[0], regs[1], regs[2])));
+    }
+    if let Some(s) = rhs.strip_prefix("alloc ") {
+        let s = parse_reg(s.trim()).ok_or("bad alloc size")?;
+        return Ok(Parsed::Inst(Inst::Alloc(d, s)));
+    }
+    if let Some(rest) = rhs.strip_prefix("load [") {
+        let addr_part = rest.strip_suffix(']').ok_or("missing ] in load")?;
+        let (a, off) = parse_addr(addr_part)?;
+        return Ok(Parsed::Inst(Inst::Load(d, a, off)));
+    }
+    if let Some(rest) = rhs.strip_prefix("gep ") {
+        let toks: Vec<&str> = rest.split(',').map(|t| t.trim()).collect();
+        if toks.len() != 4 {
+            return Err("gep needs base, index, scale, offset".into());
+        }
+        let b = parse_reg(toks[0]).ok_or("bad gep base")?;
+        let i = parse_reg(toks[1]).ok_or("bad gep index")?;
+        let scale: i64 = toks[2].parse().map_err(|_| "bad gep scale")?;
+        let off: i64 = toks[3].parse().map_err(|_| "bad gep offset")?;
+        return Ok(Parsed::Inst(Inst::Gep(d, b, i, scale, off)));
+    }
+    if let Some(rest) = rhs.strip_prefix("call @") {
+        let (inst, _) = parse_call(Some(d), rest, names)?;
+        return Ok(Parsed::Inst(inst));
+    }
+    if let Some(rest) = rhs.strip_prefix("intr ") {
+        return Ok(Parsed::Inst(parse_intr(Some(d), rest)?));
+    }
+    // Binary ops: `op %a, %b`.
+    if let Some((op, ops)) = rhs.split_once(' ') {
+        if let Some(op) = binop_from(op) {
+            let regs = parse_args(ops).ok_or("bad binop operands")?;
+            if regs.len() != 2 {
+                return Err("binop needs 2 operands".into());
+            }
+            return Ok(Parsed::Inst(Inst::Bin(d, op, regs[0], regs[1])));
+        }
+    }
+    Err(format!("unrecognized instruction `{line}`"))
+}
+
+fn parse_addr(part: &str) -> Result<(Reg, i64), String> {
+    // `%a+off` or `%a-off` (printed with {:+}).
+    let idx = part
+        .char_indices()
+        .skip(1)
+        .find(|&(_, c)| c == '+' || c == '-')
+        .map(|(i, _)| i)
+        .ok_or("address needs an offset sign")?;
+    let a = parse_reg(&part[..idx]).ok_or("bad address register")?;
+    let off: i64 = part[idx..].parse().map_err(|_| "bad address offset")?;
+    Ok((a, off))
+}
+
+fn parse_call(dst: Option<Reg>, rest: &str, names: &[String]) -> Result<(Inst, ()), String> {
+    let (callee, args_part) = rest.split_once('(').ok_or("bad call syntax")?;
+    let inner = args_part.strip_suffix(')').ok_or("missing ) in call")?;
+    let args = parse_args(inner).ok_or("bad call args")?;
+    let idx = names
+        .iter()
+        .position(|n| n == callee)
+        .ok_or(format!("unknown function @{callee}"))?;
+    Ok((Inst::Call(dst, FuncId(idx as u32), args), ()))
+}
+
+fn parse_intr(dst: Option<Reg>, rest: &str) -> Result<Inst, String> {
+    let (name, args_part) = rest.split_once('(').ok_or("bad intr syntax")?;
+    let inner = args_part.strip_suffix(')').ok_or("missing ) in intr")?;
+    let which = intr_from(name.trim()).ok_or(format!("unknown intrinsic `{name}`"))?;
+    let args = parse_args(inner).ok_or("bad intr args")?;
+    Ok(Inst::Intr(dst, which, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn round_trips_the_benchmark_suite() {
+        for p in programs::suite(1) {
+            let text = print_module(&p.module);
+            let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", p.name));
+            assert_eq!(parsed, p.module, "{} did not round-trip", p.name);
+        }
+    }
+
+    #[test]
+    fn round_trips_negative_offsets_and_floats() {
+        let src = "\
+fn @f(params=1, regs=4) {
+bb0:
+  %1 = fconst 0.3333333333333333
+  %2 = load [%0-8]
+  store [%0+16], %2
+  %3 = fmul %1, %1
+  ret %2
+}
+";
+        let m = parse_module(src).expect("parses");
+        let text = print_module(&m);
+        let again = parse_module(&text).expect("re-parses");
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn parses_virtine_annotation_and_calls_by_name() {
+        let src = "\
+fn @helper(params=1, regs=2) {
+bb0:
+  %1 = mov %0
+  ret %1
+}
+fn @entry(params=1, regs=2) virtine {
+bb0:
+  %1 = call @helper(%0)
+  ret %1
+}
+";
+        let m = parse_module(src).expect("parses");
+        assert!(m.funcs[1].is_virtine);
+        assert!(!m.funcs[0].is_virtine);
+        // entry's call resolves to helper (function 0).
+        let text = print_module(&m);
+        assert!(text.contains("call @helper(%0)"));
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_line_numbers() {
+        let bad = "fn @f(params=0, regs=0) {\nbb0:\n  %0 = bogus %1\n}\n";
+        let err = parse_module(bad).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("unrecognized"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_blocks() {
+        let bad = "fn @f(params=0, regs=0) {\nbb1:\n  ret\n}\n";
+        let err = parse_module(bad).unwrap_err();
+        assert!(err.msg.contains("in order"));
+    }
+
+    #[test]
+    fn rejects_unverifiable_modules() {
+        // Register out of range: parses syntactically, fails verification.
+        let bad = "fn @f(params=0, regs=1) {\nbb0:\n  %0 = mov %9\n  ret\n}\n";
+        let err = parse_module(bad).unwrap_err();
+        assert!(err.msg.contains("verification failed"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "\
+; a leading comment
+fn @f(params=0, regs=1) {
+
+bb0:
+  ; inside a block
+  %0 = const 7
+
+  ret %0
+}
+";
+        let m = parse_module(src).expect("parses with comments");
+        assert_eq!(m.funcs[0].name, "f");
+        assert_eq!(m.inst_count(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Golden-file tests for the textual IR: the printed form of the benchmark
+//! builders is part of the public surface (images ship as text), so
+//! unintentional changes to either the builders or the printer must show up
+//! as a diff against the committed golden files.
+
+use interweave_ir::programs;
+use interweave_ir::text::{parse_module, print_module};
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}.ir", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden file {path}: {e}"))
+}
+
+/// Regenerate the golden files: `REGEN_GOLDEN=1 cargo test -p interweave-ir
+/// --test golden_text`.
+#[test]
+fn regenerate_golden_files_when_requested() {
+    if std::env::var("REGEN_GOLDEN").is_err() {
+        return;
+    }
+    for (name, p) in [("fib", programs::fib(10)), ("dot", programs::dot(8))] {
+        let path = format!("{}/tests/golden/{name}.ir", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, print_module(&p.module)).expect("writable golden dir");
+        println!("regenerated {path}");
+    }
+}
+
+#[test]
+fn fib_matches_golden() {
+    let p = programs::fib(10);
+    let printed = print_module(&p.module);
+    assert_eq!(
+        printed,
+        golden("fib"),
+        "fib IR changed; if intentional, regenerate tests/golden/fib.ir"
+    );
+}
+
+#[test]
+fn dot_matches_golden() {
+    let p = programs::dot(8);
+    let printed = print_module(&p.module);
+    assert_eq!(
+        printed,
+        golden("dot"),
+        "dot IR changed; if intentional, regenerate tests/golden/dot.ir"
+    );
+}
+
+#[test]
+fn golden_files_parse_and_reprint_identically() {
+    for name in ["fib", "dot"] {
+        let text = golden(name);
+        let m = parse_module(&text).expect("golden file parses");
+        assert_eq!(print_module(&m), text, "{name} not a fixed point");
+    }
+}

@@ -1,0 +1,312 @@
+//! Buddy allocator with NUMA zones.
+//!
+//! §III: "All memory management, including for NUMA, is explicit and
+//! allocations are done with buddy system allocators that are selected based
+//! on the target zone. For threads that are bound to specific CPUs,
+//! essential thread (e.g., context, stack) and scheduler state is guaranteed
+//! to always be in the most desirable zone."
+//!
+//! This is a real allocator (not a cost model): blocks split to the
+//! requested order on allocation and recursively coalesce with their buddy
+//! on free. Property tests in `tests/` verify disjointness and full
+//! coalescing.
+
+/// The maximum block order supported (2^MAX_ORDER × min-block bytes).
+pub const MAX_ORDER: usize = 24;
+
+/// One buddy zone managing a contiguous physical range.
+#[derive(Debug, Clone)]
+pub struct BuddyZone {
+    base: u64,
+    /// log2 of the minimum block size in bytes.
+    min_order: u32,
+    /// Order of the whole zone relative to min blocks.
+    levels: usize,
+    /// Free lists per order (order 0 = min block). Entries are offsets from
+    /// `base` in min-block units.
+    free: Vec<Vec<u64>>,
+    /// Allocated blocks: offset (min-block units) → order.
+    live: std::collections::BTreeMap<u64, usize>,
+    /// Bytes currently allocated (as block sizes, i.e. including internal
+    /// fragmentation).
+    pub live_bytes: u64,
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuddyError {
+    /// No free block of the required order (zone exhausted or fragmented).
+    OutOfMemory,
+    /// Free of an address that is not the base of a live allocation.
+    BadFree,
+    /// Request larger than the zone itself.
+    TooLarge,
+}
+
+impl BuddyZone {
+    /// A zone at `base` spanning `2^levels` min-blocks of `2^min_order`
+    /// bytes each.
+    pub fn new(base: u64, min_order: u32, levels: usize) -> BuddyZone {
+        assert!(levels <= MAX_ORDER, "zone too large");
+        let mut free = vec![Vec::new(); levels + 1];
+        free[levels].push(0); // one block covering the whole zone
+        BuddyZone {
+            base,
+            min_order,
+            levels,
+            free,
+            live: std::collections::BTreeMap::new(),
+            live_bytes: 0,
+        }
+    }
+
+    /// Zone capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        (1u64 << self.levels) << self.min_order
+    }
+
+    fn order_for(&self, bytes: u64) -> Result<usize, BuddyError> {
+        let min = 1u64 << self.min_order;
+        let blocks = bytes.max(1).div_ceil(min);
+        let order = blocks.next_power_of_two().trailing_zeros() as usize;
+        if order > self.levels {
+            Err(BuddyError::TooLarge)
+        } else {
+            Ok(order)
+        }
+    }
+
+    /// Allocate at least `bytes`; returns the block's physical address.
+    pub fn alloc(&mut self, bytes: u64) -> Result<u64, BuddyError> {
+        let want = self.order_for(bytes)?;
+        // Find the smallest available order ≥ want.
+        let mut have = want;
+        while have <= self.levels && self.free[have].is_empty() {
+            have += 1;
+        }
+        if have > self.levels {
+            return Err(BuddyError::OutOfMemory);
+        }
+        // Split down to the wanted order.
+        let off = self.free[have].pop().expect("non-empty");
+        while have > want {
+            have -= 1;
+            let buddy = off + (1u64 << have);
+            self.free[have].push(buddy);
+        }
+        self.live.insert(off, want);
+        self.live_bytes += (1u64 << want) << self.min_order;
+        Ok(self.base + (off << self.min_order))
+    }
+
+    /// Free a previously allocated block; coalesces with free buddies.
+    pub fn free(&mut self, addr: u64) -> Result<(), BuddyError> {
+        if addr < self.base {
+            return Err(BuddyError::BadFree);
+        }
+        let mut off = (addr - self.base) >> self.min_order;
+        let mut order = self.live.remove(&off).ok_or(BuddyError::BadFree)?;
+        self.live_bytes -= (1u64 << order) << self.min_order;
+        // Coalesce upward while the buddy is free.
+        while order < self.levels {
+            let buddy = off ^ (1u64 << order);
+            match self.free[order].iter().position(|&b| b == buddy) {
+                Some(i) => {
+                    self.free[order].swap_remove(i);
+                    off = off.min(buddy);
+                    order += 1;
+                }
+                None => break,
+            }
+        }
+        self.free[order].push(off);
+        Ok(())
+    }
+
+    /// Number of live allocations.
+    pub fn n_live(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when the zone has coalesced back into a single maximal block —
+    /// i.e. everything was freed and coalescing worked perfectly.
+    pub fn fully_coalesced(&self) -> bool {
+        self.live.is_empty()
+            && self.free[self.levels].len() == 1
+            && self.free[..self.levels].iter().all(|l| l.is_empty())
+    }
+
+    /// The live block (base address, size in bytes) containing `addr`, if
+    /// any.
+    pub fn containing(&self, addr: u64) -> Option<(u64, u64)> {
+        if addr < self.base {
+            return None;
+        }
+        let off = (addr - self.base) >> self.min_order;
+        self.live
+            .range(..=off)
+            .next_back()
+            .map(|(&b, &o)| {
+                (
+                    self.base + (b << self.min_order),
+                    (1u64 << o) << self.min_order,
+                )
+            })
+            .filter(|&(b, sz)| addr < b + sz)
+    }
+}
+
+/// NUMA-aware allocator: one buddy zone per NUMA domain with first-choice /
+/// fallback selection, mirroring Nautilus's per-zone allocators.
+#[derive(Debug, Clone)]
+pub struct NumaAllocator {
+    zones: Vec<BuddyZone>,
+}
+
+impl NumaAllocator {
+    /// `n_zones` zones of `2^levels` blocks of `2^min_order` bytes, laid out
+    /// contiguously.
+    pub fn new(n_zones: usize, min_order: u32, levels: usize) -> NumaAllocator {
+        assert!(n_zones > 0);
+        let span = (1u64 << levels) << min_order;
+        let zones = (0..n_zones)
+            .map(|z| BuddyZone::new(0x100_0000 + z as u64 * span, min_order, levels))
+            .collect();
+        NumaAllocator { zones }
+    }
+
+    /// Number of zones.
+    pub fn n_zones(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Allocate preferring `zone`, falling back to the others in order —
+    /// the "most desirable zone" policy of §III.
+    pub fn alloc(&mut self, zone: usize, bytes: u64) -> Result<(u64, usize), BuddyError> {
+        let n = self.zones.len();
+        for k in 0..n {
+            let z = (zone + k) % n;
+            match self.zones[z].alloc(bytes) {
+                Ok(addr) => return Ok((addr, z)),
+                Err(BuddyError::TooLarge) => return Err(BuddyError::TooLarge),
+                Err(_) => continue,
+            }
+        }
+        Err(BuddyError::OutOfMemory)
+    }
+
+    /// Free an address in whichever zone owns it.
+    pub fn free(&mut self, addr: u64) -> Result<(), BuddyError> {
+        for z in &mut self.zones {
+            if addr >= z.base && addr < z.base + z.capacity() {
+                return z.free(addr);
+            }
+        }
+        Err(BuddyError::BadFree)
+    }
+
+    /// Borrow a zone (inspection in tests).
+    pub fn zone(&self, i: usize) -> &BuddyZone {
+        &self.zones[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut z = BuddyZone::new(0x1000, 6, 10); // 64 B min, 64 KiB zone
+        let a = z.alloc(100).unwrap(); // rounds to 128
+        assert!(a >= 0x1000);
+        assert_eq!(z.n_live(), 1);
+        z.free(a).unwrap();
+        assert!(z.fully_coalesced());
+    }
+
+    #[test]
+    fn distinct_allocations_are_disjoint() {
+        let mut z = BuddyZone::new(0, 6, 12);
+        let mut blocks = Vec::new();
+        for i in 0..32 {
+            let sz = 64 * (1 + (i % 5));
+            let a = z.alloc(sz as u64).unwrap();
+            blocks.push((a, z.containing(a).unwrap().1));
+        }
+        for (i, &(a, sa)) in blocks.iter().enumerate() {
+            for &(b, sb) in &blocks[i + 1..] {
+                assert!(
+                    a + sa <= b || b + sb <= a,
+                    "overlap: {a:#x}+{sa} vs {b:#x}+{sb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_and_coalescing_roundtrip() {
+        let mut z = BuddyZone::new(0, 6, 8);
+        let addrs: Vec<u64> = (0..16).map(|_| z.alloc(64).unwrap()).collect();
+        assert_eq!(z.n_live(), 16);
+        // Free in interleaved order to exercise partial coalescing.
+        for &a in addrs.iter().step_by(2) {
+            z.free(a).unwrap();
+        }
+        for &a in addrs.iter().skip(1).step_by(2) {
+            z.free(a).unwrap();
+        }
+        assert!(z.fully_coalesced());
+    }
+
+    #[test]
+    fn oom_when_exhausted() {
+        let mut z = BuddyZone::new(0, 6, 2); // 4 min blocks = 256 B
+        let _a = z.alloc(256).unwrap();
+        assert_eq!(z.alloc(64), Err(BuddyError::OutOfMemory));
+    }
+
+    #[test]
+    fn too_large_is_distinguished() {
+        let mut z = BuddyZone::new(0, 6, 2);
+        assert_eq!(z.alloc(1 << 20), Err(BuddyError::TooLarge));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut z = BuddyZone::new(0, 6, 4);
+        let a = z.alloc(64).unwrap();
+        z.free(a).unwrap();
+        assert_eq!(z.free(a), Err(BuddyError::BadFree));
+    }
+
+    #[test]
+    fn containing_lookup() {
+        let mut z = BuddyZone::new(0x4000, 6, 6);
+        let a = z.alloc(128).unwrap();
+        let (base, size) = z.containing(a + 64).unwrap();
+        assert_eq!(base, a);
+        assert_eq!(size, 128);
+        assert!(z.containing(a + 128).is_none_or(|(b, _)| b != a));
+    }
+
+    #[test]
+    fn numa_prefers_home_zone_and_falls_back() {
+        let mut n = NumaAllocator::new(2, 6, 4); // 2 zones × 1 KiB
+        let (_, z0) = n.alloc(0, 512).unwrap();
+        assert_eq!(z0, 0);
+        let (_, z0b) = n.alloc(0, 512).unwrap();
+        assert_eq!(z0b, 0);
+        // Zone 0 is now full; falls back to zone 1.
+        let (_, z1) = n.alloc(0, 512).unwrap();
+        assert_eq!(z1, 1);
+    }
+
+    #[test]
+    fn numa_free_routes_to_owning_zone() {
+        let mut n = NumaAllocator::new(2, 6, 4);
+        let (a, _) = n.alloc(1, 128).unwrap();
+        n.free(a).unwrap();
+        assert!(n.zone(1).fully_coalesced());
+    }
+}

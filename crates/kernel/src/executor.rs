@@ -1,0 +1,454 @@
+//! A small preemptive multi-CPU executor: the Nautilus-like kernel as a
+//! working scheduler rather than just a cost model.
+//!
+//! Tasks are [`Work`] bodies pinned to CPUs (Nautilus binds threads; §III).
+//! Each CPU runs its round-robin queue under a timer quantum; preemptions
+//! charge the interrupt-driven context-switch cost, voluntary yields charge
+//! the cheaper cooperative switch. `Block(tag)` parks a task until `tag` is
+//! signalled; a task's completion signals its own id, giving fork/join.
+//! Time is a per-CPU clock stitched together by a global event queue, so
+//! cross-CPU joins resolve in correct causal order.
+
+use crate::sched::{RoundRobin, RunQueue, TaskId};
+use crate::threads::{switch_cost, OsKind, SwitchKind};
+use crate::trace::{TraceEvent, TraceKind};
+use crate::work::{Work, WorkStep};
+use interweave_core::machine::{CpuId, MachineConfig};
+use interweave_core::time::Cycles;
+use interweave_core::EventQueue;
+use std::collections::HashMap;
+
+enum TaskState {
+    Ready,
+    /// Parked waiting on a signal tag (kept for debugging dumps).
+    #[allow(dead_code)]
+    Blocked(u64),
+    Done,
+}
+
+struct Task {
+    body: Box<dyn Work>,
+    state: TaskState,
+    pending: Cycles,
+    cpu: CpuId,
+    /// Cycles of pure compute this task has performed.
+    pub executed: Cycles,
+}
+
+/// Per-CPU bookkeeping.
+struct Cpu {
+    now: Cycles,
+    queue: RoundRobin,
+    busy: Cycles,
+    switch_cycles: Cycles,
+    dispatch_scheduled: bool,
+}
+
+/// Execution statistics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorStats {
+    /// Preemptions (quantum expiry).
+    pub preemptions: u64,
+    /// Voluntary yields.
+    pub yields: u64,
+    /// Block/wake transitions.
+    pub blocks: u64,
+    /// Total context-switch cycles charged.
+    pub switch_cycles: Cycles,
+    /// Completion time (max CPU clock).
+    pub makespan: Cycles,
+    /// Per-task compute cycles.
+    pub task_executed: Vec<Cycles>,
+}
+
+/// The executor.
+pub struct Executor {
+    mc: MachineConfig,
+    quantum: Cycles,
+    tasks: Vec<Task>,
+    cpus: Vec<Cpu>,
+    waiters: HashMap<u64, Vec<TaskId>>,
+    signalled: HashMap<u64, Cycles>,
+    events: EventQueue<CpuId>,
+    tracing: bool,
+    /// Recorded intervals (when tracing is enabled).
+    pub trace: Vec<TraceEvent>,
+    /// Statistics (populated by [`Executor::run`]).
+    pub stats: ExecutorStats,
+}
+
+impl Executor {
+    /// A new executor on `mc` with the given preemption quantum.
+    pub fn new(mc: MachineConfig, quantum: Cycles) -> Executor {
+        assert!(quantum.get() > 0);
+        let cpus = (0..mc.cores)
+            .map(|_| Cpu {
+                now: Cycles::ZERO,
+                queue: RoundRobin::new(),
+                busy: Cycles::ZERO,
+                switch_cycles: Cycles::ZERO,
+                dispatch_scheduled: false,
+            })
+            .collect();
+        Executor {
+            mc,
+            quantum,
+            tasks: Vec::new(),
+            cpus,
+            waiters: HashMap::new(),
+            signalled: HashMap::new(),
+            events: EventQueue::new(),
+            tracing: false,
+            trace: Vec::new(),
+            stats: ExecutorStats::default(),
+        }
+    }
+
+    /// Record a scheduling trace (see [`crate::trace`]); export it with
+    /// [`crate::trace::chrome_trace_json`].
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    fn record(&mut self, cpu: CpuId, task: u64, start: Cycles, end: Cycles, kind: TraceKind) {
+        if self.tracing && end > start {
+            self.trace.push(TraceEvent {
+                cpu,
+                task,
+                start,
+                end,
+                kind,
+            });
+        }
+    }
+
+    /// Spawn a work body on a CPU; returns its task id (also its completion
+    /// signal tag).
+    pub fn spawn(&mut self, cpu: CpuId, body: Box<dyn Work>) -> TaskId {
+        assert!(cpu < self.cpus.len());
+        let id = self.tasks.len() as TaskId;
+        self.tasks.push(Task {
+            body,
+            state: TaskState::Ready,
+            pending: Cycles::ZERO,
+            cpu,
+            executed: Cycles::ZERO,
+        });
+        self.cpus[cpu].queue.push(id);
+        self.kick(cpu, Cycles::ZERO);
+        id
+    }
+
+    fn kick(&mut self, cpu: CpuId, at: Cycles) {
+        if !self.cpus[cpu].dispatch_scheduled {
+            self.cpus[cpu].dispatch_scheduled = true;
+            let t = at.max(self.events.now());
+            self.events.schedule(t, cpu);
+        }
+    }
+
+    fn signal(&mut self, tag: u64, at: Cycles) {
+        self.signalled.insert(tag, at);
+        if let Some(ws) = self.waiters.remove(&tag) {
+            for tid in ws {
+                let t = &mut self.tasks[tid as usize];
+                t.state = TaskState::Ready;
+                let cpu = t.cpu;
+                self.cpus[cpu].queue.push(tid);
+                self.kick(cpu, at);
+            }
+        }
+    }
+
+    /// Run to quiescence (all tasks done or irrecoverably blocked).
+    /// Returns true if every task completed.
+    pub fn run(&mut self) -> bool {
+        while let Some((at, cpu)) = self.events.pop() {
+            self.cpus[cpu].dispatch_scheduled = false;
+            self.dispatch(cpu, at);
+        }
+        self.stats.makespan = self
+            .cpus
+            .iter()
+            .map(|c| c.now)
+            .max()
+            .unwrap_or(Cycles::ZERO);
+        self.stats.switch_cycles = self.cpus.iter().map(|c| c.switch_cycles).sum();
+        self.stats.task_executed = self.tasks.iter().map(|t| t.executed).collect();
+        self.tasks
+            .iter()
+            .all(|t| matches!(t.state, TaskState::Done))
+    }
+
+    fn dispatch(&mut self, cpu: CpuId, at: Cycles) {
+        let c = &mut self.cpus[cpu];
+        c.now = c.now.max(at);
+        let Some(tid) = c.queue.pop() else { return };
+        let mut quantum_left = self.quantum;
+
+        loop {
+            let task = &mut self.tasks[tid as usize];
+            if task.pending == Cycles::ZERO {
+                let cpu_now = self.cpus[cpu].now;
+                match task.body.step(cpu, cpu_now) {
+                    WorkStep::Compute(n) => task.pending = n,
+                    WorkStep::Yield => {
+                        self.stats.yields += 1;
+                        let cost = switch_cost(
+                            &self.mc,
+                            OsKind::Nk,
+                            SwitchKind::FiberCooperative,
+                            false,
+                            false,
+                        )
+                        .total();
+                        let c = &mut self.cpus[cpu];
+                        let start = c.now;
+                        c.now += cost;
+                        c.switch_cycles += cost;
+                        c.queue.push(tid);
+                        let now = c.now;
+                        self.record(cpu, u64::MAX, start, now, TraceKind::Switch);
+                        self.kick(cpu, now);
+                        return;
+                    }
+                    WorkStep::Block(tag) => {
+                        // Already-signalled tags pass straight through
+                        // (join on a finished task) — but causality holds:
+                        // the joiner's clock advances to the signal time.
+                        if let Some(&st) = self.signalled.get(&tag) {
+                            let c = &mut self.cpus[cpu];
+                            c.now = c.now.max(st);
+                            continue;
+                        }
+                        self.stats.blocks += 1;
+                        task.state = TaskState::Blocked(tag);
+                        self.waiters.entry(tag).or_default().push(tid);
+                        let now = self.cpus[cpu].now;
+                        if !self.cpus[cpu].queue.is_empty() {
+                            self.kick(cpu, now);
+                        }
+                        return;
+                    }
+                    WorkStep::Done => {
+                        task.state = TaskState::Done;
+                        let now = self.cpus[cpu].now;
+                        self.signal(tid, now);
+                        if !self.cpus[cpu].queue.is_empty() {
+                            self.kick(cpu, now);
+                        }
+                        return;
+                    }
+                }
+            }
+
+            // Consume compute, bounded by the quantum.
+            let task = &mut self.tasks[tid as usize];
+            let slice = task.pending.min(quantum_left);
+            task.pending -= slice;
+            task.executed += slice;
+            let c = &mut self.cpus[cpu];
+            let run_start = c.now;
+            c.now += slice;
+            c.busy += slice;
+            quantum_left -= slice;
+            let run_end = self.cpus[cpu].now;
+            self.record(cpu, tid, run_start, run_end, TraceKind::Run);
+
+            if quantum_left == Cycles::ZERO {
+                // Timer preemption.
+                self.stats.preemptions += 1;
+                let cost = switch_cost(
+                    &self.mc,
+                    OsKind::Nk,
+                    SwitchKind::ThreadInterrupt,
+                    false,
+                    false,
+                )
+                .total();
+                let c = &mut self.cpus[cpu];
+                let start = c.now;
+                c.now += cost;
+                c.switch_cycles += cost;
+                c.queue.push(tid);
+                let now = c.now;
+                self.record(cpu, u64::MAX, start, now, TraceKind::Switch);
+                self.kick(cpu, now);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::{LoopWork, ScriptedWork};
+    use interweave_core::machine::MachineConfig;
+
+    fn exec(cpus: usize, quantum: u64) -> Executor {
+        Executor::new(MachineConfig::test(cpus), Cycles(quantum))
+    }
+
+    #[test]
+    fn single_task_completes_with_expected_time() {
+        let mut e = exec(1, 10_000);
+        e.spawn(0, Box::new(LoopWork::new(10, Cycles(100))));
+        assert!(e.run());
+        assert!(e.stats.makespan >= Cycles(1000));
+        assert_eq!(e.stats.task_executed[0], Cycles(1000));
+    }
+
+    #[test]
+    fn quantum_preemption_interleaves_fairly() {
+        // Two long tasks on one CPU: both finish, preemptions happen, and
+        // execution interleaves (neither can finish an entire quantum run
+        // ahead of the other).
+        let mut e = exec(1, 1_000);
+        let a = e.spawn(0, Box::new(LoopWork::new(1, Cycles(10_000))));
+        let b = e.spawn(0, Box::new(LoopWork::new(1, Cycles(10_000))));
+        assert!(e.run());
+        assert!(
+            e.stats.preemptions >= 18,
+            "preemptions {}",
+            e.stats.preemptions
+        );
+        assert_eq!(e.stats.task_executed[a as usize], Cycles(10_000));
+        assert_eq!(e.stats.task_executed[b as usize], Cycles(10_000));
+        // With fair RR, the makespan is both tasks + switch costs.
+        assert!(e.stats.makespan >= Cycles(20_000));
+    }
+
+    #[test]
+    fn cross_cpu_fork_join_resolves_causally() {
+        // Parent on CPU 0 blocks on the child running on CPU 1; the parent
+        // resumes only after the child's completion time. The small quantum
+        // forces the child through many dispatch events, so the parent
+        // reaches its join while the child is still running and must park.
+        let mut e = exec(2, 5_000);
+        let child = e.spawn(1, Box::new(LoopWork::new(1, Cycles(50_000))));
+        let _parent = e.spawn(
+            0,
+            Box::new(ScriptedWork::new(vec![
+                WorkStep::Compute(Cycles(100)),
+                WorkStep::Block(child),
+                WorkStep::Compute(Cycles(100)),
+                WorkStep::Done,
+            ])),
+        );
+        assert!(e.run());
+        // Parent's last compute happens after the child finished at ~50k.
+        assert!(
+            e.stats.makespan >= Cycles(50_100),
+            "makespan {}",
+            e.stats.makespan
+        );
+        assert_eq!(e.stats.blocks, 1);
+    }
+
+    #[test]
+    fn join_on_already_finished_task_does_not_block() {
+        let mut e = exec(1, 100_000);
+        let child = e.spawn(0, Box::new(LoopWork::new(1, Cycles(10))));
+        // Parent spawned after; by the time it blocks, the child may be
+        // done — either way it must complete.
+        let _p = e.spawn(
+            0,
+            Box::new(ScriptedWork::new(vec![
+                WorkStep::Compute(Cycles(5_000)),
+                WorkStep::Block(child),
+                WorkStep::Done,
+            ])),
+        );
+        assert!(e.run());
+    }
+
+    #[test]
+    fn yields_cost_less_than_preemptions() {
+        // A cooperative task that yields often vs. a preempted one: the
+        // cooperative run charges cheaper switches.
+        let coop = {
+            let mut e = exec(1, 1_000_000);
+            let steps: Vec<WorkStep> = (0..20)
+                .flat_map(|_| [WorkStep::Compute(Cycles(500)), WorkStep::Yield])
+                .chain([WorkStep::Done])
+                .collect();
+            e.spawn(0, Box::new(ScriptedWork::new(steps)));
+            assert!(e.run());
+            e.stats.switch_cycles
+        };
+        let preempted = {
+            let mut e = exec(1, 500);
+            e.spawn(0, Box::new(LoopWork::new(20, Cycles(500))));
+            assert!(e.run());
+            e.stats.switch_cycles
+        };
+        assert!(
+            coop < preempted,
+            "cooperative {coop} vs preempted {preempted}"
+        );
+    }
+
+    #[test]
+    fn deadlocked_task_reports_incomplete() {
+        let mut e = exec(1, 10_000);
+        e.spawn(
+            0,
+            Box::new(ScriptedWork::new(vec![
+                WorkStep::Block(9999),
+                WorkStep::Done,
+            ])),
+        );
+        assert!(
+            !e.run(),
+            "blocking on a never-signalled tag cannot complete"
+        );
+    }
+
+    #[test]
+    fn tracing_records_consistent_nonoverlapping_intervals() {
+        use crate::trace::{chrome_trace_json, find_overlap, TraceKind};
+        let mut e = exec(2, 1_000);
+        let a = e.spawn(0, Box::new(LoopWork::new(1, Cycles(5_000))));
+        let b = e.spawn(0, Box::new(LoopWork::new(1, Cycles(5_000))));
+        let c = e.spawn(1, Box::new(LoopWork::new(1, Cycles(3_000))));
+        e.enable_tracing();
+        assert!(e.run());
+        assert!(find_overlap(&e.trace).is_none(), "overlapping intervals");
+        // Per-task run time in the trace equals the executed totals.
+        for (tid, expect) in [(a, 5_000u64), (b, 5_000), (c, 3_000)] {
+            let traced: u64 = e
+                .trace
+                .iter()
+                .filter(|ev| ev.task == tid && ev.kind == TraceKind::Run)
+                .map(|ev| ev.duration().get())
+                .sum();
+            assert_eq!(traced, expect, "task {tid}");
+        }
+        let json = chrome_trace_json(&e.trace, 1000);
+        assert!(json.contains("\"name\":\"task0\""));
+        assert!(json.contains("\"name\":\"switch\""));
+    }
+
+    #[test]
+    fn parallel_speedup_across_cpus() {
+        let solo = {
+            let mut e = exec(1, 100_000);
+            for _ in 0..4 {
+                e.spawn(0, Box::new(LoopWork::new(1, Cycles(25_000))));
+            }
+            assert!(e.run());
+            e.stats.makespan
+        };
+        let quad = {
+            let mut e = exec(4, 100_000);
+            for c in 0..4 {
+                e.spawn(c, Box::new(LoopWork::new(1, Cycles(25_000))));
+            }
+            assert!(e.run());
+            e.stats.makespan
+        };
+        let speedup = solo.as_f64() / quad.as_f64();
+        assert!(speedup > 3.5, "speedup {speedup:.2}");
+    }
+}

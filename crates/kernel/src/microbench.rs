@@ -1,0 +1,146 @@
+//! The §III primitives table (TAB-NK).
+//!
+//! "Application benchmark speedups from 20–40 % over user-level execution
+//! on Linux have been demonstrated, while benchmarks show that primitives
+//! such as thread management and event signaling are orders of magnitude
+//! faster." This module evaluates both kernels' primitive costs on a given
+//! machine and formats them as the comparison table the bench binary
+//! prints.
+
+use crate::os::OsModel;
+use interweave_core::time::Cycles;
+
+/// One primitive's cost under both kernels.
+#[derive(Debug, Clone)]
+pub struct PrimitiveRow {
+    /// Primitive name.
+    pub name: &'static str,
+    /// Cost on the Linux-like kernel.
+    pub linux: Cycles,
+    /// Cost on the Nautilus-like kernel.
+    pub nautilus: Cycles,
+}
+
+impl PrimitiveRow {
+    /// Linux cost / Nautilus cost.
+    pub fn speedup(&self) -> f64 {
+        self.linux.as_f64() / self.nautilus.as_f64().max(1.0)
+    }
+}
+
+/// Evaluate the primitive suite on a pair of kernel models (same machine).
+pub fn primitive_table(linux: &dyn OsModel, nk: &dyn OsModel) -> Vec<PrimitiveRow> {
+    assert_eq!(
+        linux.machine().name,
+        nk.machine().name,
+        "primitive comparison requires the same machine"
+    );
+    let (lx_wake_cost, lx_wake_lat) = linux.wake_remote();
+    let (nk_wake_cost, nk_wake_lat) = nk.wake_remote();
+    vec![
+        PrimitiveRow {
+            name: "thread create",
+            linux: linux.thread_create(),
+            nautilus: nk.thread_create(),
+        },
+        PrimitiveRow {
+            name: "thread join",
+            linux: linux.thread_join(),
+            nautilus: nk.thread_join(),
+        },
+        PrimitiveRow {
+            name: "ctx switch (non-RT, FP)",
+            linux: linux.ctx_switch(false, true),
+            nautilus: nk.ctx_switch(false, true),
+        },
+        PrimitiveRow {
+            name: "ctx switch (RT, no-FP)",
+            linux: linux.ctx_switch(true, false),
+            nautilus: nk.ctx_switch(true, false),
+        },
+        PrimitiveRow {
+            name: "event delivery (receiver)",
+            linux: linux.event_deliver(),
+            nautilus: nk.event_deliver(),
+        },
+        PrimitiveRow {
+            name: "event send (one target)",
+            linux: linux.event_send(),
+            nautilus: nk.event_send(),
+        },
+        PrimitiveRow {
+            name: "remote wake cost (waker)",
+            linux: lx_wake_cost,
+            nautilus: nk_wake_cost,
+        },
+        PrimitiveRow {
+            name: "remote wake latency",
+            linux: lx_wake_lat,
+            nautilus: nk_wake_lat,
+        },
+        PrimitiveRow {
+            name: "barrier episode (blocking)",
+            linux: linux.barrier_block(),
+            nautilus: nk.barrier_block(),
+        },
+        PrimitiveRow {
+            name: "mutex (uncontended)",
+            linux: linux.mutex_uncontended(),
+            nautilus: nk.mutex_uncontended(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::{LinuxModel, NkModel};
+    use interweave_core::machine::MachineConfig;
+
+    fn table() -> Vec<PrimitiveRow> {
+        let mc = MachineConfig::xeon_server_2s();
+        primitive_table(&LinuxModel::new(mc.clone()), &NkModel::new(mc))
+    }
+
+    #[test]
+    fn nautilus_wins_every_primitive() {
+        for row in table() {
+            assert!(
+                row.nautilus <= row.linux,
+                "{}: nk {} vs linux {}",
+                row.name,
+                row.nautilus,
+                row.linux
+            );
+        }
+    }
+
+    #[test]
+    fn thread_management_is_order_of_magnitude() {
+        let t = table();
+        let create = t.iter().find(|r| r.name == "thread create").unwrap();
+        assert!(
+            create.speedup() >= 10.0,
+            "create speedup {:.1}",
+            create.speedup()
+        );
+    }
+
+    #[test]
+    fn event_signaling_speedup_is_large() {
+        let t = table();
+        let deliver = t
+            .iter()
+            .find(|r| r.name == "event delivery (receiver)")
+            .unwrap();
+        assert!(deliver.speedup() >= 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same machine")]
+    fn mismatched_machines_rejected() {
+        let a = LinuxModel::new(MachineConfig::xeon_server_2s());
+        let b = NkModel::new(MachineConfig::phi_knl());
+        let _ = primitive_table(&a, &b);
+    }
+}

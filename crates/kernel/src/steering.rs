@@ -1,0 +1,211 @@
+//! Interrupt steering (§III): "interrupts are fully steerable, and thus can
+//! largely be avoided on most hardware threads."
+//!
+//! A routing table maps IRQ classes to target CPUs. The Nautilus policy
+//! concentrates every steerable interrupt on a housekeeping CPU, leaving
+//! worker CPUs interrupt-free; the commodity default spreads device
+//! interrupts round-robin (irqbalance). The model quantifies what workers
+//! gain: cycles per second stolen per CPU under each policy, the number the
+//! OpenMP noise model and Fig. 3 jitter ultimately trace back to.
+
+use interweave_core::interrupt::IrqClass;
+use interweave_core::machine::{CpuId, MachineConfig};
+use interweave_core::time::Cycles;
+use std::collections::BTreeMap;
+
+/// Steering policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteeringPolicy {
+    /// All steerable IRQs to one housekeeping CPU (Nautilus).
+    Housekeeping(CpuId),
+    /// Round-robin across all CPUs (irqbalance-like default).
+    Spread,
+}
+
+/// An interrupt source: class, rate, and handler cost.
+#[derive(Debug, Clone, Copy)]
+pub struct IrqSource {
+    /// Interrupt class.
+    pub class: IrqClass,
+    /// Interrupts per second.
+    pub rate_hz: u64,
+    /// Handler cycles per interrupt (dispatch added separately).
+    pub handler: Cycles,
+}
+
+/// A configured routing table.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// Assignment: source index → CPU.
+    pub route: Vec<CpuId>,
+    policy: SteeringPolicy,
+}
+
+/// Build the routing for `sources` on `mc` under `policy`.
+pub fn route(sources: &[IrqSource], mc: &MachineConfig, policy: SteeringPolicy) -> Routing {
+    let route = match policy {
+        SteeringPolicy::Housekeeping(hk) => {
+            assert!(hk < mc.cores);
+            // The LAPIC timer is per-CPU and cannot leave its CPU; every
+            // other class steers to the housekeeping CPU.
+            sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| match s.class {
+                    IrqClass::LapicTimer => i % mc.cores, // stays local
+                    _ => hk,
+                })
+                .collect()
+        }
+        SteeringPolicy::Spread => (0..sources.len()).map(|i| i % mc.cores).collect(),
+    };
+    Routing { route, policy }
+}
+
+impl Routing {
+    /// The policy this routing implements.
+    pub fn policy(&self) -> SteeringPolicy {
+        self.policy
+    }
+}
+
+/// Cycles per second of interrupt work each CPU absorbs under a routing.
+pub fn stolen_per_cpu(sources: &[IrqSource], routing: &Routing, mc: &MachineConfig) -> Vec<u64> {
+    let mut per: BTreeMap<CpuId, u64> = (0..mc.cores).map(|c| (c, 0)).collect();
+    let dispatch = mc.dispatch_cost() + mc.cost.intr_return;
+    for (i, s) in sources.iter().enumerate() {
+        let cpu = routing.route[i];
+        let per_irq = dispatch + s.handler;
+        *per.get_mut(&cpu).expect("cpu in range") += s.rate_hz * per_irq.get();
+    }
+    per.into_values().collect()
+}
+
+/// A representative device-interrupt load: NIC rx/tx queues, NVMe
+/// completion queues, and per-CPU timers.
+pub fn typical_sources(cores: usize) -> Vec<IrqSource> {
+    let mut v = vec![
+        IrqSource {
+            class: IrqClass::Device,
+            rate_hz: 25_000, // NIC rx
+            handler: Cycles(2_500),
+        },
+        IrqSource {
+            class: IrqClass::Device,
+            rate_hz: 12_000, // NIC tx completions
+            handler: Cycles(1_200),
+        },
+        IrqSource {
+            class: IrqClass::Device,
+            rate_hz: 18_000, // NVMe cq
+            handler: Cycles(1_800),
+        },
+        IrqSource {
+            class: IrqClass::Device,
+            rate_hz: 3_000, // misc (USB, AHCI…)
+            handler: Cycles(900),
+        },
+    ];
+    // One local timer per CPU (modest rate under NO_HZ).
+    for _ in 0..cores {
+        v.push(IrqSource {
+            class: IrqClass::LapicTimer,
+            rate_hz: 250,
+            handler: Cycles(1_500),
+        });
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MachineConfig {
+        MachineConfig::xeon_server_2s().with_cores(8)
+    }
+
+    #[test]
+    fn housekeeping_leaves_workers_nearly_silent() {
+        let mc = mc();
+        let sources = typical_sources(mc.cores);
+        let hk = route(&sources, &mc, SteeringPolicy::Housekeeping(0));
+        let stolen = stolen_per_cpu(&sources, &hk, &mc);
+        // Workers only keep their local timer.
+        let timer_only = 250 * (mc.dispatch_cost() + mc.cost.intr_return + Cycles(1_500)).get();
+        for (c, &s) in stolen.iter().enumerate().skip(1) {
+            assert_eq!(s, timer_only, "cpu {c} absorbs device IRQs");
+        }
+        // The housekeeping CPU pays for everyone.
+        assert!(stolen[0] > 50 * timer_only);
+    }
+
+    #[test]
+    fn spread_pollutes_every_cpu() {
+        let mc = mc();
+        let sources = typical_sources(mc.cores);
+        let sp = route(&sources, &mc, SteeringPolicy::Spread);
+        let stolen = stolen_per_cpu(&sources, &sp, &mc);
+        let polluted = stolen
+            .iter()
+            .filter(|&&s| {
+                s > 250 * (mc.dispatch_cost() + mc.cost.intr_return + Cycles(1_500)).get()
+            })
+            .count();
+        assert!(polluted >= 4, "only {polluted} CPUs polluted");
+    }
+
+    #[test]
+    fn worker_noise_gap_matches_the_papers_story() {
+        // §III + §V-A: steering is one reason kernel-mode OpenMP workers see
+        // no noise. Compare a worker CPU's stolen fraction under the two
+        // policies at 3.3 GHz.
+        let mc = mc();
+        let sources = typical_sources(mc.cores);
+        let hk = stolen_per_cpu(
+            &sources,
+            &route(&sources, &mc, SteeringPolicy::Housekeeping(0)),
+            &mc,
+        );
+        let sp = stolen_per_cpu(&sources, &route(&sources, &mc, SteeringPolicy::Spread), &mc);
+        let hz = mc.freq.hz() as f64;
+        let worker_hk = hk[3] as f64 / hz;
+        let worker_sp = sp[3] as f64 / hz;
+        assert!(worker_hk < 0.001, "steered worker loses {worker_hk:.4}");
+        assert!(
+            worker_sp > 5.0 * worker_hk,
+            "spread {worker_sp:.4} vs steered {worker_hk:.4}"
+        );
+    }
+
+    #[test]
+    fn conservation_across_policies() {
+        // Steering moves work; it does not create or destroy it.
+        let mc = mc();
+        let sources = typical_sources(mc.cores);
+        let a: u64 = stolen_per_cpu(
+            &sources,
+            &route(&sources, &mc, SteeringPolicy::Housekeeping(0)),
+            &mc,
+        )
+        .iter()
+        .sum();
+        let b: u64 = stolen_per_cpu(&sources, &route(&sources, &mc, SteeringPolicy::Spread), &mc)
+            .iter()
+            .sum();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pipeline_interrupts_shrink_the_whole_budget() {
+        let mc = mc();
+        let pipe = mc.clone().with_pipeline_interrupts();
+        let sources = typical_sources(mc.cores);
+        let total = |m: &MachineConfig| -> u64 {
+            stolen_per_cpu(&sources, &route(&sources, m, SteeringPolicy::Spread), m)
+                .iter()
+                .sum()
+        };
+        assert!(total(&pipe) < total(&mc));
+    }
+}

@@ -1,0 +1,133 @@
+//! Execution tracing: record scheduler intervals and export them in the
+//! Chrome trace-event format (`chrome://tracing` / Perfetto).
+//!
+//! Interweaving arguments are about where cycles go; a visual timeline of
+//! who ran when — tasks, switches, idle gaps — is the fastest way to sanity-
+//! check a scheduling simulation. [`crate::executor::Executor`] records
+//! [`TraceEvent`]s when tracing is enabled; [`chrome_trace_json`] renders
+//! them as a standard trace file.
+
+use interweave_core::machine::CpuId;
+use interweave_core::time::Cycles;
+use std::fmt::Write as _;
+
+/// What happened during a traced interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A task computed.
+    Run,
+    /// The scheduler switched contexts (preemption or yield).
+    Switch,
+}
+
+/// One traced interval on one CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// CPU the interval ran on.
+    pub cpu: CpuId,
+    /// Task id (`u64::MAX` for scheduler-internal intervals).
+    pub task: u64,
+    /// Interval start (cycles).
+    pub start: Cycles,
+    /// Interval end (cycles).
+    pub end: Cycles,
+    /// Interval kind.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Duration of the interval.
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+/// Verify the fundamental trace invariant: intervals on one CPU never
+/// overlap. Returns the first violating pair, if any.
+pub fn find_overlap(events: &[TraceEvent]) -> Option<(TraceEvent, TraceEvent)> {
+    let mut per_cpu: std::collections::BTreeMap<CpuId, Vec<TraceEvent>> = Default::default();
+    for &e in events {
+        per_cpu.entry(e.cpu).or_default().push(e);
+    }
+    for (_, mut evs) in per_cpu {
+        evs.sort_by_key(|e| e.start);
+        for w in evs.windows(2) {
+            if w[1].start < w[0].end {
+                return Some((w[0], w[1]));
+            }
+        }
+    }
+    None
+}
+
+/// Render events as a Chrome trace-event JSON document. Cycles are reported
+/// as microsecond timestamps scaled by `cycles_per_us` (pass the machine
+/// frequency in MHz; 1 keeps raw cycles).
+pub fn chrome_trace_json(events: &[TraceEvent], cycles_per_us: u64) -> String {
+    let scale = cycles_per_us.max(1) as f64;
+    let mut out = String::from("[\n");
+    for (i, e) in events.iter().enumerate() {
+        let name = match e.kind {
+            TraceKind::Run => format!("task{}", e.task),
+            TraceKind::Switch => "switch".to_string(),
+        };
+        let _ = write!(
+            out,
+            "  {{\"name\":\"{name}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
+            match e.kind {
+                TraceKind::Run => "run",
+                TraceKind::Switch => "sched",
+            },
+            e.start.as_f64() / scale,
+            e.duration().as_f64() / scale,
+            e.cpu
+        );
+        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cpu: usize, task: u64, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            cpu,
+            task,
+            start: Cycles(start),
+            end: Cycles(end),
+            kind: TraceKind::Run,
+        }
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let ok = [ev(0, 1, 0, 10), ev(0, 2, 10, 20), ev(1, 3, 5, 15)];
+        assert!(find_overlap(&ok).is_none());
+        let bad = [ev(0, 1, 0, 10), ev(0, 2, 9, 20)];
+        assert!(find_overlap(&bad).is_some());
+    }
+
+    #[test]
+    fn json_shape() {
+        let events = [ev(0, 7, 100, 300)];
+        let json = chrome_trace_json(&events, 1);
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"name\":\"task7\""));
+        assert!(json.contains("\"ts\":100.000"));
+        assert!(json.contains("\"dur\":200.000"));
+        assert!(json.contains("\"tid\":0"));
+    }
+
+    #[test]
+    fn frequency_scaling() {
+        let events = [ev(0, 1, 1400, 2800)];
+        // 1400 MHz → 1400 cycles = 1 µs.
+        let json = chrome_trace_json(&events, 1400);
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":1.000"));
+    }
+}

@@ -1,0 +1,96 @@
+//! NAS-style workload specifications.
+//!
+//! Fig. 6 evaluates BT and SP from the NAS parallel benchmarks: iterative
+//! ADI solvers that, per time step, sweep the grid in several parallel
+//! regions separated by barriers, with a small serial section. What the
+//! mode comparison is sensitive to is the *shape* — regions per iteration,
+//! work per region, serial fraction, imbalance — so a specification
+//! captures exactly those.
+
+use interweave_core::time::Cycles;
+
+/// A fork/join workload shape.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Time steps.
+    pub iters: u32,
+    /// Parallel regions per time step (BT/SP: x-, y-, z-solve + rhs).
+    pub regions_per_iter: u32,
+    /// Total work per region in cycles (split across workers).
+    pub work_per_region: Cycles,
+    /// Master-only serial work per time step.
+    pub serial_per_iter: Cycles,
+    /// Static imbalance: worker shares vary by U(0, imbalance).
+    pub imbalance: f64,
+    /// Iterations per region for dynamic scheduling cost (chunk grabs).
+    pub chunks_per_worker: u32,
+}
+
+/// NAS BT (block tri-diagonal) — larger regions, 4 per step.
+pub fn bt() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "BT",
+        iters: 24,
+        regions_per_iter: 4,
+        work_per_region: Cycles(2_400_000),
+        serial_per_iter: Cycles(36_000),
+        imbalance: 0.03,
+        chunks_per_worker: 1,
+    }
+}
+
+/// NAS SP (scalar penta-diagonal) — more, smaller regions per step; more
+/// barrier-sensitive than BT.
+pub fn sp() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "SP",
+        iters: 32,
+        regions_per_iter: 6,
+        work_per_region: Cycles(1_100_000),
+        serial_per_iter: Cycles(30_000),
+        imbalance: 0.04,
+        chunks_per_worker: 1,
+    }
+}
+
+/// The Fig. 6 benchmark pair.
+pub fn fig6_specs() -> Vec<WorkloadSpec> {
+    vec![bt(), sp()]
+}
+
+impl WorkloadSpec {
+    /// Scale the per-region work by `factor` — a larger NAS class for a
+    /// larger machine (the 192-core repetition runs a bigger problem, as
+    /// strong-scaling a class-A-sized grid to 192 cores would leave
+    /// microseconds of work per region).
+    pub fn scaled(mut self, factor: u64) -> WorkloadSpec {
+        self.work_per_region = self.work_per_region * factor;
+        self.serial_per_iter = self.serial_per_iter * factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp_is_more_barrier_intensive_than_bt() {
+        let (bt, sp) = (bt(), sp());
+        let bt_grain = bt.work_per_region.get();
+        let sp_grain = sp.work_per_region.get();
+        assert!(sp.regions_per_iter > bt.regions_per_iter);
+        assert!(sp_grain < bt_grain);
+    }
+
+    #[test]
+    fn specs_have_sane_serial_fractions() {
+        for s in fig6_specs() {
+            let parallel = s.work_per_region.get() * s.regions_per_iter as u64;
+            let frac = s.serial_per_iter.get() as f64 / parallel as f64;
+            assert!(frac < 0.02, "{}: serial fraction {frac}", s.name);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! OpenMP loop-scheduling semantics: static, dynamic, guided.
+//!
+//! The scheduling *semantics* are identical across the four execution
+//! designs — only the costs differ — so the chunk-assignment logic lives
+//! here once, tested for the OpenMP-specified properties: full coverage, no
+//! overlap, static determinism, and guided's geometrically shrinking
+//! chunks.
+
+/// An OpenMP `schedule(...)` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// `schedule(static)`: iterations pre-divided into contiguous blocks,
+    /// one per thread.
+    Static,
+    /// `schedule(static, chunk)`: round-robin chunks.
+    StaticChunk(u64),
+    /// `schedule(dynamic, chunk)`: threads grab chunks from a shared
+    /// counter.
+    Dynamic(u64),
+    /// `schedule(guided, min_chunk)`: chunk = remaining / threads, floored.
+    Guided(u64),
+}
+
+/// A contiguous iteration chunk `[lo, hi)` assigned to a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Owning thread.
+    pub thread: usize,
+    /// First iteration.
+    pub lo: u64,
+    /// One past last iteration.
+    pub hi: u64,
+}
+
+/// Compute the full chunk assignment for `n` iterations over `threads`
+/// threads. For `Dynamic`/`Guided`, the grab order models each thread
+/// taking the next chunk round-robin (the cost model charges the atomic per
+/// grab; the *assignment* here is the deterministic reference order).
+pub fn assign(schedule: Schedule, n: u64, threads: usize) -> Vec<Chunk> {
+    assert!(threads > 0);
+    let t = threads as u64;
+    let mut out = Vec::new();
+    match schedule {
+        Schedule::Static => {
+            // Blocked: ceil distribution, earlier threads get the extras.
+            let base = n / t;
+            let extra = n % t;
+            let mut lo = 0;
+            for th in 0..t {
+                let len = base + u64::from(th < extra);
+                if len > 0 {
+                    out.push(Chunk {
+                        thread: th as usize,
+                        lo,
+                        hi: lo + len,
+                    });
+                }
+                lo += len;
+            }
+        }
+        Schedule::StaticChunk(c) => {
+            let c = c.max(1);
+            let mut lo = 0;
+            let mut th = 0usize;
+            while lo < n {
+                let hi = (lo + c).min(n);
+                out.push(Chunk { thread: th, lo, hi });
+                th = (th + 1) % threads;
+                lo = hi;
+            }
+        }
+        Schedule::Dynamic(c) => {
+            let c = c.max(1);
+            let mut lo = 0;
+            let mut th = 0usize;
+            while lo < n {
+                let hi = (lo + c).min(n);
+                out.push(Chunk { thread: th, lo, hi });
+                th = (th + 1) % threads;
+                lo = hi;
+            }
+        }
+        Schedule::Guided(min) => {
+            let min = min.max(1);
+            let mut lo = 0;
+            let mut th = 0usize;
+            while lo < n {
+                let remaining = n - lo;
+                let c = (remaining / t).max(min).min(remaining);
+                out.push(Chunk {
+                    thread: th,
+                    lo,
+                    hi: lo + c,
+                });
+                th = (th + 1) % threads;
+                lo += c;
+            }
+        }
+    }
+    out
+}
+
+/// Number of scheduling events (chunk grabs) — what the dynamic-schedule
+/// cost model charges atomics for.
+pub fn grab_count(schedule: Schedule, n: u64, threads: usize) -> usize {
+    assign(schedule, n, threads).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(chunks: &[Chunk], n: u64) {
+        let mut seen = vec![false; n as usize];
+        for c in chunks {
+            for i in c.lo..c.hi {
+                assert!(!seen[i as usize], "iteration {i} assigned twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "missing iterations");
+    }
+
+    #[test]
+    fn all_schedules_cover_exactly_once() {
+        for s in [
+            Schedule::Static,
+            Schedule::StaticChunk(7),
+            Schedule::Dynamic(5),
+            Schedule::Guided(3),
+        ] {
+            for &(n, t) in &[(100u64, 4usize), (17, 5), (1, 3), (64, 64), (0, 2)] {
+                let chunks = assign(s, n, t);
+                check_cover(&chunks, n);
+            }
+        }
+    }
+
+    #[test]
+    fn static_is_balanced_within_one() {
+        let chunks = assign(Schedule::Static, 103, 10);
+        let mut per = [0u64; 10];
+        for c in &chunks {
+            per[c.thread] += c.hi - c.lo;
+        }
+        let max = *per.iter().max().unwrap();
+        let min = *per.iter().min().unwrap();
+        assert!(max - min <= 1, "imbalance {max}-{min}");
+    }
+
+    #[test]
+    fn guided_chunks_shrink_geometrically() {
+        let chunks = assign(Schedule::Guided(1), 1000, 4);
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.hi - c.lo).collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "guided chunks must not grow: {sizes:?}");
+        }
+        assert!(sizes[0] >= 250 - 1);
+        assert!(*sizes.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn dynamic_has_more_grabs_than_static() {
+        let d = grab_count(Schedule::Dynamic(4), 1000, 8);
+        let s = grab_count(Schedule::Static, 1000, 8);
+        assert!(d > s);
+        assert_eq!(d, 250);
+        assert_eq!(s, 8);
+    }
+
+    #[test]
+    fn static_chunk_round_robins() {
+        let chunks = assign(Schedule::StaticChunk(10), 40, 2);
+        let owners: Vec<usize> = chunks.iter().map(|c| c.thread).collect();
+        assert_eq!(owners, vec![0, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for OpenMP loop scheduling: every schedule covers every
+//! iteration exactly once with sane ownership, for arbitrary parameters.
+
+use interweave_omp::schedule::{assign, grab_count, Schedule};
+use proptest::prelude::*;
+
+fn schedules() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static),
+        (1u64..64).prop_map(Schedule::StaticChunk),
+        (1u64..64).prop_map(Schedule::Dynamic),
+        (1u64..64).prop_map(Schedule::Guided),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Exactly-once coverage with valid thread ownership.
+    #[test]
+    fn coverage_exactly_once(s in schedules(), n in 0u64..5000, threads in 1usize..64) {
+        let chunks = assign(s, n, threads);
+        let mut seen = vec![false; n as usize];
+        for c in &chunks {
+            prop_assert!(c.thread < threads);
+            prop_assert!(c.lo < c.hi, "empty chunk emitted");
+            for i in c.lo..c.hi {
+                prop_assert!(!seen[i as usize], "iteration {} twice", i);
+                seen[i as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x), "coverage gap");
+    }
+
+    /// Static assignment balances within one iteration across threads.
+    #[test]
+    fn static_balance(n in 1u64..5000, threads in 1usize..64) {
+        let chunks = assign(Schedule::Static, n, threads);
+        let mut per = vec![0u64; threads];
+        for c in &chunks {
+            per[c.thread] += c.hi - c.lo;
+        }
+        let max = per.iter().copied().max().unwrap();
+        let min_nonzero = per.iter().copied().filter(|&x| x > 0).min().unwrap_or(0);
+        prop_assert!(max - min_nonzero.min(max) <= 1);
+    }
+
+    /// Guided chunks never grow and respect the floor (except the last).
+    #[test]
+    fn guided_monotone(n in 1u64..5000, threads in 1usize..32, min in 1u64..32) {
+        let chunks = assign(Schedule::Guided(min), n, threads);
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.hi - c.lo).collect();
+        for w in sizes.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        for &s in &sizes[..sizes.len().saturating_sub(1)] {
+            prop_assert!(s >= min.min(n));
+        }
+    }
+
+    /// Grab counts: dynamic = ceil(n/chunk); static = min(threads, n).
+    #[test]
+    fn grab_counts(n in 1u64..5000, threads in 1usize..64, chunk in 1u64..64) {
+        prop_assert_eq!(
+            grab_count(Schedule::Dynamic(chunk), n, threads) as u64,
+            n.div_ceil(chunk)
+        );
+        prop_assert_eq!(
+            grab_count(Schedule::Static, n, threads) as u64,
+            (threads as u64).min(n)
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Property tests for the Fig. 6 simulation: the kernel designs never lose
+//! to Linux, gains are monotone-ish in scale, and the simulation conserves
+//! its own accounting.
+
+use interweave_core::machine::MachineConfig;
+use interweave_omp::nas::{bt, sp};
+use interweave_omp::sim::run_omp;
+use interweave_omp::OmpMode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RTK never loses to Linux at any sampled scale/seed, on either
+    /// benchmark shape.
+    #[test]
+    fn rtk_never_loses(seed in any::<u64>(), p_idx in 0usize..6, which in 0usize..2) {
+        let p = [1usize, 2, 4, 8, 16, 32][p_idx];
+        let spec = if which == 0 { bt() } else { sp() };
+        let mc = MachineConfig::phi_knl();
+        let lx = run_omp(&spec, OmpMode::LinuxUser, p, &mc, seed).total;
+        let rtk = run_omp(&spec, OmpMode::Rtk, p, &mc, seed).total;
+        prop_assert!(rtk <= lx, "p={p}: rtk {rtk} vs linux {lx}");
+    }
+
+    /// The accounting identity holds: overheads and noise never exceed the
+    /// total, and kernel modes carry zero noise.
+    #[test]
+    fn accounting_identity(seed in any::<u64>(), p_idx in 0usize..5) {
+        let p = [2usize, 4, 8, 16, 32][p_idx];
+        let mc = MachineConfig::phi_knl();
+        for mode in OmpMode::all() {
+            let r = run_omp(&bt(), mode, p, &mc, seed);
+            prop_assert!(r.runtime_overhead <= r.total);
+            prop_assert!(r.noise_on_critical_path <= r.runtime_overhead);
+            if mode != OmpMode::LinuxUser {
+                prop_assert_eq!(r.noise_on_critical_path.get(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Isolated virtine execution.
+//!
+//! A virtine owns its interpreter — and therefore its entire physical
+//! memory. Isolation is structural: there is no operation by which code in
+//! the image can name a host address (its `Memory` starts empty and its
+//! module was extracted without host references), and a trap inside the
+//! virtine surfaces as a value to the host, never as host state damage.
+
+use crate::extract::VirtineImage;
+use interweave_ir::interp::{ExecStatus, Interp, InterpConfig, NullHooks, Trap};
+use interweave_ir::types::{FuncId, Val};
+
+/// Outcome of one virtine invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VirtineOutcome {
+    /// The function returned.
+    Returned(Option<Val>),
+    /// The virtine trapped (isolated: the host observes the trap as data).
+    Faulted(Trap),
+    /// The execution budget was exhausted (runaway guest, killed).
+    Killed,
+}
+
+/// One virtine instance: an image plus its private execution state.
+pub struct Virtine {
+    /// The self-contained image.
+    pub image: VirtineImage,
+    interp: Interp,
+    /// Cycles consumed by guest execution so far.
+    pub guest_cycles: u64,
+}
+
+impl Virtine {
+    /// Instantiate a context for an image.
+    pub fn new(image: VirtineImage) -> Virtine {
+        Virtine {
+            image,
+            interp: Interp::new(InterpConfig::default()),
+            guest_cycles: 0,
+        }
+    }
+
+    /// Invoke the entry function with `args`, bounded by `budget` cycles.
+    pub fn invoke(&mut self, args: &[Val], budget: u64) -> VirtineOutcome {
+        self.interp.start(&self.image.module, FuncId(0), args);
+        let status = self.interp.run(&self.image.module, &mut NullHooks, budget);
+        self.guest_cycles = self.interp.stats.cycles;
+        match status {
+            ExecStatus::Done(v) => VirtineOutcome::Returned(v),
+            ExecStatus::Trapped(t) => VirtineOutcome::Faulted(t),
+            ExecStatus::OutOfFuel | ExecStatus::Yielded => VirtineOutcome::Killed,
+        }
+    }
+
+    /// Pages this invocation dirtied (what a copy-on-write snapshot restore
+    /// must re-map): one 4 KiB page per 512 stored words, at least one page
+    /// for the guest stack once anything ran.
+    pub fn dirty_pages(&self) -> u64 {
+        if self.interp.stats.insts == 0 {
+            0
+        } else {
+            (self.interp.stats.stores * 8).div_ceil(4096).max(1)
+        }
+    }
+
+    /// Reset guest state for pool reuse (the snapshot-restore fast path:
+    /// memory is discarded, which is exactly what restoring a clean
+    /// snapshot accomplishes).
+    pub fn reset(&mut self) {
+        self.interp = Interp::new(InterpConfig::default());
+        self.guest_cycles = 0;
+    }
+
+    /// Live allocations inside the guest (post-run inspection).
+    pub fn guest_allocations(&self) -> usize {
+        self.interp.mem.n_allocs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_virtines;
+    use interweave_ir::{BinOp, CmpOp, FunctionBuilder, Module};
+
+    fn fib_image() -> VirtineImage {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("fib", 1);
+        fb.virtine();
+        let n = fb.param(0);
+        let two = fb.const_i(2);
+        let c = fb.cmp(CmpOp::Lt, n, two);
+        let base = fb.new_block();
+        let rec = fb.new_block();
+        fb.cond_br(c, base, rec);
+        fb.switch_to(base);
+        fb.ret(Some(n));
+        fb.switch_to(rec);
+        let one = fb.const_i(1);
+        let n1 = fb.bin(BinOp::Sub, n, one);
+        let n2 = fb.bin(BinOp::Sub, n, two);
+        let f = interweave_ir::FuncId(0);
+        let a = fb.call(f, &[n1]);
+        let b = fb.call(f, &[n2]);
+        let s = fb.bin(BinOp::Add, a, b);
+        fb.ret(Some(s));
+        m.add(fb.finish());
+        extract_virtines(&m).remove(0)
+    }
+
+    #[test]
+    fn fib_virtine_returns_correctly() {
+        let mut v = Virtine::new(fib_image());
+        assert_eq!(
+            v.invoke(&[Val::I(12)], u64::MAX / 4),
+            VirtineOutcome::Returned(Some(Val::I(144)))
+        );
+        assert!(v.guest_cycles > 0);
+    }
+
+    #[test]
+    fn guest_fault_is_contained() {
+        // A wild access inside the guest surfaces as data to the host.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("wild", 0);
+        fb.virtine();
+        let bogus = fb.const_i(0xbad0_0000);
+        let _ = fb.load(bogus, 0);
+        fb.ret(None);
+        m.add(fb.finish());
+        let img = extract_virtines(&m).remove(0);
+        let mut v = Virtine::new(img);
+        match v.invoke(&[], u64::MAX / 4) {
+            VirtineOutcome::Faulted(Trap::BadAccess { addr, .. }) => {
+                assert_eq!(addr, 0xbad0_0000)
+            }
+            other => panic!("expected contained fault, got {other:?}"),
+        }
+        // The host (this test) is obviously still running; the virtine can
+        // be reset and reused.
+        v.reset();
+        assert_eq!(v.guest_allocations(), 0);
+    }
+
+    #[test]
+    fn runaway_guest_is_killed_by_budget() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("spin", 0);
+        fb.virtine();
+        let head = fb.new_block();
+        fb.br(head);
+        fb.switch_to(head);
+        fb.br(head);
+        m.add(fb.finish());
+        let img = extract_virtines(&m).remove(0);
+        let mut v = Virtine::new(img);
+        assert_eq!(v.invoke(&[], 10_000), VirtineOutcome::Killed);
+    }
+
+    #[test]
+    fn two_virtines_have_disjoint_memory() {
+        // Each instance allocates; neither sees the other's allocations.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("allocator", 0);
+        fb.virtine();
+        let sz = fb.const_i(64);
+        let p = fb.alloc(sz);
+        let seven = fb.const_i(7);
+        fb.store(p, 0, seven);
+        let v = fb.load(p, 0);
+        fb.ret(Some(v));
+        m.add(fb.finish());
+        let img = extract_virtines(&m).remove(0);
+
+        let mut a = Virtine::new(img.clone());
+        let mut b = Virtine::new(img);
+        assert_eq!(
+            a.invoke(&[], u64::MAX / 4),
+            VirtineOutcome::Returned(Some(Val::I(7)))
+        );
+        assert_eq!(
+            b.invoke(&[], u64::MAX / 4),
+            VirtineOutcome::Returned(Some(Val::I(7)))
+        );
+        assert_eq!(a.guest_allocations(), 1);
+        assert_eq!(b.guest_allocations(), 1);
+        a.reset();
+        assert_eq!(a.guest_allocations(), 0);
+        assert_eq!(b.guest_allocations(), 1, "reset of A must not touch B");
+    }
+}

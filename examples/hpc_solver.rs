@@ -1,0 +1,57 @@
+//! HPC scenario (§V-A): choosing an execution design for an iterative
+//! OpenMP solver on a many-core node.
+//!
+//! Runs a NAS-BT-shaped workload across all four execution designs and CPU
+//! counts on the KNL preset, then prints where each design pays its cycles
+//! (noise, runtime machinery) — the evidence behind Fig. 6's shape.
+//!
+//! Run with: `cargo run --example hpc_solver`
+
+use interweave::core::machine::MachineConfig;
+use interweave::omp::nas::bt;
+use interweave::omp::sim::run_omp;
+use interweave::omp::OmpMode;
+
+fn main() {
+    let mc = MachineConfig::phi_knl();
+    let spec = bt();
+    println!(
+        "workload: NAS {} shape — {} steps x {} regions of {}\n",
+        spec.name, spec.iters, spec.regions_per_iter, spec.work_per_region
+    );
+
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "CPUs", "Linux", "RTK", "PIK", "CCK"
+    );
+    for p in [1usize, 4, 16, 64] {
+        let t = |m| run_omp(&spec, m, p, &mc, 42).total.get();
+        let linux = t(OmpMode::LinuxUser);
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>12}   (RTK {:.2}x)",
+            p,
+            linux,
+            t(OmpMode::Rtk),
+            t(OmpMode::Pik),
+            t(OmpMode::Cck),
+            linux as f64 / t(OmpMode::Rtk) as f64
+        );
+    }
+
+    // Where do Linux's cycles go at scale?
+    println!("\ncycle breakdown at 64 CPUs:");
+    for mode in OmpMode::all() {
+        let r = run_omp(&spec, mode, 64, &mc, 42);
+        println!(
+            "  {:6} total {:>12}  runtime-overhead {:>11}  noise-on-critical-path {:>10}",
+            mode.name(),
+            r.total.get(),
+            r.runtime_overhead.get(),
+            r.noise_on_critical_path.get()
+        );
+    }
+    println!(
+        "\nThe kernel designs win because barriers amplify noise: one late worker\n\
+         delays everyone, and the chance someone is late grows with scale (§V-A)."
+    );
+}

@@ -1,0 +1,65 @@
+//! Kernel-trace example: run a small preemptive workload on the executor
+//! and export a Chrome trace (`chrome://tracing` / https://ui.perfetto.dev).
+//!
+//! Run with: `cargo run --example kernel_trace` — writes `trace.json` in the
+//! working directory.
+
+use interweave::core::machine::MachineConfig;
+use interweave::core::Cycles;
+use interweave::kernel::executor::Executor;
+use interweave::kernel::trace::{chrome_trace_json, find_overlap};
+use interweave::kernel::work::{LoopWork, ScriptedWork, WorkStep};
+
+fn main() {
+    let mc = MachineConfig::xeon_server_2s().with_cores(4);
+    let mhz = mc.freq.mhz;
+    let mut e = Executor::new(mc, Cycles(20_000));
+    e.enable_tracing();
+
+    // A mixed workload: compute-bound tasks, a cooperative yielder, and a
+    // fork/join pair.
+    for cpu in 0..3 {
+        e.spawn(cpu, Box::new(LoopWork::new(6, Cycles(30_000))));
+    }
+    let yielder_steps: Vec<WorkStep> = (0..8)
+        .flat_map(|_| [WorkStep::Compute(Cycles(10_000)), WorkStep::Yield])
+        .chain([WorkStep::Done])
+        .collect();
+    e.spawn(1, Box::new(ScriptedWork::new(yielder_steps)));
+    let child = e.spawn(3, Box::new(LoopWork::new(4, Cycles(25_000))));
+    e.spawn(
+        0,
+        Box::new(ScriptedWork::new(vec![
+            WorkStep::Compute(Cycles(5_000)),
+            WorkStep::Block(child),
+            WorkStep::Compute(Cycles(15_000)),
+            WorkStep::Done,
+        ])),
+    );
+
+    let all_done = e.run();
+    assert!(all_done, "workload must quiesce");
+    assert!(
+        find_overlap(&e.trace).is_none(),
+        "trace must be well-formed"
+    );
+
+    println!(
+        "ran {} tasks: makespan {} ({}), {} preemptions, {} yields, {} blocks",
+        e.stats.task_executed.len(),
+        e.stats.makespan,
+        interweave::core::machine::MachineConfig::xeon_server_2s()
+            .freq
+            .us(e.stats.makespan),
+        e.stats.preemptions,
+        e.stats.yields,
+        e.stats.blocks
+    );
+
+    let json = chrome_trace_json(&e.trace, mhz);
+    std::fs::write("trace.json", &json).expect("writable cwd");
+    println!(
+        "wrote trace.json ({} events) — open it in chrome://tracing or https://ui.perfetto.dev",
+        e.trace.len()
+    );
+}

@@ -1,0 +1,75 @@
+//! Memory-management scenario (§IV-A): a long-running kernel-resident
+//! service whose heap fragments, repaired online by CARAT defragmentation.
+//!
+//! The service is compiled with the full CARAT pipeline, attested, and
+//! admitted into the PIK kernel. It fragments its heap building a linked
+//! structure with transient padding, reaches a quiescent point, and the
+//! kernel compacts its memory — moving live allocations and patching every
+//! pointer (stored *and* register-held) — then the service resumes and
+//! verifies its own data. No paging hardware is involved at any point.
+//!
+//! Run with: `cargo run --example memory_service`
+
+use interweave::carat::defrag::{compact, fragmentation_demo};
+use interweave::carat::pik::PikSystem;
+use interweave::ir::interp::ExecStatus;
+use interweave::ir::types::Val;
+
+fn main() {
+    let (module, entry) = fragmentation_demo("service");
+    let n = 128i64;
+
+    // Trusted compilation + attestation + kernel admission (§IV-A's PIK).
+    let mut sys = PikSystem::new();
+    let (compiled, attestation) = sys.compile(module);
+    println!(
+        "compiled service: {} instructions, attestation hash {:#018x}",
+        compiled.inst_count(),
+        attestation.hash
+    );
+    let pid = sys
+        .admit(compiled, attestation, entry, vec![Val::I(n)])
+        .expect("attested module admits");
+    println!("admitted as PIK process {pid} (kernel mode, physical addresses)");
+
+    // Phase 1: run to the quiescent point, fragmenting along the way.
+    loop {
+        match sys.processes[pid].run_slice(50_000) {
+            ExecStatus::Yielded => break,
+            ExecStatus::OutOfFuel => continue,
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    let p = &mut sys.processes[pid];
+    println!(
+        "\nquiescent: {} live allocations, {} free holes, {} tracked escapes",
+        p.interp.mem.n_allocs(),
+        p.interp.mem.free_holes(),
+        p.runtime.escape_count()
+    );
+
+    // Phase 2: the kernel compacts the process's heap.
+    let report = compact(&mut p.interp, &mut p.runtime);
+    println!(
+        "defrag: moved {} allocations ({} bytes), patched {} registers, holes {} -> {}",
+        report.moves,
+        report.bytes_moved,
+        report.regs_patched,
+        report.holes_before,
+        report.holes_after
+    );
+
+    // Phase 3: resume; the service walks its structure through patched
+    // pointers.
+    match sys.processes[pid].run_slice(u64::MAX / 4) {
+        ExecStatus::Done(Some(Val::I(sum))) => {
+            assert_eq!(sum, n * (n - 1) / 2);
+            println!("service resumed and verified its data: sum = {sum} (correct)");
+        }
+        other => panic!("service failed after defrag: {other:?}"),
+    }
+    println!(
+        "\nThis is §IV-A's claim end-to-end: protection and memory mobility at\n\
+         arbitrary granularity, with zero hardware translation."
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: a tour of the Interweave laboratory.
+//!
+//! Builds the two stack compositions the paper contrasts (commodity layered
+//! vs. interwoven), then demonstrates one win from each layer: CARAT
+//! protection without paging, compiler-timed preemption without interrupts,
+//! and heartbeat delivery without signals.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use interweave::carat;
+use interweave::core::machine::MachineConfig;
+use interweave::core::stack::StackConfig;
+use interweave::core::Cycles;
+use interweave::fibers::study::floor_cycles;
+use interweave::heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
+use interweave::ir::interp::{Interp, InterpConfig};
+use interweave::ir::programs;
+use interweave::kernel::threads::{OsKind, SwitchKind};
+
+fn main() {
+    // 1. The design space: the paper's interweaving axes as data.
+    let commodity = StackConfig::commodity();
+    let interwoven = StackConfig::interwoven();
+    println!("commodity stack:  {commodity}");
+    println!("interwoven stack: {interwoven}");
+    println!(
+        "interweaving degree: {} -> {}\n",
+        commodity.interweaving_degree(),
+        interwoven.interweaving_degree()
+    );
+
+    // 2. CARAT (§IV-A): protection by compiler + runtime, no paging.
+    let prog = programs::stream_triad(128);
+    let mut guarded = prog.module.clone();
+    let pass_stats = carat::instrument(&mut guarded, true);
+    println!("CARAT pipeline on `{}`:", prog.name);
+    for (pass, stats) in &pass_stats {
+        println!("  {pass}: {:?}", stats.counters);
+    }
+    let mut rt = carat::CaratRuntime::new();
+    let mut it = Interp::new(InterpConfig::default());
+    it.start(&guarded, prog.entry, &prog.args);
+    let result = it.run_to_completion(&guarded, &mut rt);
+    println!(
+        "  guarded run: result {result:?}, {} object guards + {} range guards executed, 0 faults\n",
+        rt.stats.guards, rt.stats.range_guards
+    );
+
+    // 3. Compiler-based timing (§IV-C): fine-grain preemption without
+    // interrupts.
+    let knl = MachineConfig::phi_knl();
+    let hw = floor_cycles(&knl, SwitchKind::ThreadInterrupt, OsKind::Linux, true);
+    let ct = floor_cycles(&knl, SwitchKind::FiberCompilerTimed, OsKind::Nk, false);
+    println!("preemption granularity floor on {}:", knl.name);
+    println!("  Linux threads (FP):        {hw} cycles");
+    println!(
+        "  compiler-timed fibers:     {ct} cycles  ({:.1}x finer)\n",
+        hw as f64 / ct as f64
+    );
+
+    // 4. Heartbeat delivery (§IV-B): signals vs. IPIs at heartbeat = 20 µs.
+    for kind in [SignalKind::LinuxSignals, SignalKind::NkIpi] {
+        let r = run_heartbeat(&HeartbeatConfig::fig3(kind, 20.0, Cycles(1000)));
+        println!(
+            "heartbeat 20 µs via {:>8}: {:5.1}% of target rate, CV {:.3}, overhead {:.2}%",
+            kind.name(),
+            100.0 * r.fraction_of_target(),
+            r.interbeat_cv,
+            r.overhead_pct
+        );
+    }
+    println!(
+        "\nNext: `cargo run -p interweave-bench --bin fig3_heartbeat` (and fig4/fig6/fig7/tab_*)"
+    );
+}
