@@ -1,160 +1,219 @@
 //! One-screen scoreboard: every headline claim, regenerated at reduced
 //! scale in a few seconds. The full-scale binaries (fig3..tab_*) remain the
 //! reference; this is the "is everything still standing?" view.
+//!
+//! Besides the printed table, the run writes `BENCH_summary.json` — one
+//! record per experiment with its claim, measured headline and wall-clock
+//! — so CI and bookkeeping scripts can diff results without scraping
+//! stdout.
 
 use interweave_bench::{f, print_table, s};
 use interweave_core::machine::MachineConfig;
 use interweave_core::Cycles;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One scoreboard entry, as written to `BENCH_summary.json`.
+#[derive(Serialize)]
+struct ExperimentSummary {
+    /// Figure/section identifier (e.g. "Fig 3", "§IV-A").
+    experiment: String,
+    /// The paper's claim being checked.
+    claim: String,
+    /// The measured headline, formatted as in the table.
+    measured: String,
+    /// Wall-clock time to regenerate this entry, in milliseconds.
+    wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct BenchSummary {
+    /// Total wall-clock for the whole scoreboard, in milliseconds.
+    total_wall_ms: f64,
+    experiments: Vec<ExperimentSummary>,
+}
+
+/// Run one scoreboard section, timing it and recording the row.
+fn section(
+    out: &mut Vec<ExperimentSummary>,
+    experiment: &str,
+    claim: &str,
+    run: impl FnOnce() -> String,
+) {
+    let start = Instant::now();
+    let measured = run();
+    out.push(ExperimentSummary {
+        experiment: experiment.to_string(),
+        claim: claim.to_string(),
+        measured,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    });
+}
 
 fn main() {
-    let mut rows: Vec<Vec<String>> = Vec::new();
+    let t0 = Instant::now();
+    let mut entries: Vec<ExperimentSummary> = Vec::new();
 
-    // Fig. 3 — heartbeat.
-    {
-        use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
-        let mut nk = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1000));
-        nk.duration_us = 10_000.0;
-        let mut lx = HeartbeatConfig::fig3(SignalKind::LinuxSignals, 20.0, Cycles(1000));
-        lx.duration_us = 10_000.0;
-        let (nk, lx) = (run_heartbeat(&nk), run_heartbeat(&lx));
-        rows.push(vec![
-            s("Fig 3"),
-            s("NK sustains ♥=20µs; Linux cannot"),
+    section(
+        &mut entries,
+        "Fig 3",
+        "NK sustains ♥=20µs; Linux cannot",
+        || {
+            use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
+            let mut nk = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1000));
+            nk.duration_us = 10_000.0;
+            let mut lx = HeartbeatConfig::fig3(SignalKind::LinuxSignals, 20.0, Cycles(1000));
+            lx.duration_us = 10_000.0;
+            let (nk, lx) = (run_heartbeat(&nk), run_heartbeat(&lx));
             format!(
                 "NK {:.0}% of target, Linux {:.0}%",
                 100.0 * nk.fraction_of_target(),
                 100.0 * lx.fraction_of_target()
-            ),
-        ]);
-    }
+            )
+        },
+    );
 
-    // Fig. 4 — fibers.
-    {
-        use interweave_kernel::threads::{switch_cost, OsKind, SwitchKind};
-        let knl = MachineConfig::phi_knl();
-        let fiber = switch_cost(
-            &knl,
-            OsKind::Nk,
-            SwitchKind::FiberCompilerTimed,
-            false,
-            false,
-        )
-        .total();
-        rows.push(vec![
-            s("Fig 4"),
-            s("fiber granularity < 600 cycles"),
-            format!("{fiber}"),
-        ]);
-    }
+    section(
+        &mut entries,
+        "Fig 4",
+        "fiber granularity < 600 cycles",
+        || {
+            use interweave_kernel::threads::{switch_cost, OsKind, SwitchKind};
+            let knl = MachineConfig::phi_knl();
+            let fiber = switch_cost(
+                &knl,
+                OsKind::Nk,
+                SwitchKind::FiberCompilerTimed,
+                false,
+                false,
+            )
+            .total();
+            format!("{fiber}")
+        },
+    );
 
-    // Fig. 6 — OpenMP in the kernel.
-    {
-        use interweave_omp::nas::bt;
-        use interweave_omp::sim::run_omp;
-        use interweave_omp::OmpMode;
-        let knl = MachineConfig::phi_knl();
-        let lx = run_omp(&bt(), OmpMode::LinuxUser, 32, &knl, 42).total;
-        let rtk = run_omp(&bt(), OmpMode::Rtk, 32, &knl, 42).total;
-        rows.push(vec![
-            s("Fig 6"),
-            s("RTK ≈ +22% geomean over Linux"),
-            format!("BT @32c: {:.2}x", lx.as_f64() / rtk.as_f64()),
-        ]);
-    }
+    section(
+        &mut entries,
+        "Fig 6",
+        "RTK ≈ +22% geomean over Linux",
+        || {
+            use interweave_omp::nas::bt;
+            use interweave_omp::sim::run_omp;
+            use interweave_omp::OmpMode;
+            let knl = MachineConfig::phi_knl();
+            let lx = run_omp(&bt(), OmpMode::LinuxUser, 32, &knl, 42).total;
+            let rtk = run_omp(&bt(), OmpMode::Rtk, 32, &knl, 42).total;
+            format!("BT @32c: {:.2}x", lx.as_f64() / rtk.as_f64())
+        },
+    );
 
-    // Fig. 7 — selective coherence.
-    {
-        use interweave_coherence::experiment::{fig7_reduced, mean_energy_reduction, mean_speedup};
-        let r = fig7_reduced(24, 11, 4);
-        rows.push(vec![
-            s("Fig 7"),
-            s("selective coherence ≈1.46x, −53% NoC energy"),
+    section(
+        &mut entries,
+        "Fig 7",
+        "selective coherence ≈1.46x, −53% NoC energy",
+        || {
+            use interweave_coherence::experiment::{
+                fig7_reduced, mean_energy_reduction, mean_speedup,
+            };
+            let r = fig7_reduced(24, 11, 4);
             format!(
                 "{:.2}x, −{:.0}%",
                 mean_speedup(&r),
                 100.0 * mean_energy_reduction(&r)
-            ),
-        ]);
-    }
+            )
+        },
+    );
 
-    // §IV-A — CARAT.
-    {
-        use interweave_carat::overhead::{geomean_overheads, run_suite};
-        let (naive, opt) = geomean_overheads(&run_suite(2));
-        rows.push(vec![
-            s("§IV-A"),
-            s("CARAT <6% geomean (naive is costly)"),
-            format!("{opt:.1}% optimized / {naive:.0}% naive"),
-        ]);
-    }
+    section(
+        &mut entries,
+        "§IV-A",
+        "CARAT <6% geomean (naive is costly)",
+        || {
+            use interweave_carat::overhead::{geomean_overheads, run_suite};
+            let (naive, opt) = geomean_overheads(&run_suite(2));
+            format!("{opt:.1}% optimized / {naive:.0}% naive")
+        },
+    );
 
-    // §IV-D — virtines.
-    {
-        use interweave_virtines::wasp::{startup, LaunchPath};
-        rows.push(vec![
-            s("§IV-D"),
-            s("virtine start-up ≈ 100 µs"),
-            format!("{}", startup(LaunchPath::VirtineCold).total()),
-        ]);
-    }
+    section(
+        &mut entries,
+        "§IV-D",
+        "virtine start-up ≈ 100 µs",
+        || {
+            use interweave_virtines::wasp::{startup, LaunchPath};
+            format!("{}", startup(LaunchPath::VirtineCold).total())
+        },
+    );
 
-    // §V-D — pipeline interrupts.
-    {
-        let mc = MachineConfig::xeon_server_2s();
-        let pipe = mc.clone().with_pipeline_interrupts();
-        rows.push(vec![
-            s("§V-D"),
-            s("dispatch 100–1000x cheaper"),
+    section(
+        &mut entries,
+        "§V-D",
+        "dispatch 100–1000x cheaper",
+        || {
+            let mc = MachineConfig::xeon_server_2s();
+            let pipe = mc.clone().with_pipeline_interrupts();
             format!(
                 "{}x ({} → {})",
                 mc.dispatch_cost().get() / pipe.dispatch_cost().get(),
                 mc.dispatch_cost(),
                 pipe.dispatch_cost()
-            ),
-        ]);
-    }
+            )
+        },
+    );
 
-    // §V-C — blending.
-    {
-        use interweave_blend::polling::{run_device_experiment, DeviceConfig, DriveMode};
-        use interweave_ir::programs;
-        let mc = MachineConfig::xeon_server_2s();
-        let r = run_device_experiment(
-            &programs::stencil1d(64, 8),
-            &DeviceConfig {
-                mean_gap: 4_000,
-                handler: 250,
-                seed: 21,
-            },
-            &mc,
-            DriveMode::BlendedPolling,
-        );
-        rows.push(vec![
-            s("§V-C"),
-            s("polled drivers, zero interrupts"),
-            format!("{} events, {} interrupts", r.serviced, r.interrupts),
-        ]);
-    }
+    section(
+        &mut entries,
+        "§V-C",
+        "polled drivers, zero interrupts",
+        || {
+            use interweave_blend::polling::{run_device_experiment, DeviceConfig, DriveMode};
+            use interweave_ir::programs;
+            let mc = MachineConfig::xeon_server_2s();
+            let r = run_device_experiment(
+                &programs::stencil1d(64, 8),
+                &DeviceConfig {
+                    mean_gap: 4_000,
+                    handler: 250,
+                    seed: 21,
+                },
+                &mc,
+                DriveMode::BlendedPolling,
+            );
+            format!("{} events, {} interrupts", r.serviced, r.interrupts)
+        },
+    );
 
-    // §III — primitives.
-    {
-        use interweave_kernel::microbench::primitive_table;
-        use interweave_kernel::os::{LinuxModel, NkModel};
-        let mc = MachineConfig::xeon_server_2s();
-        let t = primitive_table(&LinuxModel::new(mc.clone()), &NkModel::new(mc));
-        let create = t.iter().find(|r| r.name == "thread create").expect("row");
-        rows.push(vec![
-            s("§III"),
-            s("primitives orders of magnitude faster"),
-            format!("thread create {}x", f(create.speedup(), 0)),
-        ]);
-    }
+    section(
+        &mut entries,
+        "§III",
+        "primitives orders of magnitude faster",
+        || {
+            use interweave_kernel::microbench::primitive_table;
+            use interweave_kernel::os::{LinuxModel, NkModel};
+            let mc = MachineConfig::xeon_server_2s();
+            let t = primitive_table(&LinuxModel::new(mc.clone()), &NkModel::new(mc));
+            let create = t.iter().find(|r| r.name == "thread create").expect("row");
+            format!("thread create {}x", f(create.speedup(), 0))
+        },
+    );
 
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| vec![s(&e.experiment), s(&e.claim), s(&e.measured)])
+        .collect();
     print_table(
         "Interweave scoreboard — every headline claim at reduced scale",
         &["experiment", "claim", "measured"],
         &rows,
     );
+
+    let summary = BenchSummary {
+        total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        experiments: entries,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+    std::fs::write("BENCH_summary.json", json).expect("writable BENCH_summary.json");
+    println!("\n(machine-readable results written to BENCH_summary.json)");
     println!("\nFull-scale runs: fig3_heartbeat fig4_fibers fig6_openmp fig7_coherence");
     println!("                 tab_carat tab_primitives tab_virtines tab_pipeline tab_blend tab_ablations");
 }

@@ -71,6 +71,9 @@ pub fn run_one_on_mesh(
         sys.mesh = crate::noc::Mesh::disaggregated(cores, per_domain, penalty);
     }
     let layout = Layout::new(mix, cores);
+    // The footprint is known up front: pre-size the line-state table so
+    // the measured region never rehashes.
+    sys.reserve_lines(layout.total_lines(mix));
     // Initialization phase (not measured, matching the paper's region-of-
     // interest methodology): build the read-only input, then classify.
     initialize_readonly(&mut sys, mix, &layout);

@@ -18,6 +18,11 @@
 //! read asserts it observed the latest version, and [`System::check_swmr`]
 //! verifies the single-writer/multiple-reader invariant — used by the
 //! property tests.
+//!
+//! All per-line protocol state (directory entry, L3 residency, ground-truth
+//! version, region class) lives in one [`LineState`] record in a single
+//! pre-sizable table, so an access resolves its line with one hash lookup
+//! instead of consulting four parallel maps.
 
 use crate::cache::{Cache, Entry, Mesi};
 use crate::noc::Mesh;
@@ -129,6 +134,35 @@ enum Dir {
     Sharers(u64),
 }
 
+/// All protocol state for one line, held in the unified line table.
+///
+/// One record replaces what used to be four parallel maps (directory, L3
+/// residency, latest version, class), so the hot access paths pay one hash
+/// lookup and one write-back per miss instead of four lookups plus up to
+/// four inserts.
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    /// Directory entry (meaningful for Shared-class lines).
+    dir: Dir,
+    /// L3 contents: resident version. `None` = only in DRAM (cold).
+    l3: Option<u64>,
+    /// Ground-truth latest version.
+    latest: u64,
+    /// Region class, if the runtime classified this line.
+    class: Option<Class>,
+}
+
+impl Default for LineState {
+    fn default() -> LineState {
+        LineState {
+            dir: Dir::Uncached,
+            l3: None,
+            latest: 0,
+            class: None,
+        }
+    }
+}
+
 /// Aggregate protocol statistics.
 #[derive(Debug, Clone, Default)]
 pub struct CohStats {
@@ -170,12 +204,8 @@ pub struct System {
     /// NoC topology.
     pub mesh: Mesh,
     caches: Vec<Cache>,
-    dir: HashMap<u64, Dir>,
-    /// L3 contents: line → version. Absent = only in DRAM (cold).
-    l3: HashMap<u64, u64>,
-    /// Ground-truth latest version per line.
-    latest: HashMap<u64, u64>,
-    class: HashMap<u64, Class>,
+    /// The unified line-state table: line address → all per-line state.
+    lines: HashMap<u64, LineState>,
     emodel: EnergyModel,
     /// Energy accounting.
     pub energy: EnergyLedger,
@@ -190,10 +220,7 @@ impl System {
         System {
             caches: (0..cfg.cores).map(|_| Cache::new(cfg.l1_lines)).collect(),
             mesh,
-            dir: HashMap::new(),
-            l3: HashMap::new(),
-            latest: HashMap::new(),
-            class: HashMap::new(),
+            lines: HashMap::new(),
             emodel: EnergyModel::default(),
             energy: EnergyLedger::new(),
             stats: CohStats::default(),
@@ -201,20 +228,39 @@ impl System {
         }
     }
 
+    /// Pre-size the line-state table for `n` distinct line addresses, so a
+    /// sweep whose footprint is known up front (layout sizes) never rehashes
+    /// mid-run.
+    pub fn reserve_lines(&mut self, n: usize) {
+        self.lines.reserve(n.saturating_sub(self.lines.len()));
+    }
+
     /// Classify a range of lines. Honoured only in `Selective` mode; the
     /// full-MESI baseline has no channel for this knowledge — that is the
     /// paper's point.
     pub fn classify(&mut self, lines: impl Iterator<Item = u64>, class: Class) {
         for l in lines {
-            self.class.insert(l, class);
+            self.lines.entry(l).or_default().class = Some(class);
+        }
+    }
+
+    /// The line's full state, defaulting cold (uncached, DRAM-only, v0).
+    #[inline]
+    fn line_state(&self, line: u64) -> LineState {
+        self.lines.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Resolve the effective class from an already-fetched state record.
+    #[inline]
+    fn resolve_class(&self, st: &LineState) -> Class {
+        match self.cfg.mode {
+            CohMode::Full => Class::Shared,
+            CohMode::Selective => st.class.unwrap_or(Class::Shared),
         }
     }
 
     fn class_of(&self, line: u64) -> Class {
-        match self.cfg.mode {
-            CohMode::Full => Class::Shared,
-            CohMode::Selective => self.class.get(&line).copied().unwrap_or(Class::Shared),
-        }
+        self.resolve_class(&self.line_state(line))
     }
 
     fn charge_msg(&mut self, hops: u32, flits: u32) {
@@ -235,31 +281,36 @@ impl System {
     }
 
     /// Fetch a line's data at its home slice, returning `(latency, version)`
-    /// and charging L3/DRAM.
-    fn fetch_at_home(&mut self, line: u64) -> (u64, u64) {
+    /// and charging L3/DRAM. Operates on the caller's in-flight state
+    /// record; a DRAM fetch fills the L3 in place.
+    fn fetch_at_home(&mut self, st: &mut LineState) -> (u64, u64) {
         self.charge_l3();
-        match self.l3.get(&line) {
-            Some(&v) => (self.cfg.lat.l3, v),
+        match st.l3 {
+            Some(v) => (self.cfg.lat.l3, v),
             None => {
                 self.stats.dram_fetches += 1;
                 self.energy.dram += self.emodel.dram_access;
-                let v = self.latest.get(&line).copied().unwrap_or(0);
-                self.l3.insert(line, v);
+                let v = st.latest;
+                st.l3 = Some(v);
                 (self.cfg.lat.l3 + self.cfg.lat.dram, v)
             }
         }
     }
 
-    /// Handle a cache eviction (victim from an insert).
+    /// Handle a cache eviction (victim from an insert). The victim is
+    /// always a different line than the one being inserted, so its state is
+    /// fetched and written back independently.
     fn handle_eviction(&mut self, core: usize, line: u64, e: Entry) {
-        match self.class_of(line) {
+        let mut st = self.line_state(line);
+        match self.resolve_class(&st) {
             Class::Private(_) => {
                 if e.state == Mesi::M {
                     // Writeback to the local slice: zero hops.
                     self.stats.writebacks += 1;
-                    self.l3.insert(line, e.version);
+                    st.l3 = Some(e.version);
                     self.charge_msg(0, self.mesh.data_flits);
                     self.charge_l3();
+                    self.lines.insert(line, st);
                 }
             }
             Class::ReadOnly => {} // clean replicas drop silently
@@ -269,15 +320,14 @@ impl System {
                 self.charge_dir();
                 if e.state == Mesi::M {
                     self.stats.writebacks += 1;
-                    self.l3.insert(line, e.version);
+                    st.l3 = Some(e.version);
                     self.charge_msg(hops, self.mesh.data_flits);
                     self.charge_l3();
-                    self.dir.insert(line, Dir::Uncached);
+                    st.dir = Dir::Uncached;
                 } else {
                     // Eviction notice keeps the directory exact.
                     self.charge_msg(hops, self.mesh.control_flits);
-                    let d = self.dir.get(&line).copied().unwrap_or(Dir::Uncached);
-                    let nd = match d {
+                    st.dir = match st.dir {
                         Dir::Exclusive(c) if c == core => Dir::Uncached,
                         Dir::Sharers(mask) => {
                             let m = mask & !(1 << core);
@@ -289,8 +339,8 @@ impl System {
                         }
                         other => other,
                     };
-                    self.dir.insert(line, nd);
                 }
+                self.lines.insert(line, st);
             }
         }
     }
@@ -305,22 +355,24 @@ impl System {
     pub fn read(&mut self, core: usize, line: u64) -> u64 {
         self.stats.reads += 1;
         self.charge_l1();
+        // One table lookup serves the whole access: class resolution,
+        // directory, L3 and version checks all come from `st`.
+        let mut st = self.line_state(line);
         if let Some(e) = self.caches[core].probe(line) {
             self.stats.l1_hits += 1;
             debug_assert_eq!(
-                e.version,
-                self.latest.get(&line).copied().unwrap_or(0),
+                e.version, st.latest,
                 "stale read of line {line:#x} at core {core}"
             );
             return self.cfg.lat.l1_hit;
         }
 
-        let lat = match self.class_of(line) {
+        let lat = match self.resolve_class(&st) {
             Class::Private(owner) => {
                 debug_assert_eq!(owner, core, "disentanglement violation on {line:#x}");
                 self.stats.deactivated += 1;
                 // Local slice: no directory, no hops.
-                let (fetch, v) = self.fetch_at_home(line);
+                let (fetch, v) = self.fetch_at_home(&mut st);
                 self.charge_msg(0, self.mesh.data_flits);
                 self.insert_line(core, line, Mesi::E, v);
                 self.cfg.lat.l1_hit + fetch
@@ -328,7 +380,7 @@ impl System {
             Class::ReadOnly => {
                 self.stats.deactivated += 1;
                 // Nearest replica: one hop, no directory.
-                let (fetch, v) = self.fetch_at_home(line);
+                let (fetch, v) = self.fetch_at_home(&mut st);
                 self.charge_msg(1, self.mesh.data_flits);
                 self.insert_line(core, line, Mesi::S, v);
                 self.cfg.lat.l1_hit + self.mesh.latency(1) + fetch
@@ -339,37 +391,36 @@ impl System {
                 self.charge_msg(req_hops, self.mesh.control_flits);
                 self.charge_dir();
                 let mut lat = self.cfg.lat.l1_hit + self.mesh.latency(req_hops) + self.cfg.lat.dir;
-                let d = self.dir.get(&line).copied().unwrap_or(Dir::Uncached);
-                match d {
+                match st.dir {
                     Dir::Uncached => {
-                        let (fetch, v) = self.fetch_at_home(line);
+                        let (fetch, v) = self.fetch_at_home(&mut st);
                         lat += fetch + self.mesh.latency(req_hops);
                         self.charge_msg(req_hops, self.mesh.data_flits);
                         match self.cfg.protocol {
                             ProtocolKind::Mesi => {
-                                self.dir.insert(line, Dir::Exclusive(core));
+                                st.dir = Dir::Exclusive(core);
                                 self.insert_line(core, line, Mesi::E, v);
                             }
                             ProtocolKind::Msi => {
                                 // No E state: sole clean copies are plain
                                 // sharers, so the first write must upgrade.
-                                self.dir.insert(line, Dir::Sharers(1 << core));
+                                st.dir = Dir::Sharers(1 << core);
                                 self.insert_line(core, line, Mesi::S, v);
                             }
                         }
                     }
                     Dir::Sharers(mask) => {
-                        let (fetch, v) = self.fetch_at_home(line);
+                        let (fetch, v) = self.fetch_at_home(&mut st);
                         lat += fetch + self.mesh.latency(req_hops);
                         self.charge_msg(req_hops, self.mesh.data_flits);
-                        self.dir.insert(line, Dir::Sharers(mask | (1 << core)));
+                        st.dir = Dir::Sharers(mask | (1 << core));
                         self.insert_line(core, line, Mesi::S, v);
                     }
                     Dir::Exclusive(owner) if owner == core => {
                         // The owner missed (evicted without notice cannot
                         // happen — evictions notify), so this is unreachable;
                         // treat as uncached for robustness.
-                        let (fetch, v) = self.fetch_at_home(line);
+                        let (fetch, v) = self.fetch_at_home(&mut st);
                         lat += fetch + self.mesh.latency(req_hops);
                         self.insert_line(core, line, Mesi::E, v);
                     }
@@ -389,23 +440,22 @@ impl System {
                         // Downgrade + writeback to home.
                         self.caches[owner].set_state(line, Mesi::S);
                         self.stats.writebacks += 1;
-                        self.l3.insert(line, v);
+                        st.l3 = Some(v);
                         self.charge_msg(self.mesh.hops(owner, home), self.mesh.data_flits);
                         self.charge_l3();
                         lat +=
                             self.mesh.latency(fwd) + self.cfg.lat.l1_hit + self.mesh.latency(back);
-                        self.dir
-                            .insert(line, Dir::Sharers((1 << owner) | (1 << core)));
+                        st.dir = Dir::Sharers((1 << owner) | (1 << core));
                         self.insert_line(core, line, Mesi::S, v);
                     }
                 }
                 lat
             }
         };
+        self.lines.insert(line, st);
         if let Some(e) = self.caches[core].peek(line) {
             debug_assert_eq!(
-                e.version,
-                self.latest.get(&line).copied().unwrap_or(0),
+                e.version, st.latest,
                 "read filled stale version for {line:#x}"
             );
         }
@@ -415,11 +465,12 @@ impl System {
     /// Write one line from `core`; returns the access latency in cycles.
     pub fn write(&mut self, core: usize, line: u64) -> u64 {
         self.stats.writes += 1;
-        let v = self.latest.get(&line).copied().unwrap_or(0) + 1;
-        self.latest.insert(line, v);
+        let mut st = self.line_state(line);
+        let v = st.latest + 1;
+        st.latest = v;
         self.charge_l1();
 
-        match self.class_of(line) {
+        let lat = match self.resolve_class(&st) {
             Class::Private(owner) => {
                 debug_assert_eq!(owner, core, "disentanglement violation on {line:#x}");
                 self.stats.deactivated += 1;
@@ -428,7 +479,7 @@ impl System {
                     self.caches[core].write_hit(line, v);
                     self.cfg.lat.l1_hit
                 } else {
-                    let (fetch, _) = self.fetch_at_home(line);
+                    let (fetch, _) = self.fetch_at_home(&mut st);
                     self.charge_msg(0, self.mesh.data_flits);
                     self.insert_line(core, line, Mesi::E, v);
                     self.caches[core].write_hit(line, v);
@@ -458,8 +509,8 @@ impl System {
                         self.charge_dir();
                         let mut lat =
                             self.cfg.lat.l1_hit + self.mesh.latency(req_hops) + self.cfg.lat.dir;
-                        lat += self.invalidate_others(line, core, home);
-                        self.dir.insert(line, Dir::Exclusive(core));
+                        lat += self.invalidate_others(&st, line, core, home);
+                        st.dir = Dir::Exclusive(core);
                         self.caches[core].write_hit(line, v);
                         lat
                     }
@@ -469,18 +520,17 @@ impl System {
                         self.charge_dir();
                         let mut lat =
                             self.cfg.lat.l1_hit + self.mesh.latency(req_hops) + self.cfg.lat.dir;
-                        let d = self.dir.get(&line).copied().unwrap_or(Dir::Uncached);
-                        match d {
+                        match st.dir {
                             Dir::Uncached => {
-                                let (fetch, _) = self.fetch_at_home(line);
+                                let (fetch, _) = self.fetch_at_home(&mut st);
                                 lat += fetch + self.mesh.latency(req_hops);
                                 self.charge_msg(req_hops, self.mesh.data_flits);
                             }
                             Dir::Sharers(_) => {
-                                let (fetch, _) = self.fetch_at_home(line);
+                                let (fetch, _) = self.fetch_at_home(&mut st);
                                 lat += fetch + self.mesh.latency(req_hops);
                                 self.charge_msg(req_hops, self.mesh.data_flits);
-                                lat += self.invalidate_others(line, core, home);
+                                lat += self.invalidate_others(&st, line, core, home);
                             }
                             Dir::Exclusive(owner) => {
                                 // Forward-invalidate: owner sends data
@@ -497,21 +547,23 @@ impl System {
                                     + self.mesh.latency(back);
                             }
                         }
-                        self.dir.insert(line, Dir::Exclusive(core));
+                        st.dir = Dir::Exclusive(core);
                         self.insert_line(core, line, Mesi::M, v);
                         lat
                     }
                 }
             }
-        }
+        };
+        self.lines.insert(line, st);
+        lat
     }
 
-    /// Invalidate every sharer of `line` other than `keep`; returns the
-    /// added latency (max invalidation round trip through `home`).
-    fn invalidate_others(&mut self, line: u64, keep: usize, home: usize) -> u64 {
-        let d = self.dir.get(&line).copied().unwrap_or(Dir::Uncached);
+    /// Invalidate every sharer of `line` other than `keep`, per the
+    /// caller's in-flight directory state; returns the added latency (max
+    /// invalidation round trip through `home`).
+    fn invalidate_others(&mut self, st: &LineState, line: u64, keep: usize, home: usize) -> u64 {
         let mut max_rtt = 0u64;
-        if let Dir::Sharers(mask) = d {
+        if let Dir::Sharers(mask) = st.dir {
             for c in 0..self.cfg.cores {
                 if c != keep && mask & (1 << c) != 0 {
                     self.stats.invalidations += 1;
@@ -532,12 +584,13 @@ impl System {
     pub fn reclassify(&mut self, lines: &[u64], new_class: Class) -> u64 {
         let mut cost = 0u64;
         for &line in lines {
-            let old = self.class_of(line);
+            let mut st = self.line_state(line);
+            let old = self.resolve_class(&st);
             for c in 0..self.cfg.cores {
                 if let Some(e) = self.caches[c].invalidate(line) {
                     if e.state == Mesi::M {
                         self.stats.writebacks += 1;
-                        self.l3.insert(line, e.version);
+                        st.l3 = Some(e.version);
                         let hops = match old {
                             Class::Private(_) => 0,
                             _ => self.mesh.hops(c, self.mesh.home(line)),
@@ -548,8 +601,9 @@ impl System {
                     }
                 }
             }
-            self.dir.insert(line, Dir::Uncached);
-            self.class.insert(line, new_class);
+            st.dir = Dir::Uncached;
+            st.class = Some(new_class);
+            self.lines.insert(line, st);
         }
         cost
     }
@@ -580,18 +634,19 @@ impl System {
                 exclusive_holders.len() <= 1,
                 "line {line:#x}: multiple exclusive holders {exclusive_holders:?}"
             );
+            let dir = self.line_state(line).dir;
             if let Some(&x) = exclusive_holders.first() {
                 assert!(
                     shared_holders.is_empty(),
                     "line {line:#x}: exclusive at {x} with sharers {shared_holders:?}"
                 );
                 assert_eq!(
-                    self.dir.get(&line),
-                    Some(&Dir::Exclusive(x)),
+                    dir,
+                    Dir::Exclusive(x),
                     "line {line:#x}: directory out of sync with exclusive holder"
                 );
             }
-            if let Some(Dir::Sharers(mask)) = self.dir.get(&line) {
+            if let Dir::Sharers(mask) = dir {
                 for &s in &shared_holders {
                     assert!(
                         mask & (1 << s) != 0,
@@ -843,5 +898,26 @@ mod tests {
         assert!(s.stats.forwards >= 16, "forwards {}", s.stats.forwards);
         assert!(s.stats.invalidations > 0);
         s.check_swmr();
+    }
+
+    #[test]
+    fn reserve_lines_changes_no_observable_behavior() {
+        let run = |reserve: bool| {
+            let mut s = sys(CohMode::Full);
+            if reserve {
+                s.reserve_lines(4096);
+            }
+            let mut cycles = 0u64;
+            for i in 0..500u64 {
+                let core = (i % 4) as usize;
+                if i % 3 == 0 {
+                    cycles += s.write(core, i % 96);
+                } else {
+                    cycles += s.read(core, i % 96);
+                }
+            }
+            (cycles, s.stats.invalidations, s.stats.dram_fetches)
+        };
+        assert_eq!(run(false), run(true));
     }
 }

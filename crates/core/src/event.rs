@@ -7,10 +7,17 @@
 //! workload*) are only meaningful if a run is a pure function of its
 //! configuration, so ties in event time are broken by insertion order
 //! (FIFO), never by heap internals.
+//!
+//! Cancellation is *lazy*: [`EventQueue::cancel`] tombstones the event's
+//! sequence number in O(1) instead of rebuilding the heap, and tombstoned
+//! entries are discarded when they surface at the top. When tombstones
+//! outnumber live events the heap is compacted in one pass, so memory stays
+//! bounded by the live event count. The heap top is never left tombstoned,
+//! which keeps [`EventQueue::peek_time`] an `&self` read.
 
 use crate::time::Cycles;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// An event scheduled at an absolute simulated time.
 #[derive(Debug, Clone)]
@@ -43,6 +50,18 @@ impl<E> PartialOrd for Scheduled<E> {
     }
 }
 
+/// A ticket for a pending event scheduled with
+/// [`EventQueue::schedule_cancellable`]; redeem it with
+/// [`EventQueue::cancel`].
+///
+/// Handles are cheap copyable tokens. A handle whose event has already
+/// fired (or already been cancelled) is simply stale: cancelling it returns
+/// `false` and does nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle {
+    seq: u64,
+}
+
 /// A deterministic discrete-event queue generic over the event payload.
 ///
 /// ```
@@ -63,6 +82,11 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: Cycles,
+    /// Seqs of events scheduled via `schedule_cancellable` and still
+    /// pending; membership makes `cancel` accurate and idempotent.
+    cancellable: HashSet<u64>,
+    /// Tombstones: seqs of cancelled events still physically in the heap.
+    cancelled: HashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -78,6 +102,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Cycles::ZERO,
+            cancellable: HashSet::new(),
+            cancelled: HashSet::new(),
         }
     }
 
@@ -87,16 +113,16 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
-    /// True when no events are pending.
+    /// True when no live events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -104,6 +130,21 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is a simulator bug; it panics in debug builds
     /// and is clamped to `now` in release builds so long sweeps fail soft.
     pub fn schedule(&mut self, at: Cycles, payload: E) {
+        self.push(at, payload);
+    }
+
+    /// Schedule `payload` at `at`, returning a handle that can later cancel
+    /// the event in O(1) (see [`EventQueue::cancel`]).
+    ///
+    /// Same time semantics as [`EventQueue::schedule`], including FIFO
+    /// tie-breaking against events scheduled either way.
+    pub fn schedule_cancellable(&mut self, at: Cycles, payload: E) -> EventHandle {
+        let seq = self.push(at, payload);
+        self.cancellable.insert(seq);
+        EventHandle { seq }
+    }
+
+    fn push(&mut self, at: Cycles, payload: E) -> u64 {
         debug_assert!(
             at >= self.now,
             "event scheduled in the past: at={at} now={}",
@@ -113,6 +154,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, payload });
+        seq
     }
 
     /// Schedule `payload` `delay` cycles after the current time.
@@ -120,14 +162,34 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, payload);
     }
 
+    /// Cancel the event behind `handle`. Returns true if the event was
+    /// still pending (and is now dead), false if it already fired or was
+    /// already cancelled.
+    ///
+    /// The entry is tombstoned, not removed: it stays in the heap until it
+    /// surfaces at the top or a compaction sweeps it out.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if !self.cancellable.remove(&handle.seq) {
+            return false;
+        }
+        self.cancelled.insert(handle.seq);
+        self.after_cancel();
+        true
+    }
+
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycles> {
+        // Invariant: the heap top is never tombstoned (every cancellation
+        // prunes the top), so peeking needs no skipping.
         self.heap.peek().map(|s| s.at)
     }
 
-    /// Pop the earliest event, advancing `now` to its time.
+    /// Pop the earliest live event, advancing `now` to its time.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
         let s = self.heap.pop()?;
+        debug_assert!(!self.cancelled.contains(&s.seq), "tombstone at heap top");
+        self.cancellable.remove(&s.seq);
+        self.prune_top();
         self.now = s.at;
         Some((s.at, s.payload))
     }
@@ -157,11 +219,63 @@ impl<E> EventQueue<E> {
 
     /// Drop all pending events matching `pred`, returning how many were
     /// removed. Used e.g. to cancel a thread's timers on exit.
+    ///
+    /// Compatibility wrapper over the tombstone machinery: matching entries
+    /// are marked dead in place (no heap rebuild unless the tombstone load
+    /// triggers a compaction).
     pub fn cancel_where(&mut self, mut pred: impl FnMut(&E) -> bool) -> usize {
-        let before = self.heap.len();
-        let kept: Vec<Scheduled<E>> = self.heap.drain().filter(|s| !pred(&s.payload)).collect();
+        let mut n = 0;
+        for s in self.heap.iter() {
+            if !self.cancelled.contains(&s.seq) && pred(&s.payload) {
+                self.cancelled.insert(s.seq);
+                self.cancellable.remove(&s.seq);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.after_cancel();
+        }
+        n
+    }
+
+    /// Restore the no-tombstone-at-top invariant and bound tombstone load.
+    fn after_cancel(&mut self) {
+        // Compact when tombstones exceed half the heap; otherwise just make
+        // sure the top entry is live.
+        if self.cancelled.len() * 2 > self.heap.len() {
+            self.compact();
+        } else {
+            self.prune_top();
+        }
+    }
+
+    /// Discard tombstoned entries sitting at the top of the heap.
+    fn prune_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            let seq = top.seq;
+            if !self.cancelled.contains(&seq) {
+                break;
+            }
+            self.heap.pop();
+            self.cancelled.remove(&seq);
+        }
+    }
+
+    /// Rebuild the heap without its tombstoned entries (one O(n) pass).
+    fn compact(&mut self) {
+        let cancelled = std::mem::take(&mut self.cancelled);
+        let kept: Vec<Scheduled<E>> = self
+            .heap
+            .drain()
+            .filter(|s| !cancelled.contains(&s.seq))
+            .collect();
         self.heap = kept.into();
-        before - self.heap.len()
+    }
+
+    /// Physical heap entries, live + tombstoned (for tests and diagnostics).
+    #[doc(hidden)]
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -247,5 +361,113 @@ mod tests {
         q.schedule(Cycles(100), ());
         q.pop();
         q.schedule(Cycles(50), ());
+    }
+
+    #[test]
+    fn cancel_removes_pending_event() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(1), "a");
+        let h = q.schedule_cancellable(Cycles(2), "b");
+        q.schedule(Cycles(3), "c");
+        assert!(q.cancel(h));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Cycles(1), "a")));
+        assert_eq!(q.pop(), Some((Cycles(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_stale_after_fire() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule_cancellable(Cycles(1), "first");
+        let h2 = q.schedule_cancellable(Cycles(2), "second");
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2), "double cancel must be a no-op");
+        assert_eq!(q.pop(), Some((Cycles(1), "first")));
+        assert!(!q.cancel(h1), "cancelling a fired event must be a no-op");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_top() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancellable(Cycles(5), "soon");
+        q.schedule(Cycles(10), "later");
+        assert_eq!(q.peek_time(), Some(Cycles(5)));
+        assert!(q.cancel(h));
+        // The cancelled event was the top: peek must see through it.
+        assert_eq!(q.peek_time(), Some(Cycles(10)));
+        assert_eq!(q.pop_before(Cycles(7)), None);
+        assert_eq!(q.pop(), Some((Cycles(10), "later")));
+    }
+
+    #[test]
+    fn cancellation_preserves_fifo_ties() {
+        let mut q = EventQueue::new();
+        let mut handles = Vec::new();
+        for i in 0..50 {
+            handles.push(q.schedule_cancellable(Cycles(7), i));
+        }
+        // Cancel every third event; the survivors must still pop in
+        // insertion order.
+        for (i, h) in handles.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(q.cancel(*h));
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            assert_eq!(t, Cycles(7));
+            popped.push(i);
+        }
+        let expect: Vec<i32> = (0..50).filter(|i| i % 3 != 0).collect();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn heavy_cancellation_triggers_compaction() {
+        let mut q = EventQueue::new();
+        let handles: Vec<EventHandle> = (0..1000)
+            .map(|i| q.schedule_cancellable(Cycles(1_000_000 + i), i))
+            .collect();
+        // Cancel everything except the last event. Tombstones may never
+        // exceed half the physical heap.
+        for h in &handles[..999] {
+            assert!(q.cancel(*h));
+        }
+        assert_eq!(q.len(), 1);
+        assert!(
+            q.raw_len() <= 2,
+            "compaction failed to bound tombstones: raw_len={}",
+            q.raw_len()
+        );
+        assert_eq!(q.pop(), Some((Cycles(1_000_999), 999)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_where_skips_already_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancellable(Cycles(1), 10);
+        q.schedule(Cycles(2), 11);
+        q.schedule(Cycles(3), 20);
+        assert!(q.cancel(h));
+        // Payload 10 is already dead; cancel_where must not double-count it.
+        let n = q.cancel_where(|e| *e >= 10 && *e < 20);
+        assert_eq!(n, 1);
+        assert_eq!(q.pop(), Some((Cycles(3), 20)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_counts_only_live_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), 0);
+        let h = q.schedule_cancellable(Cycles(20), 1);
+        q.schedule(Cycles(30), 2);
+        assert_eq!(q.len(), 3);
+        q.cancel(h);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
     }
 }

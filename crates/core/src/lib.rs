@@ -39,7 +39,7 @@ pub mod stack;
 pub mod stats;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventHandle, EventQueue};
 pub use interrupt::DeliveryMode;
 pub use machine::{CostModel, MachineConfig, Platform};
 pub use rng::SplitMix64;

@@ -15,7 +15,7 @@ use crate::trace::{TraceEvent, TraceKind};
 use crate::work::{Work, WorkStep};
 use interweave_core::machine::{CpuId, MachineConfig};
 use interweave_core::time::Cycles;
-use interweave_core::EventQueue;
+use interweave_core::{EventHandle, EventQueue};
 use std::collections::HashMap;
 
 enum TaskState {
@@ -41,7 +41,9 @@ struct Cpu {
     queue: RoundRobin,
     busy: Cycles,
     switch_cycles: Cycles,
-    dispatch_scheduled: bool,
+    /// The pending dispatch event for this CPU, if one is scheduled:
+    /// its fire time plus the queue handle that can retract it.
+    dispatch: Option<(Cycles, EventHandle)>,
 }
 
 /// Execution statistics for one run.
@@ -87,7 +89,7 @@ impl Executor {
                 queue: RoundRobin::new(),
                 busy: Cycles::ZERO,
                 switch_cycles: Cycles::ZERO,
-                dispatch_scheduled: false,
+                dispatch: None,
             })
             .collect();
         Executor {
@@ -140,10 +142,24 @@ impl Executor {
     }
 
     fn kick(&mut self, cpu: CpuId, at: Cycles) {
-        if !self.cpus[cpu].dispatch_scheduled {
-            self.cpus[cpu].dispatch_scheduled = true;
-            let t = at.max(self.events.now());
-            self.events.schedule(t, cpu);
+        let t = at.max(self.events.now());
+        match self.cpus[cpu].dispatch {
+            // A dispatch is already pending no later than this kick: the
+            // existing event covers it.
+            Some((pending, _)) if pending <= t => {}
+            // A strictly earlier kick retracts the pending dispatch and
+            // reschedules, so a CPU never idles past a wakeup. (Kicks
+            // arrive in nondecreasing event-time order today, so this arm
+            // is a safety net; it keeps the invariant local to `kick`.)
+            Some((_, handle)) => {
+                self.events.cancel(handle);
+                let handle = self.events.schedule_cancellable(t, cpu);
+                self.cpus[cpu].dispatch = Some((t, handle));
+            }
+            None => {
+                let handle = self.events.schedule_cancellable(t, cpu);
+                self.cpus[cpu].dispatch = Some((t, handle));
+            }
         }
     }
 
@@ -164,7 +180,7 @@ impl Executor {
     /// Returns true if every task completed.
     pub fn run(&mut self) -> bool {
         while let Some((at, cpu)) = self.events.pop() {
-            self.cpus[cpu].dispatch_scheduled = false;
+            self.cpus[cpu].dispatch = None;
             self.dispatch(cpu, at);
         }
         self.stats.makespan = self

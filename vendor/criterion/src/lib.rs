@@ -1,0 +1,164 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace's benches use: [`Criterion`] with
+//! `bench_function` and `sample_size`, [`Bencher::iter`], the
+//! `criterion_group!`/`criterion_main!` macros, and [`black_box`]. Timing is
+//! plain wall-clock sampling — median of `sample_size` samples, each sample
+//! auto-scaled to run for at least ~2 ms — with no statistics machinery.
+//!
+//! CLI compatibility: `--test` runs every benchmark body exactly once (the
+//! CI smoke mode, mirroring real criterion), a trailing free argument
+//! filters benchmarks by substring, and all other harness flags are
+//! accepted and ignored.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {} // accept-and-ignore harness flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            None => println!("{name}: no measurement (bencher never iterated)"),
+            Some(ns) if self.test_mode => {
+                println!("{name}: ok (ran once in --test mode, {ns:.0} ns)");
+            }
+            Some(ns) => {
+                println!(
+                    "{name}: {} /iter (median of {} samples)",
+                    fmt_ns(ns),
+                    self.sample_size
+                );
+            }
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to each benchmark body; runs and times the measured closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, reporting median nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(f());
+            self.report = Some(start.elapsed().as_nanos() as f64);
+            return;
+        }
+        // Calibrate: how many iterations fill ~2 ms?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.report = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Group benchmark functions, with an optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,181 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! serialization layer is vendored: a JSON-only [`Serialize`]/[`Deserialize`]
+//! pair with `#[derive(Serialize, Deserialize)]` support (see the companion
+//! `serde_derive` proc-macro crate) covering exactly the shapes the
+//! experiments persist — named-field structs, newtype/tuple structs, and
+//! unit-variant enums. The JSON encoding matches real serde_json for those
+//! shapes (structs as objects, newtypes transparently, unit variants as
+//! strings), so swapping the real crates back in is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A value that can write itself as compact JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// A value that can reconstruct itself from a parsed [`json::JsonValue`].
+pub trait Deserialize: Sized {
+    /// Build the value, or explain why the JSON doesn't fit.
+    fn deserialize_json(v: &json::JsonValue) -> Result<Self, json::JsonError>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::JsonValue) -> Result<Self, json::JsonError> {
+                match v {
+                    json::JsonValue::Num(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| json::JsonError::msg(format!(
+                            "number {s:?} does not fit {}", stringify!($t)
+                        ))),
+                    other => Err(json::JsonError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // Matches serde_json's behavior of refusing non-finite
+                    // floats; null keeps the document well-formed.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::JsonValue) -> Result<Self, json::JsonError> {
+                match v {
+                    json::JsonValue::Num(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| json::JsonError::msg(format!("bad float {s:?}"))),
+                    other => Err(json::JsonError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &json::JsonValue) -> Result<Self, json::JsonError> {
+        match v {
+            json::JsonValue::Bool(b) => Ok(*b),
+            other => Err(json::JsonError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &json::JsonValue) -> Result<Self, json::JsonError> {
+        match v {
+            json::JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(json::JsonError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &json::JsonValue) -> Result<Self, json::JsonError> {
+        match v {
+            json::JsonValue::Arr(items) => items.iter().map(T::deserialize_json).collect(),
+            other => Err(json::JsonError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &json::JsonValue) -> Result<Self, json::JsonError> {
+        match v {
+            json::JsonValue::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(k.as_ref(), out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}

@@ -1,0 +1,303 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Supports exactly the item shapes the workspace serializes:
+//!
+//! - structs with named fields → JSON objects,
+//! - tuple structs → transparent for one field (newtype), arrays otherwise,
+//! - enums whose variants are all unit → JSON strings of the variant name.
+//!
+//! The parser walks the raw `proc_macro::TokenStream` directly (no `syn`),
+//! which is enough because the supported grammar is small; unsupported
+//! shapes (generics, data-carrying enum variants) produce a compile error
+//! naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Skip `#[...]` attribute groups; returns the next significant token.
+fn skip_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracket group of the attribute.
+                iter.next();
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde_derive stub: expected field name, found {tt}");
+        };
+        fields.push(name.to_string());
+        // Expect ':', then consume the type up to a top-level comma
+        // (tracking angle-bracket depth so `Vec<(A, B)>` style types with
+        // commas inside generics don't split early).
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected ':', found {other:?}"),
+        }
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut segments = 0usize;
+    let mut seen_tokens = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                seen_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                seen_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                segments += 1;
+                seen_tokens = false;
+            }
+            _ => seen_tokens = true,
+        }
+    }
+    if seen_tokens {
+        segments += 1;
+    }
+    segments
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde_derive stub: expected variant name, found {tt}");
+        };
+        variants.push(name.to_string());
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive stub: data-carrying enum variants are not supported \
+                 (variant {name})"
+            ),
+            Some(other) => panic!("serde_derive stub: unexpected token {other}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive stub: expected struct name, found {other:?}"),
+                };
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::Named {
+                            name,
+                            fields: parse_named_fields(g.stream()),
+                        };
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Shape::Tuple {
+                            name,
+                            arity: parse_tuple_arity(g.stream()),
+                        };
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde_derive stub: generic types are not supported ({name})")
+                    }
+                    other => {
+                        panic!("serde_derive stub: unsupported struct body for {name}: {other:?}")
+                    }
+                }
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive stub: expected enum name, found {other:?}"),
+                };
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::UnitEnum {
+                            name,
+                            variants: parse_unit_variants(g.stream()),
+                        };
+                    }
+                    other => {
+                        panic!("serde_derive stub: unsupported enum body for {name}: {other:?}")
+                    }
+                }
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive stub: no struct or enum found"),
+        }
+    }
+}
+
+/// `#[derive(Serialize)]` — JSON-writing impl for the vendored serde.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            impl_serialize(&name, &body)
+        }
+        Shape::Tuple { name, arity: 1 } => {
+            impl_serialize(&name, "::serde::Serialize::serialize_json(&self.0, out);")
+        }
+        Shape::Tuple { name, arity } => {
+            let mut body = String::from("out.push('[');\n");
+            for i in 0..arity {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            body.push_str("out.push(']');");
+            impl_serialize(&name, &body)
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                .collect();
+            impl_serialize(&name, &format!("match self {{ {arms} }}"))
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — JSON-reading impl for the vendored serde.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match shape {
+        Shape::Named { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::json::field(v, \"{f}\")?,\n"))
+                .collect();
+            impl_deserialize(&name, &format!("Ok({name} {{ {inits} }})"))
+        }
+        Shape::Tuple { name, arity: 1 } => impl_deserialize(
+            &name,
+            &format!("Ok({name}(::serde::Deserialize::deserialize_json(v)?))"),
+        ),
+        Shape::Tuple { name, arity } => {
+            let elems: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_json(&items[{i}])?,\n"))
+                .collect();
+            impl_deserialize(
+                &name,
+                &format!(
+                    "match v {{\n\
+                       ::serde::json::JsonValue::Arr(items) if items.len() == {arity} =>\n\
+                         Ok({name}({elems})),\n\
+                       other => Err(::serde::json::JsonError::expected(\"array of {arity}\", other)),\n\
+                     }}"
+                ),
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),\n"))
+                .collect();
+            impl_deserialize(
+                &name,
+                &format!(
+                    "match v.as_str() {{\n\
+                       {arms}\n\
+                       _ => Err(::serde::json::JsonError::expected(\"variant of {name}\", v)),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+           fn deserialize_json(v: &::serde::json::JsonValue)\n\
+             -> ::std::result::Result<Self, ::serde::json::JsonError> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`.
+//!
+//! Provides the three entry points the workspace uses — [`to_string`],
+//! [`to_string_pretty`], [`from_str`] — with the same output format as the
+//! real crate for the supported shapes.
+
+pub use serde::json::{JsonError as Error, JsonValue as Value};
+
+/// A `serde_json`-compatible result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented JSON string (two-space indent).
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    let parsed = serde::json::parse(&compact)?;
+    let mut out = String::new();
+    parsed.write_pretty(0, &mut out);
+    Ok(out)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let v = serde::json::parse(s)?;
+    T::deserialize_json(&v)
+}
