@@ -6,7 +6,11 @@
 //! - coherence line lookup: the unified line-state table vs. the old four
 //!   parallel per-line maps (100k-access workload);
 //! - sweep dispatch: `parallel_map` fan-out over a simulator-shaped
-//!   workload on the bounded worker pool.
+//!   workload on the bounded worker pool;
+//! - interpreter core: page-backed memory + clone-free dispatch vs. a
+//!   mini seed-layout interpreter (per-word `BTreeMap` memory, linear
+//!   allocation bookkeeping, instruction clone per step) on three
+//!   workloads — load/store-heavy loop, alloc/free churn, call-heavy fib.
 //!
 //! The baselines live here (not in the library) so the comparison stays
 //! runnable after the seed implementations are gone.
@@ -378,6 +382,709 @@ fn sweep_dispatch(c: &mut Criterion) {
     });
 }
 
+// ---------------------------------------------------------------------------
+// Baseline 3: the seed interpreter core, reproduced verbatim — per-word
+// `BTreeMap` memory (two tree lookups per access, range-scan `containing`,
+// key-collection `free`) and clone-per-step dispatch. It executes the *same*
+// `Module`s as the current interpreter, with the same dyn-dispatched hook
+// calls and cycle accounting, so the measured delta is exactly the
+// page-backed storage, the allocation cache, and the clone-free step.
+
+mod seed_interp {
+    use interweave_ir::interp::{AllocId, Allocation, InterpConfig, Trap};
+    use interweave_ir::types::{BlockId, FuncId, Reg, Val};
+    use interweave_ir::{BinOp, CmpOp, Inst, Intrinsic, Module, Term};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct MemCell {
+        val: Val,
+        prov: Option<AllocId>,
+    }
+
+    /// The seed `Memory`: one `BTreeMap` entry per stored word.
+    #[derive(Debug, Clone)]
+    pub struct Memory {
+        words: BTreeMap<u64, MemCell>,
+        allocs: BTreeMap<u64, Allocation>,
+        free: BTreeMap<u64, u64>,
+        bump: u64,
+        limit: u64,
+        next_id: u64,
+        pub live_bytes: u64,
+    }
+
+    impl Memory {
+        pub fn new(cfg: &InterpConfig) -> Memory {
+            Memory {
+                words: BTreeMap::new(),
+                allocs: BTreeMap::new(),
+                free: BTreeMap::new(),
+                bump: cfg.heap_base,
+                limit: cfg.heap_base + cfg.heap_size,
+                next_id: 1,
+                live_bytes: 0,
+            }
+        }
+
+        pub fn alloc(&mut self, size: u64) -> Result<Allocation, Trap> {
+            let size = size.max(8).div_ceil(8) * 8;
+            let slot = self
+                .free
+                .iter()
+                .find(|(_, &sz)| sz >= size)
+                .map(|(&b, &sz)| (b, sz));
+            let base = if let Some((b, sz)) = slot {
+                self.free.remove(&b);
+                if sz > size {
+                    self.free.insert(b + size, sz - size);
+                }
+                b
+            } else {
+                let b = self.bump;
+                if b + size > self.limit {
+                    return Err(Trap::OutOfMemory);
+                }
+                self.bump += size;
+                b
+            };
+            let a = Allocation {
+                id: AllocId(self.next_id),
+                base,
+                size,
+            };
+            self.next_id += 1;
+            self.allocs.insert(base, a);
+            self.live_bytes += size;
+            Ok(a)
+        }
+
+        pub fn free(&mut self, addr: u64) -> Result<Allocation, Trap> {
+            let a = self.allocs.remove(&addr).ok_or(Trap::BadFree { addr })?;
+            // The seed's O(live words) key collection before removal.
+            let keys: Vec<u64> = self
+                .words
+                .range(a.base..a.base + a.size)
+                .map(|(&k, _)| k)
+                .collect();
+            for k in keys {
+                self.words.remove(&k);
+            }
+            self.free.insert(a.base, a.size);
+            self.coalesce_around(a.base);
+            self.live_bytes -= a.size;
+            Ok(a)
+        }
+
+        fn coalesce_around(&mut self, base: u64) {
+            if let Some(&size) = self.free.get(&base) {
+                if let Some((&nb, &nsz)) = self.free.range(base + size..).next() {
+                    if nb == base + size {
+                        self.free.remove(&nb);
+                        *self.free.get_mut(&base).expect("present") = size + nsz;
+                    }
+                }
+            }
+            if let Some((&pb, &psz)) = self.free.range(..base).next_back() {
+                if pb + psz == base {
+                    let size = self.free.remove(&base).expect("present");
+                    *self.free.get_mut(&pb).expect("present") = psz + size;
+                }
+            }
+        }
+
+        pub fn containing(&self, addr: u64) -> Option<Allocation> {
+            self.allocs
+                .range(..=addr)
+                .next_back()
+                .map(|(_, &a)| a)
+                .filter(|a| addr < a.base + a.size)
+        }
+
+        pub fn load(&self, addr: u64) -> Result<(Val, Option<AllocId>), Trap> {
+            if self.containing(addr).is_none() {
+                return Err(Trap::BadAccess { addr, write: false });
+            }
+            Ok(self
+                .words
+                .get(&addr)
+                .map(|c| (c.val, c.prov))
+                .unwrap_or((Val::I(0), None)))
+        }
+
+        pub fn store(&mut self, addr: u64, val: Val, prov: Option<AllocId>) -> Result<(), Trap> {
+            if self.containing(addr).is_none() {
+                return Err(Trap::BadAccess { addr, write: true });
+            }
+            self.words.insert(addr, MemCell { val, prov });
+            Ok(())
+        }
+    }
+
+    /// The seed hook surface (same dyn-dispatch shape as the real
+    /// `RuntimeHooks`, so the baseline pays identical virtual-call costs).
+    pub trait SeedHooks {
+        fn check_access(&mut self, _addr: u64, _write: bool, _now: u64) -> Result<u64, Trap> {
+            Ok(0)
+        }
+        fn on_alloc(&mut self, _a: Allocation) {}
+        fn on_free(&mut self, _a: Allocation) {}
+        fn intrinsic(&mut self, _which: Intrinsic, _args: &[Val], _now: u64) -> (Option<Val>, u64) {
+            (Some(Val::I(0)), 0)
+        }
+    }
+
+    /// No-op hooks, like `NullHooks`.
+    pub struct SeedNullHooks;
+    impl SeedHooks for SeedNullHooks {}
+
+    #[derive(Debug, Clone)]
+    struct Frame {
+        func: FuncId,
+        block: BlockId,
+        ip: usize,
+        regs: Vec<Val>,
+        prov: Vec<Option<AllocId>>,
+        ret_to: Option<Reg>,
+    }
+
+    enum StepOut {
+        Continue,
+        Trap(Trap),
+    }
+
+    /// The seed interpreter: clone-per-step dispatch over the same modules.
+    pub struct Interp {
+        cfg: InterpConfig,
+        pub mem: Memory,
+        frames: Vec<Frame>,
+        pub cycles: u64,
+        pub insts: u64,
+        done_value: Option<Val>,
+    }
+
+    impl Interp {
+        pub fn new(cfg: InterpConfig) -> Interp {
+            let mem = Memory::new(&cfg);
+            Interp {
+                cfg,
+                mem,
+                frames: Vec::new(),
+                cycles: 0,
+                insts: 0,
+                done_value: None,
+            }
+        }
+
+        pub fn start(&mut self, module: &Module, f: FuncId, args: &[Val]) {
+            let func = module.func(f);
+            let mut regs = vec![Val::I(0); func.n_regs];
+            let prov = vec![None; func.n_regs];
+            regs[..args.len()].copy_from_slice(args);
+            self.frames = vec![Frame {
+                func: f,
+                block: BlockId(0),
+                ip: 0,
+                regs,
+                prov,
+                ret_to: None,
+            }];
+            self.done_value = None;
+        }
+
+        pub fn run_to_completion(
+            &mut self,
+            module: &Module,
+            hooks: &mut dyn SeedHooks,
+        ) -> Option<Val> {
+            loop {
+                if self.frames.is_empty() {
+                    return self.done_value;
+                }
+                match self.step(module, hooks) {
+                    StepOut::Continue => {}
+                    StepOut::Trap(t) => panic!("baseline program trapped: {t:?}"),
+                }
+            }
+        }
+
+        fn charge(&mut self, c: u64) {
+            self.cycles += c;
+        }
+
+        fn step(&mut self, module: &Module, hooks: &mut dyn SeedHooks) -> StepOut {
+            let fi = self.frames.len() - 1;
+            let (func_id, block, ip) = {
+                let fr = &self.frames[fi];
+                (fr.func, fr.block, fr.ip)
+            };
+            let func = module.func(func_id);
+            let blk = &func.blocks[block.index()];
+
+            if ip >= blk.insts.len() {
+                self.insts += 1;
+                // The seed cloned the terminator out of the block.
+                let term = blk.term.clone().expect("verified IR");
+                match term {
+                    Term::Br(t) => {
+                        self.charge(self.cfg.cost_branch);
+                        let fr = &mut self.frames[fi];
+                        fr.block = t;
+                        fr.ip = 0;
+                    }
+                    Term::CondBr(c, t, e) => {
+                        self.charge(self.cfg.cost_branch);
+                        let taken = self.frames[fi].regs[c.0 as usize].is_true();
+                        let fr = &mut self.frames[fi];
+                        fr.block = if taken { t } else { e };
+                        fr.ip = 0;
+                    }
+                    Term::Ret(v) => {
+                        self.charge(self.cfg.cost_ret);
+                        let (val, prov) = match v {
+                            Some(r) => {
+                                let fr = &self.frames[fi];
+                                (Some(fr.regs[r.0 as usize]), fr.prov[r.0 as usize])
+                            }
+                            None => (None, None),
+                        };
+                        let ret_to = self.frames[fi].ret_to;
+                        self.frames.pop();
+                        match self.frames.last_mut() {
+                            Some(caller) => {
+                                if let Some(dst) = ret_to {
+                                    caller.regs[dst.0 as usize] = val.unwrap_or(Val::I(0));
+                                    caller.prov[dst.0 as usize] = prov;
+                                }
+                            }
+                            None => self.done_value = val,
+                        }
+                    }
+                }
+                return StepOut::Continue;
+            }
+
+            // The seed's per-step clone, then execute.
+            let inst = blk.insts[ip].clone();
+            self.frames[fi].ip += 1;
+            self.insts += 1;
+
+            macro_rules! reg {
+                ($r:expr) => {
+                    self.frames[fi].regs[$r.0 as usize]
+                };
+            }
+            macro_rules! prov {
+                ($r:expr) => {
+                    self.frames[fi].prov[$r.0 as usize]
+                };
+            }
+            macro_rules! set {
+                ($d:expr, $v:expr, $p:expr) => {{
+                    self.frames[fi].regs[$d.0 as usize] = $v;
+                    self.frames[fi].prov[$d.0 as usize] = $p;
+                }};
+            }
+
+            match inst {
+                Inst::ConstI(d, v) => {
+                    self.charge(self.cfg.cost_arith);
+                    set!(d, Val::I(v), None);
+                }
+                Inst::ConstF(d, v) => {
+                    self.charge(self.cfg.cost_arith);
+                    set!(d, Val::F(v), None);
+                }
+                Inst::Mov(d, s) => {
+                    self.charge(self.cfg.cost_arith);
+                    let (v, p) = (reg!(s), prov!(s));
+                    set!(d, v, p);
+                }
+                Inst::Bin(d, op, a, b) => {
+                    self.charge(self.cfg.cost_arith);
+                    let (va, vb) = (reg!(a), reg!(b));
+                    let val = match op {
+                        BinOp::Add => Val::I(va.as_i().wrapping_add(vb.as_i())),
+                        BinOp::Sub => Val::I(va.as_i().wrapping_sub(vb.as_i())),
+                        BinOp::Mul => Val::I(va.as_i().wrapping_mul(vb.as_i())),
+                        _ => unimplemented!("op not used by the bench workloads"),
+                    };
+                    let p = match op {
+                        BinOp::Add | BinOp::Sub => match (prov!(a), prov!(b)) {
+                            (Some(p), None) => Some(p),
+                            (None, Some(p)) => Some(p),
+                            _ => None,
+                        },
+                        _ => None,
+                    };
+                    set!(d, val, p);
+                }
+                Inst::Cmp(d, op, a, b) => {
+                    self.charge(self.cfg.cost_arith);
+                    let (x, y) = (reg!(a).as_i(), reg!(b).as_i());
+                    let r = match op {
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                    };
+                    set!(d, Val::I(r as i64), None);
+                }
+                Inst::Alloc(d, s) => {
+                    self.charge(self.cfg.cost_alloc);
+                    let size = reg!(s).as_i().max(0) as u64;
+                    match self.mem.alloc(size) {
+                        Ok(a) => {
+                            hooks.on_alloc(a);
+                            set!(d, Val::I(a.base as i64), Some(a.id));
+                        }
+                        Err(t) => return StepOut::Trap(t),
+                    }
+                }
+                Inst::Free(p) => {
+                    self.charge(self.cfg.cost_free);
+                    let addr = reg!(p).as_ptr();
+                    match self.mem.free(addr) {
+                        Ok(a) => hooks.on_free(a),
+                        Err(t) => return StepOut::Trap(t),
+                    }
+                }
+                Inst::Load(d, a, off) => {
+                    self.charge(self.cfg.cost_load);
+                    let addr = (reg!(a).as_i() + off) as u64;
+                    match hooks.check_access(addr, false, self.cycles) {
+                        Ok(extra) => self.charge(extra),
+                        Err(t) => return StepOut::Trap(t),
+                    }
+                    match self.mem.load(addr) {
+                        Ok((v, p)) => set!(d, v, p),
+                        Err(t) => return StepOut::Trap(t),
+                    }
+                }
+                Inst::Store(a, off, v) => {
+                    self.charge(self.cfg.cost_store);
+                    let addr = (reg!(a).as_i() + off) as u64;
+                    match hooks.check_access(addr, true, self.cycles) {
+                        Ok(extra) => self.charge(extra),
+                        Err(t) => return StepOut::Trap(t),
+                    }
+                    let (val, p) = (reg!(v), prov!(v));
+                    if let Err(t) = self.mem.store(addr, val, p) {
+                        return StepOut::Trap(t);
+                    }
+                }
+                Inst::Gep(d, b, i, scale, off) => {
+                    self.charge(self.cfg.cost_gep);
+                    let base = reg!(b).as_i();
+                    let idx = reg!(i).as_i();
+                    let addr = base.wrapping_add(idx.wrapping_mul(scale)).wrapping_add(off);
+                    let p = prov!(b);
+                    set!(d, Val::I(addr), p);
+                }
+                Inst::Call(dst, g, args) => {
+                    self.charge(self.cfg.cost_call);
+                    if self.frames.len() >= self.cfg.max_depth {
+                        return StepOut::Trap(Trap::StackOverflow);
+                    }
+                    let callee = module.func(g);
+                    let mut regs = vec![Val::I(0); callee.n_regs];
+                    let mut prov = vec![None; callee.n_regs];
+                    for (i, &r) in args.iter().enumerate() {
+                        regs[i] = self.frames[fi].regs[r.0 as usize];
+                        prov[i] = self.frames[fi].prov[r.0 as usize];
+                    }
+                    self.frames.push(Frame {
+                        func: g,
+                        block: BlockId(0),
+                        ip: 0,
+                        regs,
+                        prov,
+                        ret_to: dst,
+                    });
+                }
+                Inst::Intr(dst, which, args) => {
+                    let argv: Vec<Val> = args
+                        .iter()
+                        .map(|&r| self.frames[fi].regs[r.0 as usize])
+                        .collect();
+                    let (value, cycles) = hooks.intrinsic(which, &argv, self.cycles);
+                    self.charge(cycles);
+                    if let Some(d) = dst {
+                        set!(d, value.unwrap_or(Val::I(0)), None);
+                    }
+                }
+                _ => unimplemented!("inst not used by the bench workloads"),
+            }
+            StepOut::Continue
+        }
+    }
+}
+
+// The three interpreter workloads, each built once through `FunctionBuilder`
+// and executed by BOTH interpreters — the seed baseline above and the real
+// page-backed one.
+
+/// Load/store workload geometry: `LS_ARRAYS` live allocations (as CARAT's
+/// overhead suite keeps many objects live) of `LS_WORDS` words each, written
+/// then summed, `LS_PASSES` times. Words are laid out at consecutive byte
+/// addresses — each address is an independent word cell in both memory
+/// representations (the seed's map was keyed by byte address too), so this
+/// is the densest legal layout and both sides execute identical accesses.
+const LS_ARRAYS: i64 = 8;
+const LS_WORDS: i64 = 32_768;
+const LS_PASSES: i64 = 2;
+const CHURN_ITERS: i64 = 2_000;
+const FIB_N: i64 = 16;
+
+/// Write `LS_WORDS` words in each of `LS_ARRAYS` arrays, then sum them
+/// back, `LS_PASSES` times.
+fn loadstore_real() -> (interweave_ir::Module, interweave_ir::FuncId) {
+    use interweave_ir::{BinOp, CmpOp, FunctionBuilder, Module};
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("loadstore", 0);
+    let n = fb.const_i(LS_WORDS);
+    let nar = fb.const_i(LS_ARRAYS);
+    let passes = fb.const_i(LS_PASSES);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+    let four = fb.const_i(4);
+    let dsize = fb.const_i(LS_ARRAYS * 8);
+    let asize = fb.const_i(LS_WORDS);
+    let dir = fb.alloc(dsize);
+    let sum = fb.mov(zero);
+    let p = fb.mov(zero);
+    let a = fb.mov(zero);
+    let i = fb.mov(zero);
+    let arr = fb.mov(zero);
+    let (sh, sb, oh) = (fb.new_block(), fb.new_block(), fb.new_block());
+    let (awpre, awh, awb, wh, wb, awnext) = (
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+    );
+    let (arpre, arh, arb, rh, rb, arnext) = (
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+        fb.new_block(),
+    );
+    let (onext, exit) = (fb.new_block(), fb.new_block());
+    // Setup: allocate the arrays, parking each pointer in the directory.
+    fb.br(sh);
+    fb.switch_to(sh);
+    let sc = fb.cmp(CmpOp::Lt, a, nar);
+    fb.cond_br(sc, sb, oh);
+    fb.switch_to(sb);
+    let fresh = fb.alloc(asize);
+    let slot = fb.gep(dir, a, 8, 0);
+    fb.store(slot, 0, fresh);
+    fb.bin_to(a, BinOp::Add, a, one);
+    fb.br(sh);
+    // Pass loop.
+    fb.switch_to(oh);
+    let oc = fb.cmp(CmpOp::Lt, p, passes);
+    fb.cond_br(oc, awpre, exit);
+    // Write every word of every array.
+    fb.switch_to(awpre);
+    fb.mov_to(a, zero);
+    fb.br(awh);
+    fb.switch_to(awh);
+    let awc = fb.cmp(CmpOp::Lt, a, nar);
+    fb.cond_br(awc, awb, arpre);
+    fb.switch_to(awb);
+    let slot_w = fb.gep(dir, a, 8, 0);
+    let arr_w = fb.load(slot_w, 0);
+    fb.mov_to(arr, arr_w);
+    fb.mov_to(i, zero);
+    fb.br(wh);
+    fb.switch_to(wh);
+    let wc = fb.cmp(CmpOp::Lt, i, n);
+    fb.cond_br(wc, wb, awnext);
+    fb.switch_to(wb);
+    // Four consecutive words per iteration through one gep (static store
+    // offsets), so memory operations dominate dispatch — as in CARAT's
+    // overhead loops, where the guards sit on dense array traffic.
+    let addr = fb.gep(arr, i, 1, 0);
+    fb.store(addr, 0, i);
+    fb.store(addr, 1, i);
+    fb.store(addr, 2, i);
+    fb.store(addr, 3, i);
+    fb.bin_to(i, BinOp::Add, i, four);
+    fb.br(wh);
+    fb.switch_to(awnext);
+    fb.bin_to(a, BinOp::Add, a, one);
+    fb.br(awh);
+    // Read every word of every array back, summing.
+    fb.switch_to(arpre);
+    fb.mov_to(a, zero);
+    fb.br(arh);
+    fb.switch_to(arh);
+    let arc = fb.cmp(CmpOp::Lt, a, nar);
+    fb.cond_br(arc, arb, onext);
+    fb.switch_to(arb);
+    let slot_r = fb.gep(dir, a, 8, 0);
+    let arr_r = fb.load(slot_r, 0);
+    fb.mov_to(arr, arr_r);
+    fb.mov_to(i, zero);
+    fb.br(rh);
+    fb.switch_to(rh);
+    let rc = fb.cmp(CmpOp::Lt, i, n);
+    fb.cond_br(rc, rb, arnext);
+    fb.switch_to(rb);
+    let addr2 = fb.gep(arr, i, 1, 0);
+    let v0 = fb.load(addr2, 0);
+    let v1 = fb.load(addr2, 1);
+    let v2 = fb.load(addr2, 2);
+    let v3 = fb.load(addr2, 3);
+    fb.bin_to(sum, BinOp::Add, sum, v0);
+    fb.bin_to(sum, BinOp::Add, sum, v1);
+    fb.bin_to(sum, BinOp::Add, sum, v2);
+    fb.bin_to(sum, BinOp::Add, sum, v3);
+    fb.bin_to(i, BinOp::Add, i, four);
+    fb.br(rh);
+    fb.switch_to(arnext);
+    fb.bin_to(a, BinOp::Add, a, one);
+    fb.br(arh);
+    fb.switch_to(onext);
+    fb.bin_to(p, BinOp::Add, p, one);
+    fb.br(oh);
+    fb.switch_to(exit);
+    fb.ret(Some(sum));
+    let entry = m.add(fb.finish());
+    (m, entry)
+}
+
+/// Alloc → store → load → free churn.
+fn allocchurn_real() -> (interweave_ir::Module, interweave_ir::FuncId) {
+    use interweave_ir::{BinOp, CmpOp, FunctionBuilder, Module};
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("allocchurn", 0);
+    let iters = fb.const_i(CHURN_ITERS);
+    let zero = fb.const_i(0);
+    let one = fb.const_i(1);
+    let sz = fb.const_i(256);
+    let k = fb.mov(zero);
+    let (h, b, exit) = (fb.new_block(), fb.new_block(), fb.new_block());
+    fb.br(h);
+    fb.switch_to(h);
+    let c = fb.cmp(CmpOp::Lt, k, iters);
+    fb.cond_br(c, b, exit);
+    fb.switch_to(b);
+    let p = fb.alloc(sz);
+    fb.store(p, 0, k);
+    let _v = fb.load(p, 0);
+    fb.free(p);
+    fb.bin_to(k, BinOp::Add, k, one);
+    fb.br(h);
+    fb.switch_to(exit);
+    fb.ret(Some(k));
+    let entry = m.add(fb.finish());
+    (m, entry)
+}
+
+/// Naive recursive fib (call-heavy, no memory traffic).
+fn fib_real() -> (interweave_ir::Module, interweave_ir::FuncId) {
+    use interweave_ir::{BinOp, CmpOp, FunctionBuilder, Module};
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("fib", 1);
+    let n = fb.param(0);
+    let two = fb.const_i(2);
+    let c = fb.cmp(CmpOp::Lt, n, two);
+    let (base, rec) = (fb.new_block(), fb.new_block());
+    fb.cond_br(c, base, rec);
+    fb.switch_to(base);
+    fb.ret(Some(n));
+    fb.switch_to(rec);
+    let one = fb.const_i(1);
+    let n1 = fb.bin(BinOp::Sub, n, one);
+    let n2 = fb.bin(BinOp::Sub, n, two);
+    let f = interweave_ir::FuncId(0);
+    let a = fb.call(f, &[n1]);
+    let b = fb.call(f, &[n2]);
+    let s = fb.bin(BinOp::Add, a, b);
+    fb.ret(Some(s));
+    let entry = m.add(fb.finish());
+    (m, entry)
+}
+
+fn run_seed(
+    m: &interweave_ir::Module,
+    entry: interweave_ir::FuncId,
+    args: &[interweave_ir::types::Val],
+) -> Option<interweave_ir::types::Val> {
+    use interweave_ir::interp::InterpConfig;
+    let mut it = seed_interp::Interp::new(InterpConfig::default());
+    it.start(m, entry, args);
+    it.run_to_completion(m, &mut seed_interp::SeedNullHooks)
+}
+
+fn run_real(
+    m: &interweave_ir::Module,
+    entry: interweave_ir::FuncId,
+    args: &[interweave_ir::types::Val],
+) -> Option<interweave_ir::types::Val> {
+    use interweave_ir::interp::{Interp, InterpConfig, NullHooks};
+    let mut it = Interp::new(InterpConfig::default());
+    it.start(m, entry, args);
+    it.run_to_completion(m, &mut NullHooks)
+}
+
+fn interp_loadstore(c: &mut Criterion) {
+    use interweave_ir::types::Val;
+    // Sanity: both interpreters compute the same sum (accumulated over
+    // passes and arrays) from the same module. Position p holds the value
+    // `4 * (p / 4)` (each unrolled iteration stores its index into four
+    // consecutive words), so one array sums to `8 * m * (m - 1)` with
+    // `m = LS_WORDS / 4`.
+    let m_words = LS_WORDS / 4;
+    let expect = Some(Val::I(LS_PASSES * LS_ARRAYS * 8 * m_words * (m_words - 1)));
+    let (m, entry) = loadstore_real();
+    assert_eq!(run_seed(&m, entry, &[]), expect);
+    assert_eq!(run_real(&m, entry, &[]), expect);
+
+    c.bench_function("interp_loadstore/seed_btree_words", |b| {
+        b.iter(|| black_box(run_seed(&m, entry, &[])))
+    });
+    c.bench_function("interp_loadstore/page_backed", |b| {
+        b.iter(|| black_box(run_real(&m, entry, &[])))
+    });
+}
+
+fn interp_allocchurn(c: &mut Criterion) {
+    use interweave_ir::types::Val;
+    let (m, entry) = allocchurn_real();
+    assert_eq!(run_seed(&m, entry, &[]), Some(Val::I(CHURN_ITERS)));
+    assert_eq!(run_real(&m, entry, &[]), Some(Val::I(CHURN_ITERS)));
+
+    c.bench_function("interp_allocchurn/seed_btree_words", |b| {
+        b.iter(|| black_box(run_seed(&m, entry, &[])))
+    });
+    c.bench_function("interp_allocchurn/page_backed", |b| {
+        b.iter(|| black_box(run_real(&m, entry, &[])))
+    });
+}
+
+fn interp_fib(c: &mut Criterion) {
+    use interweave_ir::types::Val;
+    let (m, entry) = fib_real();
+    assert_eq!(run_seed(&m, entry, &[Val::I(FIB_N)]), Some(Val::I(987)));
+    assert_eq!(run_real(&m, entry, &[Val::I(FIB_N)]), Some(Val::I(987)));
+
+    c.bench_function("interp_fib/seed_clone_dispatch", |b| {
+        b.iter(|| black_box(run_seed(&m, entry, &[Val::I(FIB_N)])))
+    });
+    c.bench_function("interp_fib/ref_dispatch", |b| {
+        b.iter(|| black_box(run_real(&m, entry, &[Val::I(FIB_N)])))
+    });
+}
+
 criterion_group!(
     benches,
     queue_cancel_seed,
@@ -387,5 +1094,8 @@ criterion_group!(
     line_table_unified,
     coherence_end_to_end,
     sweep_dispatch,
+    interp_loadstore,
+    interp_allocchurn,
+    interp_fib,
 );
 criterion_main!(benches);

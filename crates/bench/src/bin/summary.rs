@@ -185,6 +185,26 @@ fn main() {
 
     section(
         &mut entries,
+        "simulator",
+        "interpreter throughput (page-backed memory)",
+        || {
+            use interweave_ir::interp::{Interp, InterpConfig, NullHooks};
+            use interweave_ir::programs;
+            // A memory-heavy kernel: the rate here is what every experiment
+            // binary's wall-clock scales with.
+            let prog = programs::stencil1d(4096, 4);
+            let mut it = Interp::new(InterpConfig::default());
+            it.start(&prog.module, prog.entry, &prog.args);
+            let start = Instant::now();
+            let result = it.run_to_completion(&prog.module, &mut NullHooks);
+            let secs = start.elapsed().as_secs_f64();
+            assert!(result.is_some(), "stencil kernel must run to completion");
+            format!("{:.1} Minst/s", it.stats.insts as f64 / secs / 1e6)
+        },
+    );
+
+    section(
+        &mut entries,
         "§III",
         "primitives orders of magnitude faster",
         || {

@@ -10,7 +10,7 @@
 //! by comparing final results with and without mid-run compaction.
 
 use crate::runtime::CaratRuntime;
-use interweave_ir::interp::Interp;
+use interweave_ir::interp::{Allocation, Interp, Memory};
 
 /// What a compaction pass accomplished.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -27,6 +27,19 @@ pub struct DefragReport {
     pub holes_after: usize,
 }
 
+/// The next allocation a compaction pass would move: the first allocation
+/// (ascending base) with a strictly lower free hole that fits it. `None`
+/// means the heap is fully compacted. Shared by per-process [`compact`] and
+/// the PIK kernel's whole-system defragmentation.
+pub fn compaction_candidate(mem: &Memory) -> Option<Allocation> {
+    let holes = mem.free_blocks();
+    mem.allocations().into_iter().find(|a| {
+        holes
+            .iter()
+            .any(|&(hb, hs)| hb + a.size <= a.base && hs >= a.size)
+    })
+}
+
 /// Compact the interpreter's heap: repeatedly move the lowest allocation
 /// that can migrate into a strictly lower free hole. Runs at a quiescent
 /// point (between [`Interp::run`] slices). The runtime's tracking table is
@@ -36,22 +49,17 @@ pub fn compact(it: &mut Interp, rt: &mut CaratRuntime) -> DefragReport {
         holes_before: it.mem.free_holes(),
         ..DefragReport::default()
     };
-    loop {
-        // Find the first allocation (ascending base) with a lower hole that
-        // fits it.
-        let allocs = it.mem.allocations();
-        let holes = it.mem.free_blocks();
-        let candidate = allocs.iter().find(|a| {
-            holes
-                .iter()
-                .any(|&(hb, hs)| hb + a.size <= a.base && hs >= a.size)
-        });
-        let Some(&a) = candidate else { break };
+    while let Some(a) = compaction_candidate(&it.mem) {
         let (old, new) = it
             .mem
             .move_allocation(a.id)
             .expect("moving a live allocation cannot fail");
         debug_assert!(new < old, "compaction must move downward");
+        debug_assert_eq!(
+            it.mem.base_of(a.id),
+            Some(new),
+            "the id index must track the move"
+        );
         report.regs_patched += it.patch_provenance(a.id, old, new);
         rt.relocate(old, new);
         report.moves += 1;

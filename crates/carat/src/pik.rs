@@ -234,6 +234,37 @@ impl SharedPikKernel {
         status
     }
 
+    /// Whole-system defragmentation (§IV-A: the enhanced in-kernel CARAT
+    /// "can perform per-'process' and whole system memory defragmentation").
+    /// Compacts the single shared space at a quiescent point; every move
+    /// patches *all* admitted processes — registers via provenance, runtime
+    /// tracking tables via [`CaratRuntime::relocate`] (a no-op for
+    /// processes that do not own the moved allocation).
+    pub fn defrag_all(&mut self) -> crate::defrag::DefragReport {
+        let mut shared = self.memory.take().expect("memory present between slices");
+        let mut report = crate::defrag::DefragReport {
+            holes_before: shared.free_holes(),
+            ..Default::default()
+        };
+        while let Some(a) = crate::defrag::compaction_candidate(&shared) {
+            let (old, new) = shared
+                .move_allocation(a.id)
+                .expect("moving a live allocation cannot fail");
+            debug_assert_eq!(shared.base_of(a.id), Some(new));
+            for proc in &mut self.sys.processes {
+                // Register patching touches only frames, so it is safe (and
+                // required) while each process holds a placeholder memory.
+                report.regs_patched += proc.interp.patch_provenance(a.id, old, new);
+                proc.runtime.relocate(old, new);
+            }
+            report.moves += 1;
+            report.bytes_moved += a.size;
+        }
+        report.holes_after = shared.free_holes();
+        self.memory = Some(shared);
+        report
+    }
+
     /// Direct access to an admitted process (inspection).
     pub fn process(&mut self, pid: usize) -> &mut PikProcess {
         &mut self.sys.processes[pid]
@@ -444,6 +475,42 @@ mod tests {
             kern.run_slice(a, 5_000),
             ExecStatus::Yielded | ExecStatus::OutOfFuel
         ));
+    }
+
+    #[test]
+    fn whole_system_defrag_patches_every_process_in_the_shared_space() {
+        use crate::defrag::fragmentation_demo;
+
+        // Two processes fragment the one shared physical space, park at
+        // their yields, and the kernel compacts the whole system at once.
+        let mut kern = SharedPikKernel::new();
+        let mut pids = Vec::new();
+        for n in [8i64, 12] {
+            let (m, entry) = fragmentation_demo("n");
+            let (m, att) = kern.compile(m);
+            let pid = kern.admit(m, att, entry, vec![Val::I(n)]).expect("admits");
+            pids.push((pid, n));
+        }
+        for &(pid, _) in &pids {
+            assert_eq!(kern.run_slice(pid, u64::MAX / 4), ExecStatus::Yielded);
+        }
+
+        let report = kern.defrag_all();
+        assert!(report.moves >= 1, "shared space had holes to repair");
+        assert!(
+            report.regs_patched >= 1,
+            "some process held a register into a moved allocation"
+        );
+        assert!(report.holes_after <= report.holes_before);
+
+        // Both processes resume through patched pointers and produce the
+        // same sums as an undisturbed run: n(n-1)/2.
+        for &(pid, n) in &pids {
+            match kern.run_slice(pid, u64::MAX / 4) {
+                ExecStatus::Done(Some(Val::I(v))) => assert_eq!(v, n * (n - 1) / 2),
+                other => panic!("process {pid} ended with {other:?}"),
+            }
+        }
     }
 
     #[test]

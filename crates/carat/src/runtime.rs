@@ -10,6 +10,7 @@
 use interweave_ir::interp::{Allocation, HookAction, Memory, RuntimeHooks, Trap};
 use interweave_ir::types::Val;
 use interweave_ir::Intrinsic;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 /// Cycle costs of the runtime's entry points (the numbers the overhead
@@ -68,6 +69,12 @@ pub struct CaratStats {
 #[derive(Debug, Clone, Default)]
 pub struct CaratRuntime {
     table: BTreeMap<u64, Tracked>,
+    /// Last allocation a guard resolved, checked before the tree (guards
+    /// are strongly repetitive: a loop typically hammers one allocation).
+    /// Invalidated whenever the cached entry could go stale: free,
+    /// relocation, and permission changes. The costs charged per guard are
+    /// fixed, so the cache changes wall-clock only, never simulated cycles.
+    last_hit: Cell<Option<(u64, Tracked)>>,
     /// Escape records: holder-word address → stored pointer value (the
     /// runtime's view; defragmentation cross-checks it against interpreter
     /// provenance).
@@ -84,13 +91,23 @@ impl CaratRuntime {
         CaratRuntime::default()
     }
 
-    /// The tracked allocation containing `addr`.
+    /// The tracked allocation containing `addr` (last-hit cache first).
     fn containing(&self, addr: u64) -> Option<(u64, Tracked)> {
-        self.table
+        if let Some((b, t)) = self.last_hit.get() {
+            if addr.wrapping_sub(b) < t.size {
+                return Some((b, t));
+            }
+        }
+        let hit = self
+            .table
             .range(..=addr)
             .next_back()
             .map(|(&b, &t)| (b, t))
-            .filter(|&(b, t)| addr < b + t.size)
+            .filter(|&(b, t)| addr < b + t.size);
+        if hit.is_some() {
+            self.last_hit.set(hit);
+        }
+        hit
     }
 
     /// Number of tracked allocations.
@@ -104,6 +121,7 @@ impl CaratRuntime {
         match self.table.get_mut(&base) {
             Some(t) => {
                 t.writable = false;
+                self.invalidate_cached(base);
                 true
             }
             None => false,
@@ -115,14 +133,23 @@ impl CaratRuntime {
         match self.table.get_mut(&base) {
             Some(t) => {
                 t.writable = true;
+                self.invalidate_cached(base);
                 true
             }
             None => false,
         }
     }
 
+    /// Drop the guard cache if it holds the entry based at `base`.
+    fn invalidate_cached(&self, base: u64) {
+        if self.last_hit.get().is_some_and(|(b, _)| b == base) {
+            self.last_hit.set(None);
+        }
+    }
+
     /// Relocate tracking state after a defragmentation move.
     pub fn relocate(&mut self, old_base: u64, new_base: u64) {
+        self.invalidate_cached(old_base);
         if let Some(t) = self.table.remove(&old_base) {
             // Escape records whose *stored value* pointed into the moved
             // allocation are updated (mirrors the patching the memory layer
@@ -235,16 +262,17 @@ impl RuntimeHooks for CaratRuntime {
     }
 
     fn on_alloc(&mut self, a: Allocation) {
-        self.table.insert(
-            a.base,
-            Tracked {
-                size: a.size,
-                writable: true,
-            },
-        );
+        let t = Tracked {
+            size: a.size,
+            writable: true,
+        };
+        self.table.insert(a.base, t);
+        // The guards most likely to run next target the fresh allocation.
+        self.last_hit.set(Some((a.base, t)));
     }
 
     fn on_free(&mut self, a: Allocation) {
+        self.invalidate_cached(a.base);
         self.table.remove(&a.base);
         // Drop escape records held inside the freed region.
         let keys: Vec<u64> = self
@@ -370,6 +398,30 @@ mod tests {
         assert_eq!(rt.stats.escapes, 1);
         // The holder was freed, so the record is gone.
         assert_eq!(rt.escape_count(), 0);
+    }
+
+    #[test]
+    fn guard_cache_respects_permission_changes_and_relocation() {
+        let mut rt = CaratRuntime::new();
+        let mut it = Interp::new(InterpConfig::default());
+        let a = it.mem.alloc(64).unwrap();
+        rt.on_alloc(a);
+
+        // Warm the cache with a passing write check, then flip permissions:
+        // the cached entry must not mask the change.
+        assert!(rt.check(a.base, true).is_ok());
+        assert!(rt.protect_readonly(a.base));
+        assert!(rt.check(a.base, true).is_err());
+        assert!(rt.check(a.base, false).is_ok());
+        assert!(rt.unprotect(a.base));
+        assert!(rt.check(a.base, true).is_ok());
+
+        // Relocation: the old base stops validating immediately, the new
+        // base validates.
+        let (old, new) = it.mem.move_allocation(a.id).expect("live");
+        rt.relocate(old, new);
+        assert!(rt.check(old, false).is_err());
+        assert!(rt.check(new, false).is_ok());
     }
 
     #[test]

@@ -21,7 +21,36 @@
 use crate::inst::{BinOp, CmpOp, Inst, Intrinsic, Term};
 use crate::module::Module;
 use crate::types::{BlockId, FuncId, Reg, Val};
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hasher for the id → base index. Allocation ids are already unique dense
+/// integers, so a single multiplicative scramble beats the default SipHash
+/// on the alloc/free path (the index is maintained on every allocation).
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type IdMap = HashMap<u64, u64, BuildHasherDefault<IdHasher>>;
 
 /// Identifier of a live allocation (provenance tag).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -107,10 +136,74 @@ pub enum Trap {
 }
 
 /// One memory word: a value plus the provenance of the pointer it may hold.
+///
+/// Provenance is packed as a raw id with 0 meaning "none" — [`AllocId`]s
+/// start at 1, so the zero-filled state of a fresh page is exactly the
+/// never-written word `(Val::I(0), None)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct MemCell {
     val: Val,
-    prov: Option<AllocId>,
+    prov_raw: u64,
+}
+
+impl MemCell {
+    /// The never-written word: integer zero, no provenance. Fresh pages are
+    /// filled with it, and `free` resets words back to it.
+    const ZERO: MemCell = MemCell {
+        val: Val::I(0),
+        prov_raw: 0,
+    };
+
+    #[inline]
+    fn prov(self) -> Option<AllocId> {
+        if self.prov_raw == 0 {
+            None
+        } else {
+            Some(AllocId(self.prov_raw))
+        }
+    }
+
+    #[inline]
+    fn pack_prov(prov: Option<AllocId>) -> u64 {
+        match prov {
+            Some(id) => id.0,
+            None => 0,
+        }
+    }
+}
+
+/// Word cells per page. Each cell covers one *byte address* (the IR's loads
+/// and stores are 8-byte words at arbitrary byte addresses, and two words at
+/// overlapping addresses are independent cells, exactly as in the original
+/// word-map representation), so a page spans `PAGE_CELLS` consecutive byte
+/// addresses.
+const PAGE_CELLS: usize = 512;
+const PAGE_SHIFT: u32 = PAGE_CELLS.trailing_zeros();
+const PAGE_MASK: u64 = PAGE_CELLS as u64 - 1;
+
+/// One resident page: its cells plus a dirty watermark — the inclusive-lo /
+/// exclusive-hi range of cell indices that may hold a non-zero word. Every
+/// write path widens the watermark, so `free` can clear (and the provenance
+/// patch sweep can scan) only the written span, keeping both proportional
+/// to stored words — matching the word-map layout's cost — rather than to
+/// the byte range.
+#[derive(Clone)]
+struct Page {
+    cells: Box<[MemCell]>,
+    /// Lowest possibly-dirty cell index (`PAGE_CELLS` when clean).
+    lo: u32,
+    /// One past the highest possibly-dirty cell index (0 when clean).
+    hi: u32,
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            cells: vec![MemCell::ZERO; PAGE_CELLS].into_boxed_slice(),
+            lo: PAGE_CELLS as u32,
+            hi: 0,
+        }
+    }
 }
 
 /// Metadata for one live allocation.
@@ -130,11 +223,29 @@ pub struct Allocation {
 /// access width). The allocator is first-fit over a free list with a bump
 /// fallback — deliberately fragmentation-prone, because CARAT's
 /// defragmentation experiment needs fragmentation to repair.
-#[derive(Debug, Clone)]
+/// Words live in fixed-size pages allocated on first touch (zero-filled,
+/// like fresh pages from an OS), so a load or store is index arithmetic
+/// rather than a tree lookup. A last-hit cache in front of the allocation
+/// map makes the bounds check on the hot path a single range compare, and an
+/// `AllocId → base` index lets defragmentation find an allocation without
+/// scanning the live set.
+#[derive(Clone)]
 pub struct Memory {
-    words: BTreeMap<u64, MemCell>,
+    /// Sparse page table: `pages[(addr - page_origin) >> PAGE_SHIFT]`.
+    /// Absent pages read as zero; they materialise on first store.
+    pages: Vec<Option<Page>>,
+    /// Address of cell 0 of page 0 (`heap_base` rounded down to a page
+    /// boundary).
+    page_origin: u64,
     /// Live allocations keyed by base address.
     allocs: BTreeMap<u64, Allocation>,
+    /// O(1) id → base index (kept in lockstep with `allocs`).
+    base_by_id: IdMap,
+    /// Last allocation that answered `containing()` — the interpreter's
+    /// accesses are strongly clustered, so this hits almost always.
+    /// Invalidated on free and move (see those methods); plain `alloc` never
+    /// relocates a live allocation, so it only ever *replaces* the entry.
+    last_hit: Cell<Option<Allocation>>,
     /// Free blocks keyed by base address → size.
     free: BTreeMap<u64, u64>,
     bump: u64,
@@ -144,18 +255,99 @@ pub struct Memory {
     pub live_bytes: u64,
 }
 
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("allocs", &self.allocs)
+            .field("free", &self.free)
+            .field("bump", &self.bump)
+            .field("limit", &self.limit)
+            .field("live_bytes", &self.live_bytes)
+            .field("resident_pages", &self.resident_pages())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Memory {
     /// Fresh memory per the config's heap geometry.
     pub fn new(cfg: &InterpConfig) -> Memory {
         Memory {
-            words: BTreeMap::new(),
+            pages: Vec::new(),
+            page_origin: cfg.heap_base & !PAGE_MASK,
             allocs: BTreeMap::new(),
+            base_by_id: IdMap::default(),
+            last_hit: Cell::new(None),
             free: BTreeMap::new(),
             bump: cfg.heap_base,
             limit: cfg.heap_base + cfg.heap_size,
             next_id: 1,
             live_bytes: 0,
         }
+    }
+
+    /// Read the cell at `addr` (absent pages read as the zero word).
+    #[inline]
+    fn cell(&self, addr: u64) -> MemCell {
+        let pi = ((addr - self.page_origin) >> PAGE_SHIFT) as usize;
+        match self.pages.get(pi) {
+            Some(Some(page)) => page.cells[(addr & PAGE_MASK) as usize],
+            _ => MemCell::ZERO,
+        }
+    }
+
+    /// Mutable cell at `addr`, materialising its page on first touch and
+    /// widening the page's dirty watermark over the handed-out cell.
+    #[inline]
+    fn cell_mut(&mut self, addr: u64) -> &mut MemCell {
+        let pi = ((addr - self.page_origin) >> PAGE_SHIFT) as usize;
+        if pi >= self.pages.len() {
+            self.pages.resize_with(pi + 1, || None);
+        }
+        let page = self.pages[pi].get_or_insert_with(Page::new);
+        let ci = (addr & PAGE_MASK) as usize;
+        page.lo = page.lo.min(ci as u32);
+        page.hi = page.hi.max(ci as u32 + 1);
+        &mut page.cells[ci]
+    }
+
+    /// Reset every cell in `[start, end)` to the never-written word,
+    /// touching only resident pages — O(range), not O(live words).
+    fn zero_range(&mut self, start: u64, end: u64) {
+        let mut addr = start;
+        while addr < end {
+            let page_end = (addr & !PAGE_MASK) + PAGE_CELLS as u64;
+            let chunk_end = end.min(page_end);
+            let pi = ((addr - self.page_origin) >> PAGE_SHIFT) as usize;
+            if let Some(Some(page)) = self.pages.get_mut(pi) {
+                let s = (addr & PAGE_MASK) as usize;
+                let e = s + (chunk_end - addr) as usize;
+                // Only cells inside the dirty watermark can be non-zero, so
+                // clamp the clear to it: free's cost tracks the words
+                // actually written, not the freed byte range.
+                let cs = s.max(page.lo as usize);
+                let ce = e.min(page.hi as usize);
+                if cs < ce {
+                    page.cells[cs..ce].fill(MemCell::ZERO);
+                }
+                // A clear covering the whole dirty range leaves the page
+                // clean; partial clears leave the watermark conservative.
+                if s <= page.lo as usize && page.hi as usize <= e {
+                    page.lo = PAGE_CELLS as u32;
+                    page.hi = 0;
+                }
+            }
+            addr = chunk_end;
+        }
+    }
+
+    /// Number of materialised pages (observability: the touched footprint).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Base address of the live allocation with id `id`, in O(1).
+    pub fn base_of(&self, id: AllocId) -> Option<u64> {
+        self.base_by_id.get(&id.0).copied()
     }
 
     /// Allocate `size` bytes (rounded up to 8); returns the allocation.
@@ -188,6 +380,9 @@ impl Memory {
         };
         self.next_id += 1;
         self.allocs.insert(base, a);
+        self.base_by_id.insert(a.id.0, base);
+        // The fresh allocation is the most likely next access target.
+        self.last_hit.set(Some(a));
         self.live_bytes += size;
         Ok(a)
     }
@@ -195,15 +390,14 @@ impl Memory {
     /// Free the allocation based at `addr`.
     pub fn free(&mut self, addr: u64) -> Result<Allocation, Trap> {
         let a = self.allocs.remove(&addr).ok_or(Trap::BadFree { addr })?;
-        // Clear its words and return the range to the free list.
-        let keys: Vec<u64> = self
-            .words
-            .range(a.base..a.base + a.size)
-            .map(|(&k, _)| k)
-            .collect();
-        for k in keys {
-            self.words.remove(&k);
+        self.base_by_id.remove(&a.id.0);
+        // A cached hit into the freed region must not survive (compare by
+        // base: during a move the same id is briefly live at two bases).
+        if self.last_hit.get().is_some_and(|h| h.base == a.base) {
+            self.last_hit.set(None);
         }
+        // Reset its words and return the range to the free list.
+        self.zero_range(a.base, a.base + a.size);
         self.free.insert(a.base, a.size);
         self.coalesce_around(a.base);
         self.live_bytes -= a.size;
@@ -229,13 +423,22 @@ impl Memory {
         }
     }
 
-    /// The allocation containing `addr`, if any.
+    /// The allocation containing `addr`, if any. The last hit is cached, so
+    /// clustered accesses cost one range compare.
     pub fn containing(&self, addr: u64) -> Option<Allocation> {
-        self.allocs
+        if let Some(a) = self.last_hit.get() {
+            if addr.wrapping_sub(a.base) < a.size {
+                return Some(a);
+            }
+        }
+        let a = self
+            .allocs
             .range(..=addr)
             .next_back()
             .map(|(_, &a)| a)
-            .filter(|a| addr < a.base + a.size)
+            .filter(|a| addr < a.base + a.size)?;
+        self.last_hit.set(Some(a));
+        Some(a)
     }
 
     /// Load the word at `addr` (must lie in a live allocation; reads of
@@ -244,11 +447,8 @@ impl Memory {
         if self.containing(addr).is_none() {
             return Err(Trap::BadAccess { addr, write: false });
         }
-        Ok(self
-            .words
-            .get(&addr)
-            .map(|c| (c.val, c.prov))
-            .unwrap_or((Val::I(0), None)))
+        let c = self.cell(addr);
+        Ok((c.val, c.prov()))
     }
 
     /// Store a word (with provenance) at `addr`.
@@ -256,7 +456,10 @@ impl Memory {
         if self.containing(addr).is_none() {
             return Err(Trap::BadAccess { addr, write: true });
         }
-        self.words.insert(addr, MemCell { val, prov });
+        *self.cell_mut(addr) = MemCell {
+            val,
+            prov_raw: MemCell::pack_prov(prov),
+        };
         Ok(())
     }
 
@@ -290,45 +493,55 @@ impl Memory {
     /// interpreter's job (the runtime cannot see registers) — see
     /// [`Interp::patch_provenance`].
     pub fn move_allocation(&mut self, id: AllocId) -> Result<(u64, u64), Trap> {
-        let old = *self
-            .allocs
-            .values()
-            .find(|a| a.id == id)
+        let old = self
+            .base_of(id)
+            .and_then(|b| self.allocs.get(&b).copied())
             .ok_or(Trap::Aborted(format!("move of dead allocation {id:?}")))?;
-        // Allocate the new home first (may trap OOM).
+        // Allocate the new home first (may trap OOM). This consumes a fresh
+        // id that is immediately retired below, matching the original
+        // allocator's id sequence.
         let size = old.size;
         let new = self.alloc(size)?;
         // Preserve identity: the moved allocation keeps its provenance id.
         let new_base = new.base;
         self.allocs.get_mut(&new_base).expect("just inserted").id = id;
-        // Copy words.
-        let old_words: Vec<(u64, MemCell)> = self
-            .words
-            .range(old.base..old.base + old.size)
-            .map(|(&k, &c)| (k, c))
-            .collect();
-        for (k, c) in &old_words {
-            self.words.insert(new_base + (k - old.base), *c);
+        self.base_by_id.remove(&new.id.0);
+        // Copy words (the new home is all-zero: it came from freed or
+        // never-touched space, so copying the full range is exact).
+        let mut addr = old.base;
+        while addr < old.base + size {
+            let c = self.cell(addr);
+            if c != MemCell::ZERO {
+                *self.cell_mut(new_base + (addr - old.base)) = c;
+            }
+            addr += 1;
         }
-        // Release the old region (also clears old words).
-        self.allocs.insert(old.base, old); // reinstate so free() finds it
+        // Release the old region (also resets the old words). `free` drops
+        // the id → base entry and any cached hit for the *old* base; the
+        // moved allocation is then re-indexed at its new home.
         self.free(old.base)?;
-        // Patch every stored pointer into the moved allocation.
-        let patches: Vec<(u64, i64, Option<AllocId>)> = self
-            .words
-            .iter()
-            .filter(|(_, c)| c.prov == Some(id))
-            .map(|(&k, c)| (k, c.val.as_i(), c.prov))
-            .collect();
-        for (k, v, prov) in patches {
-            let off = (v as u64).wrapping_sub(old.base);
-            self.words.insert(
-                k,
-                MemCell {
-                    val: Val::I((new_base + off) as i64),
-                    prov,
-                },
-            );
+        let moved = Allocation {
+            id,
+            base: new_base,
+            size,
+        };
+        self.base_by_id.insert(id.0, new_base);
+        self.last_hit.set(Some(moved));
+        // Patch every stored pointer into the moved allocation: scan the
+        // resident pages for cells carrying its provenance (the same full
+        // sweep the word-map layout performed, now a linear pass).
+        for page in self.pages.iter_mut().flatten() {
+            if page.lo >= page.hi {
+                continue;
+            }
+            // Patching rewrites cells that are already non-zero, so the
+            // watermark needs no widening here.
+            for c in page.cells[page.lo as usize..page.hi as usize].iter_mut() {
+                if c.prov_raw == id.0 {
+                    let off = (c.val.as_i() as u64).wrapping_sub(old.base);
+                    c.val = Val::I((new_base + off) as i64);
+                }
+            }
         }
         Ok((old.base, new_base))
     }
@@ -346,6 +559,24 @@ pub struct Frame {
     pub prov: Vec<Option<AllocId>>,
     /// Register to receive the callee's return value.
     ret_to: Option<Reg>,
+}
+
+impl Frame {
+    #[inline]
+    fn val(&self, r: Reg) -> Val {
+        self.regs[r.0 as usize]
+    }
+
+    #[inline]
+    fn get(&self, r: Reg) -> (Val, Option<AllocId>) {
+        (self.regs[r.0 as usize], self.prov[r.0 as usize])
+    }
+
+    #[inline]
+    fn set(&mut self, d: Reg, v: Val, p: Option<AllocId>) {
+        self.regs[d.0 as usize] = v;
+        self.prov[d.0 as usize] = p;
+    }
 }
 
 /// Result of an intrinsic hook.
@@ -581,14 +812,21 @@ impl Interp {
         }
     }
 
-    fn charge(&mut self, c: u64) {
-        self.stats.cycles += c;
-    }
-
+    /// One instruction (or terminator). Decodes by reference straight out of
+    /// the module — no per-instruction clone — with `self` split into
+    /// disjoint field borrows so frame mutation, memory traffic, and cycle
+    /// accounting coexist with the borrowed instruction.
     fn step(&mut self, module: &Module, hooks: &mut dyn RuntimeHooks) -> StepOut {
-        let fi = self.frames.len() - 1;
+        let Interp {
+            cfg,
+            mem,
+            frames,
+            stats,
+            done_value,
+        } = self;
+        let fi = frames.len() - 1;
         let (func_id, block, ip) = {
-            let fr = &self.frames[fi];
+            let fr = &frames[fi];
             (fr.func, fr.block, fr.ip)
         };
         let func = module.func(func_id);
@@ -596,85 +834,68 @@ impl Interp {
 
         if ip >= blk.insts.len() {
             // Execute the terminator.
-            self.stats.insts += 1;
-            let term = blk.term.clone().expect("verified IR");
-            match term {
+            stats.insts += 1;
+            match blk.term.as_ref().expect("verified IR") {
                 Term::Br(t) => {
-                    self.charge(self.cfg.cost_branch);
-                    let fr = &mut self.frames[fi];
-                    fr.block = t;
+                    stats.cycles += cfg.cost_branch;
+                    let fr = &mut frames[fi];
+                    fr.block = *t;
                     fr.ip = 0;
                 }
                 Term::CondBr(c, t, e) => {
-                    self.charge(self.cfg.cost_branch);
-                    let taken = self.frames[fi].regs[c.0 as usize].is_true();
-                    let fr = &mut self.frames[fi];
-                    fr.block = if taken { t } else { e };
+                    stats.cycles += cfg.cost_branch;
+                    let fr = &mut frames[fi];
+                    fr.block = if fr.val(*c).is_true() { *t } else { *e };
                     fr.ip = 0;
                 }
                 Term::Ret(v) => {
-                    self.charge(self.cfg.cost_ret);
+                    stats.cycles += cfg.cost_ret;
+                    let fr = &frames[fi];
                     let (val, prov) = match v {
                         Some(r) => {
-                            let fr = &self.frames[fi];
-                            (Some(fr.regs[r.0 as usize]), fr.prov[r.0 as usize])
+                            let (v, p) = fr.get(*r);
+                            (Some(v), p)
                         }
                         None => (None, None),
                     };
-                    let ret_to = self.frames[fi].ret_to;
-                    self.frames.pop();
-                    match self.frames.last_mut() {
+                    let ret_to = fr.ret_to;
+                    frames.pop();
+                    match frames.last_mut() {
                         Some(caller) => {
                             if let Some(dst) = ret_to {
-                                caller.regs[dst.0 as usize] = val.unwrap_or(Val::I(0));
-                                caller.prov[dst.0 as usize] = prov;
+                                caller.set(dst, val.unwrap_or(Val::I(0)), prov);
                             }
                         }
-                        None => self.done_value = val,
+                        None => *done_value = val,
                     }
                 }
             }
             return StepOut::Continue;
         }
 
-        let inst = blk.insts[ip].clone();
-        self.frames[fi].ip += 1;
-        self.stats.insts += 1;
-
-        macro_rules! reg {
-            ($r:expr) => {
-                self.frames[fi].regs[$r.0 as usize]
-            };
-        }
-        macro_rules! prov {
-            ($r:expr) => {
-                self.frames[fi].prov[$r.0 as usize]
-            };
-        }
-        macro_rules! set {
-            ($d:expr, $v:expr, $p:expr) => {{
-                self.frames[fi].regs[$d.0 as usize] = $v;
-                self.frames[fi].prov[$d.0 as usize] = $p;
-            }};
-        }
+        let inst = &blk.insts[ip];
+        frames[fi].ip += 1;
+        stats.insts += 1;
 
         match inst {
             Inst::ConstI(d, v) => {
-                self.charge(self.cfg.cost_arith);
-                set!(d, Val::I(v), None);
+                stats.cycles += cfg.cost_arith;
+                frames[fi].set(*d, Val::I(*v), None);
             }
             Inst::ConstF(d, v) => {
-                self.charge(self.cfg.cost_arith);
-                set!(d, Val::F(v), None);
+                stats.cycles += cfg.cost_arith;
+                frames[fi].set(*d, Val::F(*v), None);
             }
             Inst::Mov(d, s) => {
-                self.charge(self.cfg.cost_arith);
-                let (v, p) = (reg!(s), prov!(s));
-                set!(d, v, p);
+                stats.cycles += cfg.cost_arith;
+                let fr = &mut frames[fi];
+                let (v, p) = fr.get(*s);
+                fr.set(*d, v, p);
             }
             Inst::Bin(d, op, a, b) => {
-                self.charge(self.cfg.cost_arith);
-                let (va, vb) = (reg!(a), reg!(b));
+                stats.cycles += cfg.cost_arith;
+                let fr = &mut frames[fi];
+                let (va, vb) = (fr.val(*a), fr.val(*b));
                 let val = match op {
                     BinOp::Add => Val::I(va.as_i().wrapping_add(vb.as_i())),
                     BinOp::Sub => Val::I(va.as_i().wrapping_sub(vb.as_i())),
@@ -704,21 +925,23 @@ impl Interp {
                 // Pointer arithmetic through Add/Sub keeps provenance when
                 // exactly one operand is a pointer.
                 let p = match op {
-                    BinOp::Add | BinOp::Sub => match (prov!(a), prov!(b)) {
-                        (Some(p), None) => Some(p),
-                        (None, Some(p)) => Some(p),
-                        _ => None,
-                    },
+                    BinOp::Add | BinOp::Sub => {
+                        match (fr.prov[a.0 as usize], fr.prov[b.0 as usize]) {
+                            (Some(p), None) => Some(p),
+                            (None, Some(p)) => Some(p),
+                            _ => None,
+                        }
+                    }
                     _ => None,
                 };
-                set!(d, val, p);
+                fr.set(*d, val, p);
             }
             Inst::Cmp(d, op, a, b) => {
-                self.charge(self.cfg.cost_arith);
-                let (va, vb) = (reg!(a), reg!(b));
+                stats.cycles += cfg.cost_arith;
+                let fr = &mut frames[fi];
+                let (va, vb) = (fr.val(*a), fr.val(*b));
                 let r = match (va, vb) {
-                    (Val::F(x), _) | (_, Val::F(x)) => {
-                        let _ = x;
+                    (Val::F(_), _) | (_, Val::F(_)) => {
                         let (x, y) = (va.as_f(), vb.as_f());
                         match op {
                             CmpOp::Eq => x == y,
@@ -738,76 +961,80 @@ impl Interp {
                         CmpOp::Ge => x >= y,
                     },
                 };
-                set!(d, Val::I(r as i64), None);
+                fr.set(*d, Val::I(r as i64), None);
             }
             Inst::Select(d, c, a, b) => {
-                self.charge(self.cfg.cost_arith);
-                let (v, p) = if reg!(c).is_true() {
-                    (reg!(a), prov!(a))
+                stats.cycles += cfg.cost_arith;
+                let fr = &mut frames[fi];
+                let (v, p) = if fr.val(*c).is_true() {
+                    fr.get(*a)
                 } else {
-                    (reg!(b), prov!(b))
+                    fr.get(*b)
                 };
-                set!(d, v, p);
+                fr.set(*d, v, p);
             }
             Inst::Alloc(d, s) => {
-                self.charge(self.cfg.cost_alloc);
-                let size = reg!(s).as_i().max(0) as u64;
-                match self.mem.alloc(size) {
+                stats.cycles += cfg.cost_alloc;
+                let size = frames[fi].val(*s).as_i().max(0) as u64;
+                match mem.alloc(size) {
                     Ok(a) => {
                         hooks.on_alloc(a);
-                        set!(d, Val::I(a.base as i64), Some(a.id));
+                        frames[fi].set(*d, Val::I(a.base as i64), Some(a.id));
                     }
                     Err(t) => return StepOut::Trap(t),
                 }
             }
             Inst::Free(p) => {
-                self.charge(self.cfg.cost_free);
-                let addr = reg!(p).as_ptr();
-                match self.mem.free(addr) {
+                stats.cycles += cfg.cost_free;
+                let addr = frames[fi].val(*p).as_ptr();
+                match mem.free(addr) {
                     Ok(a) => hooks.on_free(a),
                     Err(t) => return StepOut::Trap(t),
                 }
             }
             Inst::Load(d, a, off) => {
-                self.charge(self.cfg.cost_load);
-                self.stats.loads += 1;
-                let addr = (reg!(a).as_i() + off) as u64;
-                match hooks.check_access(addr, false, self.stats.cycles) {
-                    Ok(extra) => self.charge(extra),
+                stats.cycles += cfg.cost_load;
+                stats.loads += 1;
+                let addr = (frames[fi].val(*a).as_i() + off) as u64;
+                match hooks.check_access(addr, false, stats.cycles) {
+                    Ok(extra) => stats.cycles += extra,
                     Err(t) => return StepOut::Trap(t),
                 }
-                match self.mem.load(addr) {
-                    Ok((v, p)) => set!(d, v, p),
+                match mem.load(addr) {
+                    Ok((v, p)) => frames[fi].set(*d, v, p),
                     Err(t) => return StepOut::Trap(t),
                 }
             }
             Inst::Store(a, off, v) => {
-                self.charge(self.cfg.cost_store);
-                self.stats.stores += 1;
-                let addr = (reg!(a).as_i() + off) as u64;
-                match hooks.check_access(addr, true, self.stats.cycles) {
-                    Ok(extra) => self.charge(extra),
+                stats.cycles += cfg.cost_store;
+                stats.stores += 1;
+                let addr = (frames[fi].val(*a).as_i() + off) as u64;
+                match hooks.check_access(addr, true, stats.cycles) {
+                    Ok(extra) => stats.cycles += extra,
                     Err(t) => return StepOut::Trap(t),
                 }
-                let (val, p) = (reg!(v), prov!(v));
-                if let Err(t) = self.mem.store(addr, val, p) {
+                let (val, p) = frames[fi].get(*v);
+                if let Err(t) = mem.store(addr, val, p) {
                     return StepOut::Trap(t);
                 }
             }
             Inst::Gep(d, b, i, scale, off) => {
-                self.charge(self.cfg.cost_gep);
-                let base = reg!(b).as_i();
-                let idx = reg!(i).as_i();
-                let addr = base.wrapping_add(idx.wrapping_mul(scale)).wrapping_add(off);
-                let p = prov!(b);
-                set!(d, Val::I(addr), p);
+                stats.cycles += cfg.cost_gep;
+                let fr = &mut frames[fi];
+                let base = fr.val(*b).as_i();
+                let idx = fr.val(*i).as_i();
+                let addr = base
+                    .wrapping_add(idx.wrapping_mul(*scale))
+                    .wrapping_add(*off);
+                let p = fr.prov[b.0 as usize];
+                fr.set(*d, Val::I(addr), p);
             }
             Inst::Call(dst, g, args) => {
-                self.charge(self.cfg.cost_call);
-                if self.frames.len() >= self.cfg.max_depth {
+                stats.cycles += cfg.cost_call;
+                if frames.len() >= cfg.max_depth {
                     return StepOut::Trap(Trap::StackOverflow);
                 }
-                let callee = module.func(g);
+                let callee = module.func(*g);
                 debug_assert_eq!(
                     args.len(),
                     callee.n_params,
@@ -816,50 +1043,66 @@ impl Interp {
                 );
                 let mut regs = vec![Val::I(0); callee.n_regs];
                 let mut prov = vec![None; callee.n_regs];
+                let caller = &frames[fi];
                 for (i, &r) in args.iter().enumerate() {
-                    regs[i] = self.frames[fi].regs[r.0 as usize];
-                    prov[i] = self.frames[fi].prov[r.0 as usize];
+                    let (v, p) = caller.get(r);
+                    regs[i] = v;
+                    prov[i] = p;
                 }
-                self.frames.push(Frame {
-                    func: g,
+                frames.push(Frame {
+                    func: *g,
                     block: BlockId(0),
                     ip: 0,
                     regs,
                     prov,
-                    ret_to: dst,
+                    ret_to: *dst,
                 });
             }
             Inst::Intr(dst, which, args) => {
-                let argv: Vec<Val> = args
-                    .iter()
-                    .map(|&r| self.frames[fi].regs[r.0 as usize])
-                    .collect();
+                let which = *which;
+                // Intrinsics take at most a handful of arguments; marshal
+                // them through a stack buffer so the hot path stays
+                // allocation-free.
+                let mut buf = [Val::I(0); 4];
+                let mut heap: Vec<Val> = Vec::new();
+                let argv: &[Val] = {
+                    let fr = &frames[fi];
+                    if args.len() <= buf.len() {
+                        for (i, &r) in args.iter().enumerate() {
+                            buf[i] = fr.val(r);
+                        }
+                        &buf[..args.len()]
+                    } else {
+                        heap.extend(args.iter().map(|&r| fr.val(r)));
+                        &heap
+                    }
+                };
                 if which.is_injected() {
-                    self.stats.injected_intrinsics += 1;
+                    stats.injected_intrinsics += 1;
                 }
-                let action = hooks.intrinsic(which, &argv, &mut self.mem, self.stats.cycles);
+                let action = hooks.intrinsic(which, argv, mem, stats.cycles);
                 if which == Intrinsic::Trace {
                     if let Some(v) = argv.first() {
-                        self.stats.trace.push(v.as_i());
+                        stats.trace.push(v.as_i());
                     }
                 }
                 match action {
                     HookAction::Continue { value, cycles } => {
-                        self.charge(cycles);
+                        stats.cycles += cycles;
                         if which.is_injected() {
-                            self.stats.injected_cycles += cycles;
+                            stats.injected_cycles += cycles;
                         }
                         if let Some(d) = dst {
-                            set!(d, value.unwrap_or(Val::I(0)), None);
+                            frames[fi].set(*d, value.unwrap_or(Val::I(0)), None);
                         }
                     }
                     HookAction::Yield { cycles } => {
-                        self.charge(cycles);
+                        stats.cycles += cycles;
                         if which.is_injected() {
-                            self.stats.injected_cycles += cycles;
+                            stats.injected_cycles += cycles;
                         }
                         if let Some(d) = dst {
-                            set!(d, Val::I(0), None);
+                            frames[fi].set(*d, Val::I(0), None);
                         }
                         return StepOut::Yield;
                     }
@@ -1115,6 +1358,55 @@ mod tests {
         assert_eq!(v, Val::I(99));
         // The old location is gone.
         assert!(mem.load(old + 24).is_err());
+    }
+
+    #[test]
+    fn free_leaves_no_residual_words() {
+        // Fill a large allocation (pointer-carrying words included), free
+        // it, and reclaim the same region: every word must read back as the
+        // fresh zero with no provenance, and a later move of the pointee
+        // must find nothing to patch in the reclaimed region.
+        let cfg = InterpConfig::default();
+        let mut mem = Memory::new(&cfg);
+        let big = mem.alloc(64 * 1024).unwrap();
+        let other = mem.alloc(64).unwrap();
+        for i in 0..big.size / 8 {
+            mem.store(big.base + i * 8, Val::I(other.base as i64), Some(other.id))
+                .unwrap();
+        }
+        assert!(mem.resident_pages() > 0);
+        mem.free(big.base).unwrap();
+
+        let again = mem.alloc(64 * 1024).unwrap();
+        assert_eq!(again.base, big.base, "first-fit reclaims the hole");
+        for i in 0..again.size / 8 {
+            assert_eq!(mem.load(again.base + i * 8).unwrap(), (Val::I(0), None));
+        }
+        // Residual provenant words would be rewritten here; zeros must stay.
+        mem.move_allocation(other.id).unwrap();
+        for i in 0..again.size / 8 {
+            assert_eq!(mem.load(again.base + i * 8).unwrap(), (Val::I(0), None));
+        }
+    }
+
+    #[test]
+    fn allocation_cache_never_serves_stale_entries() {
+        let cfg = InterpConfig::default();
+        let mut mem = Memory::new(&cfg);
+        let a = mem.alloc(64).unwrap();
+        mem.store(a.base, Val::I(1), None).unwrap(); // cache primed on `a`
+        mem.free(a.base).unwrap();
+        // A stale cache entry would answer this load; it must trap.
+        assert!(mem.load(a.base).is_err());
+
+        let b = mem.alloc(64).unwrap();
+        assert_eq!(b.base, a.base, "hole reused");
+        mem.store(b.base + 8, Val::I(2), None).unwrap();
+        let (old, new) = mem.move_allocation(b.id).unwrap();
+        assert!(mem.load(old + 8).is_err(), "old home must be dead");
+        assert_eq!(mem.load(new + 8).unwrap(), (Val::I(2), None));
+        assert_eq!(mem.base_of(b.id), Some(new));
+        assert_eq!(mem.base_of(a.id), None);
     }
 
     #[test]

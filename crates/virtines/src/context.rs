@@ -75,6 +75,14 @@ impl Virtine {
     pub fn guest_allocations(&self) -> usize {
         self.interp.mem.n_allocs()
     }
+
+    /// Backing pages the guest's memory actually materialized — the
+    /// simulator-level footprint a snapshot restore discards. Unlike
+    /// [`Virtine::dirty_pages`] (the modelled copy-on-write cost, derived
+    /// from the store count), this observes the page-backed storage itself.
+    pub fn resident_pages(&self) -> usize {
+        self.interp.mem.resident_pages()
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +195,34 @@ mod tests {
         a.reset();
         assert_eq!(a.guest_allocations(), 0);
         assert_eq!(b.guest_allocations(), 1, "reset of A must not touch B");
+    }
+
+    #[test]
+    fn reset_discards_resident_pages() {
+        // A fresh virtine has no backing pages; running materializes some;
+        // reset (the snapshot restore) drops them all.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("writer", 0);
+        fb.virtine();
+        let sz = fb.const_i(64 * 1024);
+        let p = fb.alloc(sz);
+        let seven = fb.const_i(7);
+        fb.store(p, 0, seven);
+        let off = fb.const_i(32 * 1024);
+        let far = fb.bin(BinOp::Add, p, off);
+        fb.store(far, 0, seven);
+        fb.ret(None);
+        m.add(fb.finish());
+        let img = extract_virtines(&m).remove(0);
+
+        let mut v = Virtine::new(img);
+        assert_eq!(v.resident_pages(), 0);
+        assert_eq!(v.invoke(&[], u64::MAX / 4), VirtineOutcome::Returned(None));
+        assert!(
+            v.resident_pages() >= 2,
+            "stores 32 KiB apart must land on distinct pages"
+        );
+        v.reset();
+        assert_eq!(v.resident_pages(), 0, "restore discards guest pages");
     }
 }
