@@ -9,8 +9,10 @@
 //! resumes as if nothing happened — the property test in `tests/` proves it
 //! by comparing final results with and without mid-run compaction.
 
-use crate::runtime::CaratRuntime;
+use crate::runtime::{CaratRuntime, EscapeCorruption};
 use interweave_ir::interp::{Allocation, Interp, Memory};
+use interweave_ir::types::Val;
+use std::collections::BTreeSet;
 
 /// What a compaction pass accomplished.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -66,6 +68,79 @@ pub fn compact(it: &mut Interp, rt: &mut CaratRuntime) -> DefragReport {
         report.bytes_moved += a.size;
     }
     report.holes_after = it.mem.free_holes();
+    report
+}
+
+/// What a corruption-recovery pass accomplished.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Corrupted words rewritten from the runtime's escape records.
+    pub repaired_words: usize,
+    /// Damaged allocations relocated to fresh frames.
+    pub relocations: usize,
+    /// Bytes moved by those relocations.
+    pub bytes_moved: u64,
+    /// Live registers patched across all frames.
+    pub regs_patched: usize,
+    /// Bytes of damaged frame withdrawn from service.
+    pub quarantined_bytes: u64,
+}
+
+/// Recover from memory corruption the escape audit found: repair each
+/// corrupted word from the runtime's record, then move every allocation
+/// that held a corrupted word to a fresh frame — reusing the compaction
+/// machinery ([`Memory::move_allocation`] + provenance/register patching +
+/// [`CaratRuntime::relocate`]) — and quarantine the suspect old frame on
+/// both sides (free list and guard table) so it is never handed out again.
+///
+/// This is the §IV-A claim inverted: because the interwoven runtime manages
+/// memory in software, a fault that the layered stack could only handle by
+/// killing the process (or scrubbing whole pages) is repaired at allocation
+/// granularity while the program keeps running.
+pub fn quarantine_and_relocate(
+    it: &mut Interp,
+    rt: &mut CaratRuntime,
+    corruptions: &[EscapeCorruption],
+) -> RecoveryReport {
+    let mut report = RecoveryReport::default();
+    // 1. Repair each corrupted word back to the recorded pointer value,
+    //    restoring its provenance from the allocation it points into.
+    for c in corruptions {
+        let prov = it.mem.containing(c.expected).map(|a| a.id);
+        if it
+            .mem
+            .store(c.holder, Val::I(c.expected as i64), prov)
+            .is_ok()
+        {
+            report.repaired_words += 1;
+        }
+    }
+    // 2. The frames that held corrupted words are suspect (whatever flipped
+    //    one bit may flip more): relocate each damaged allocation once,
+    //    deterministically ordered by id.
+    let damaged: BTreeSet<_> = corruptions
+        .iter()
+        .filter_map(|c| it.mem.containing(c.holder).map(|a| a.id))
+        .collect();
+    for id in damaged {
+        let Some(a) = it.mem.base_of(id).and_then(|b| it.mem.containing(b)) else {
+            continue;
+        };
+        let size = a.size;
+        let Ok((old, new)) = it.mem.move_allocation(id) else {
+            continue;
+        };
+        report.regs_patched += it.patch_provenance(id, old, new);
+        rt.relocate(old, new);
+        report.relocations += 1;
+        report.bytes_moved += size;
+        // 3. Withdraw the damaged frame on both sides: the memory layer
+        //    stops reusing it, the guard table denies access to it.
+        if it.mem.quarantine_range(old, size) {
+            rt.quarantine(old, size);
+            report.quarantined_bytes += size;
+        }
+    }
     report
 }
 
@@ -229,6 +304,53 @@ mod tests {
             ExecStatus::Done(Some(Val::I(v))) => assert_eq!(v, 111 + 222 + 333),
             other => panic!("unexpected status {other:?}"),
         }
+    }
+
+    #[test]
+    fn bit_flip_is_audited_repaired_and_survivors_relocated() {
+        // Full recovery cycle: run to the quiescent point, corrupt a stored
+        // pointer with a bit-flip, let the audit find it, quarantine-and-
+        // relocate, and resume — the program must still produce the right
+        // answer, through pointers living in a *fresh* frame.
+        let (mut m, entry) = fragmenting_program();
+        instrument(&mut m, true);
+        let mut rt = CaratRuntime::new();
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, entry, &[]);
+        assert_eq!(it.run(&m, &mut rt, u64::MAX / 4), ExecStatus::Yielded);
+
+        let holders = rt.escape_holders();
+        assert!(!holders.is_empty(), "test needs escape records");
+        let victim = holders[0];
+        it.mem.flip_bit(victim, 9).expect("pointer word is an int");
+
+        let corruptions = rt.audit_escapes(&it.mem);
+        assert_eq!(corruptions.len(), 1, "exactly the flipped word");
+        assert_eq!(corruptions[0].holder, victim);
+
+        let report = quarantine_and_relocate(&mut it, &mut rt, &corruptions);
+        assert_eq!(report.repaired_words, 1);
+        assert_eq!(report.relocations, 1, "the damaged frame must move");
+        assert!(report.quarantined_bytes > 0);
+        // Post-recovery the ledger and memory agree again.
+        assert!(rt.audit_escapes(&it.mem).is_empty());
+
+        match it.run(&m, &mut rt, u64::MAX / 4) {
+            ExecStatus::Done(Some(Val::I(v))) => assert_eq!(v, 111 + 222 + 333),
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_with_no_corruptions_is_a_noop() {
+        let (mut m, entry) = fragmenting_program();
+        instrument(&mut m, true);
+        let mut rt = CaratRuntime::new();
+        let mut it = Interp::new(InterpConfig::default());
+        it.start(&m, entry, &[]);
+        let _ = it.run(&m, &mut rt, u64::MAX / 4);
+        let report = quarantine_and_relocate(&mut it, &mut rt, &[]);
+        assert_eq!(report, RecoveryReport::default());
     }
 
     #[test]

@@ -44,8 +44,9 @@ pub mod pik;
 pub mod runtime;
 pub mod taint;
 
+pub use defrag::{quarantine_and_relocate, RecoveryReport};
 pub use guards::InjectGuards;
-pub use runtime::{CaratRuntime, GuardCosts};
+pub use runtime::{CaratRuntime, EscapeCorruption, GuardCosts};
 
 use interweave_ir::passes::{PassManager, PassStats};
 use interweave_ir::Module;

@@ -63,6 +63,22 @@ pub struct CaratStats {
     pub escapes: u64,
     /// Protection faults raised.
     pub faults: u64,
+    /// Escape audits performed ([`CaratRuntime::audit_escapes`]).
+    pub audits: u64,
+    /// Corrupted escape words the audits found.
+    pub corruptions: u64,
+}
+
+/// One corrupted escape word found by [`CaratRuntime::audit_escapes`]: the
+/// runtime's record of what `holder` stores disagrees with memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscapeCorruption {
+    /// Address of the word holding the escaped pointer.
+    pub holder: u64,
+    /// The pointer value the runtime recorded at escape time.
+    pub expected: u64,
+    /// The value actually in memory now.
+    pub found: u64,
 }
 
 /// The runtime: allocation map, permissions, escape records.
@@ -79,6 +95,10 @@ pub struct CaratRuntime {
     /// runtime's view; defragmentation cross-checks it against interpreter
     /// provenance).
     escapes: BTreeMap<u64, u64>,
+    /// Quarantined regions `(base, size)`: frames a corruption was detected
+    /// in, withdrawn from service. Guards deny access to them. Empty in a
+    /// healthy run, so the per-guard check is a single `is_empty` branch.
+    quarantined: Vec<(u64, u64)>,
     /// Costs charged per entry point.
     pub costs: GuardCosts,
     /// Execution counters.
@@ -179,7 +199,63 @@ impl CaratRuntime {
         self.escapes.len()
     }
 
+    /// Holder-word addresses of all escape records, in address order
+    /// (deterministic — the fault plane picks bit-flip sites from this).
+    pub fn escape_holders(&self) -> Vec<u64> {
+        self.escapes.keys().copied().collect()
+    }
+
+    /// Cross-check every escape record against memory: the runtime knows
+    /// what pointer each holder word stores, so a silent corruption (a
+    /// bit-flip that hardware ECC missed) shows up as a mismatch. This is
+    /// CARAT's software-managed-memory advantage (§IV-A): the layered stack
+    /// has no record of what memory *should* contain, the interwoven
+    /// runtime does. Deterministic: records are visited in address order.
+    pub fn audit_escapes(&mut self, mem: &Memory) -> Vec<EscapeCorruption> {
+        self.stats.audits += 1;
+        let mut found = Vec::new();
+        for (&holder, &expected) in self.escapes.iter() {
+            let actual = match mem.load(holder) {
+                Ok((v, _prov)) => v.as_ptr(),
+                Err(_) => continue, // holder itself unmapped; frees race audits
+            };
+            if actual != expected {
+                found.push(EscapeCorruption {
+                    holder,
+                    expected,
+                    found: actual,
+                });
+            }
+        }
+        self.stats.corruptions += found.len() as u64;
+        found
+    }
+
+    /// Withdraw `(base, size)` from service: subsequent guards covering any
+    /// part of it fault. Used after a corrupted allocation is relocated so
+    /// the damaged frame is never handed out or validated again.
+    pub fn quarantine(&mut self, base: u64, size: u64) {
+        self.invalidate_cached(base);
+        self.quarantined.push((base, size));
+    }
+
+    /// Number of quarantined regions.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
     fn check(&mut self, addr: u64, write: bool) -> Result<(), Trap> {
+        // Healthy runs take one not-taken branch here; only after a
+        // quarantine does the scan run at all.
+        if !self.quarantined.is_empty()
+            && self
+                .quarantined
+                .iter()
+                .any(|&(b, s)| addr.wrapping_sub(b) < s)
+        {
+            self.stats.faults += 1;
+            return Err(Trap::ProtectionFault { addr });
+        }
         match self.containing(addr) {
             Some((_, t)) if !write || t.writable => Ok(()),
             _ => {
@@ -195,7 +271,7 @@ impl RuntimeHooks for CaratRuntime {
         &mut self,
         which: Intrinsic,
         args: &[Val],
-        _mem: &mut Memory,
+        mem: &mut Memory,
         now: u64,
     ) -> HookAction {
         match which {
@@ -242,7 +318,22 @@ impl RuntimeHooks for CaratRuntime {
             Intrinsic::CaratTrackEscape => {
                 self.stats.escapes += 1;
                 let value = args[0].as_ptr();
-                let holder = args[1].as_ptr();
+                // The instrumentation hands us the holder's *base* register;
+                // the store itself may have landed at base + offset. The
+                // store has already executed when this intrinsic runs, so
+                // locate the exact word now holding `value` within the
+                // holder allocation and key the ledger by that address
+                // (falling back to the base for out-of-map holders).
+                let base = args[1].as_ptr();
+                let holder = mem
+                    .containing(base)
+                    .and_then(|a| {
+                        (a.base..a.base + a.size).step_by(8).find(|&addr| {
+                            matches!(mem.load(addr),
+                                     Ok((Val::I(v), _)) if v as u64 == value)
+                        })
+                    })
+                    .unwrap_or(base);
                 self.escapes.insert(holder, value);
                 HookAction::Continue {
                     value: None,
@@ -422,6 +513,50 @@ mod tests {
         rt.relocate(old, new);
         assert!(rt.check(old, false).is_err());
         assert!(rt.check(new, false).is_ok());
+    }
+
+    #[test]
+    fn escape_audit_detects_silent_bit_flip() {
+        let mut rt = CaratRuntime::new();
+        let mut it = Interp::new(InterpConfig::default());
+        let holder = it.mem.alloc(64).unwrap();
+        let target = it.mem.alloc(64).unwrap();
+        rt.on_alloc(holder);
+        rt.on_alloc(target);
+        // Record the escape both in memory and in the runtime's ledger.
+        it.mem
+            .store(holder.base, Val::I(target.base as i64), Some(target.id))
+            .unwrap();
+        rt.escapes.insert(holder.base, target.base);
+        // A clean audit finds nothing.
+        assert!(rt.audit_escapes(&it.mem).is_empty());
+        // Flip a bit under the runtime's feet: the next audit pinpoints the
+        // holder, the recorded value, and the corrupted one.
+        let (old, new) = it.mem.flip_bit(holder.base, 5).unwrap();
+        let bad = rt.audit_escapes(&it.mem);
+        assert_eq!(
+            bad,
+            vec![EscapeCorruption {
+                holder: holder.base,
+                expected: old as u64,
+                found: new as u64,
+            }]
+        );
+        assert_eq!(rt.stats.audits, 2);
+        assert_eq!(rt.stats.corruptions, 1);
+    }
+
+    #[test]
+    fn quarantined_region_faults_all_guards() {
+        let mut rt = CaratRuntime::new();
+        let mut it = Interp::new(InterpConfig::default());
+        let a = it.mem.alloc(64).unwrap();
+        rt.on_alloc(a);
+        assert!(rt.check(a.base + 8, false).is_ok());
+        rt.quarantine(a.base, 64);
+        assert!(rt.check(a.base + 8, false).is_err());
+        assert!(rt.check(a.base, true).is_err());
+        assert_eq!(rt.quarantined_count(), 1);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! (heartbeat signaling, fibers, device handling) can be re-run under the
 //! proposed hardware as an ablation.
 
+use crate::faults::FaultPlan;
+use crate::time::Cycles;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -69,9 +71,47 @@ impl IrqClass {
     }
 }
 
+/// What the delivery fabric did with one interrupt once the fault plane had
+/// its say. With no fault plan (or a quiet one) every interrupt is
+/// [`DeliveryOutcome::Delivered`], bit-identically to the pre-fault-plane
+/// behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// Delivered normally.
+    Delivered,
+    /// Delivered, but the given cycles later than asserted.
+    Delayed(Cycles),
+    /// Dropped by the fabric: the target core never sees it. Recovery is
+    /// the layer above's job (the kernel watchdog, for kicks).
+    Dropped,
+}
+
+/// Present an interrupt of `class` to the delivery fabric under `plan`.
+///
+/// Only fabric-crossing classes ([`IrqClass::Ipi`], [`IrqClass::Device`])
+/// can be lost or delayed — core-local traps (timer, math/protection
+/// faults) have no wire to drop them on, so they always deliver.
+pub fn present(class: IrqClass, plan: &mut FaultPlan) -> DeliveryOutcome {
+    match class {
+        IrqClass::Ipi | IrqClass::Device => {
+            if plan.drop_kick() {
+                DeliveryOutcome::Dropped
+            } else if let Some(d) = plan.kick_delay() {
+                DeliveryOutcome::Delayed(d)
+            } else {
+                DeliveryOutcome::Delivered
+            }
+        }
+        IrqClass::LapicTimer | IrqClass::MathFault | IrqClass::ProtectionFault => {
+            DeliveryOutcome::Delivered
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultConfig;
 
     #[test]
     fn display_names() {
@@ -95,6 +135,45 @@ mod tests {
             IrqClass::ProtectionFault,
         ] {
             assert!(c.pipeline_capable());
+        }
+    }
+
+    #[test]
+    fn quiet_plan_always_delivers() {
+        let mut plan = FaultPlan::quiet(1);
+        for c in [IrqClass::Ipi, IrqClass::Device, IrqClass::LapicTimer] {
+            assert_eq!(present(c, &mut plan), DeliveryOutcome::Delivered);
+        }
+    }
+
+    #[test]
+    fn core_local_traps_cannot_be_dropped() {
+        let mut cfg = FaultConfig::quiet(2);
+        cfg.drop_ipi = 1.0;
+        let mut plan = FaultPlan::new(cfg);
+        assert_eq!(
+            present(IrqClass::LapicTimer, &mut plan),
+            DeliveryOutcome::Delivered
+        );
+        assert_eq!(
+            present(IrqClass::ProtectionFault, &mut plan),
+            DeliveryOutcome::Delivered
+        );
+        // The fabric-crossing class does get dropped at p=1.
+        assert_eq!(present(IrqClass::Ipi, &mut plan), DeliveryOutcome::Dropped);
+    }
+
+    #[test]
+    fn delayed_delivery_carries_bounded_latency() {
+        let mut cfg = FaultConfig::quiet(3);
+        cfg.delay_ipi = 1.0;
+        cfg.max_ipi_delay = Cycles(250);
+        let mut plan = FaultPlan::new(cfg);
+        for _ in 0..50 {
+            match present(IrqClass::Ipi, &mut plan) {
+                DeliveryOutcome::Delayed(d) => assert!(d.get() >= 1 && d.get() <= 250),
+                other => panic!("expected delay, got {other:?}"),
+            }
         }
     }
 }

@@ -27,11 +27,15 @@
 //!   report every figure and table.
 //! - [`energy`]: interconnect/cache energy accounting (Fig. 7).
 //! - [`rng`]: a small deterministic RNG so all experiments are reproducible.
+//! - [`faults`]: the seeded fault-injection plane ([`faults::FaultPlan`])
+//!   that higher layers consult to inject lost IPIs, allocation failures,
+//!   memory bit-flips, and virtine crashes — deterministically.
 
 #![warn(missing_docs)]
 
 pub mod energy;
 pub mod event;
+pub mod faults;
 pub mod interrupt;
 pub mod machine;
 pub mod rng;
@@ -40,6 +44,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventHandle, EventQueue};
+pub use faults::{FaultClass, FaultConfig, FaultPlan, FaultRecord};
 pub use interrupt::DeliveryMode;
 pub use machine::{CostModel, MachineConfig, Platform};
 pub use rng::SplitMix64;

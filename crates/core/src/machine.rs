@@ -109,6 +109,10 @@ pub struct CostModel {
     pub call_overhead: Cycles,
     /// A compiler-injected time check (`rdtsc` + compare + predicted branch).
     pub time_check: Cycles,
+    /// One kernel-watchdog liveness scan of a CPU's dispatch state (a few
+    /// loads and compares over per-CPU bookkeeping; the recovery path the
+    /// fault-injection experiments charge per check).
+    pub watchdog_check: Cycles,
     /// Cache line size in bytes.
     pub cacheline: u64,
 }
@@ -143,6 +147,7 @@ impl CostModel {
             page_size: 4096,
             call_overhead: Cycles(5),
             time_check: Cycles(15),
+            watchdog_check: Cycles(25),
             cacheline: 64,
         }
     }

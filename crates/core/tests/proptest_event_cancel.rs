@@ -136,6 +136,9 @@ proptest! {
                     prop_assert_eq!(got, want);
                 }
                 Op::CancelWhere(r) => {
+                    // Deliberately exercises the deprecated compat wrapper:
+                    // as long as it exists it must stay model-equivalent.
+                    #[allow(deprecated)]
                     let n = q.cancel_where(|p| *p % 3 == r);
                     prop_assert_eq!(n, model.cancel_where(|p| p % 3 == r));
                 }

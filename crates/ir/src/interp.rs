@@ -545,6 +545,46 @@ impl Memory {
         }
         Ok((old.base, new_base))
     }
+
+    /// Flip bit `bit` of the integer word at `addr`, returning
+    /// `(old, new)` values. This is the fault plane's injection point for
+    /// memory corruption: the word changes but its provenance tag does
+    /// *not*, which is exactly the inconsistency CARAT's escape audit
+    /// detects. Returns `None` for float cells (no meaningful bit index in
+    /// the modeled word) — callers pick another site.
+    pub fn flip_bit(&mut self, addr: u64, bit: u32) -> Option<(i64, i64)> {
+        let c = self.cell_mut(addr);
+        match c.val {
+            Val::I(v) => {
+                let new = v ^ (1i64 << (bit % 64));
+                c.val = Val::I(new);
+                Some((v, new))
+            }
+            Val::F(_) => None,
+        }
+    }
+
+    /// Withdraw `[base, base + size)` from the free list so it is never
+    /// handed out again — the quarantine half of CARAT's
+    /// quarantine-and-relocate recovery. The range must currently be free
+    /// (i.e. the damaged allocation was already moved away); returns
+    /// `false` without modifying anything if it is not.
+    pub fn quarantine_range(&mut self, base: u64, size: u64) -> bool {
+        let Some((&fb, &fsz)) = self.free.range(..=base).next_back() else {
+            return false;
+        };
+        if base + size > fb + fsz {
+            return false;
+        }
+        self.free.remove(&fb);
+        if fb < base {
+            self.free.insert(fb, base - fb);
+        }
+        if base + size < fb + fsz {
+            self.free.insert(base + size, (fb + fsz) - (base + size));
+        }
+        true
+    }
 }
 
 /// One call frame.
@@ -1132,6 +1172,55 @@ mod tests {
         it.start(m, main, args);
         let v = it.run_to_completion(m, &mut NullHooks);
         (v, it.stats.clone())
+    }
+
+    #[test]
+    fn flip_bit_corrupts_word_but_not_provenance() {
+        let mut mem = Memory::new(&InterpConfig::default());
+        let a = mem.alloc(64).expect("alloc");
+        mem.store(a.base, Val::I(0x10), Some(a.id)).expect("store");
+        let (old, new) = mem.flip_bit(a.base, 3).expect("int cell");
+        assert_eq!(old, 0x10);
+        assert_eq!(new, 0x18);
+        // The stale provenance tag survives the flip — that mismatch is
+        // what the CARAT audit keys on.
+        assert_eq!(mem.load(a.base).expect("load"), (Val::I(0x18), Some(a.id)));
+        // Float cells are not flippable.
+        mem.store(a.base + 8, Val::F(1.5), None).expect("store");
+        assert!(mem.flip_bit(a.base + 8, 0).is_none());
+    }
+
+    #[test]
+    fn quarantine_range_withholds_freed_frame() {
+        let mut mem = Memory::new(&InterpConfig::default());
+        let a = mem.alloc(64).expect("alloc");
+        let _b = mem.alloc(64).expect("alloc"); // pin the bump past `a`
+        let base = a.base;
+        // Live range: not free, so not quarantinable.
+        assert!(!mem.quarantine_range(base, 64));
+        mem.free(base).expect("free");
+        assert!(mem.quarantine_range(base, 64));
+        // The hole is gone: a fresh 64-byte alloc must land elsewhere.
+        let c = mem.alloc(64).expect("alloc");
+        assert_ne!(c.base, base);
+        // Double quarantine is a no-op failure.
+        assert!(!mem.quarantine_range(base, 64));
+    }
+
+    #[test]
+    fn quarantine_range_splits_larger_hole() {
+        let mut mem = Memory::new(&InterpConfig::default());
+        let a = mem.alloc(24).expect("alloc");
+        let _pin = mem.alloc(8).expect("alloc");
+        mem.free(a.base).expect("free");
+        // Quarantine only the middle word of the 24-byte hole.
+        assert!(mem.quarantine_range(a.base + 8, 8));
+        let holes = mem.free_blocks();
+        assert!(holes.contains(&(a.base, 8)));
+        assert!(holes.contains(&(a.base + 16, 8)));
+        assert!(!holes
+            .iter()
+            .any(|&(b, s)| b <= a.base + 8 && a.base + 16 <= b + s));
     }
 
     #[test]

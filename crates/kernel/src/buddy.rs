@@ -32,9 +32,11 @@ pub struct BuddyZone {
     pub live_bytes: u64,
 }
 
-/// Allocation failure.
+/// Allocation failure. Every allocator entry point returns this as a typed
+/// `Result` — out-of-memory is an *expected* outcome the caller handles
+/// (shed the task, fall back, degrade), never a panic inside the allocator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BuddyError {
+pub enum AllocError {
     /// No free block of the required order (zone exhausted or fragmented).
     OutOfMemory,
     /// Free of an address that is not the base of a live allocation.
@@ -42,6 +44,22 @@ pub enum BuddyError {
     /// Request larger than the zone itself.
     TooLarge,
 }
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => write!(f, "out of memory"),
+            AllocError::BadFree => write!(f, "bad free"),
+            AllocError::TooLarge => write!(f, "request exceeds zone"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Former name of [`AllocError`], kept for downstream source compatibility.
+#[deprecated(since = "0.1.0", note = "renamed to AllocError")]
+pub type BuddyError = AllocError;
 
 impl BuddyZone {
     /// A zone at `base` spanning `2^levels` min-blocks of `2^min_order`
@@ -65,30 +83,33 @@ impl BuddyZone {
         (1u64 << self.levels) << self.min_order
     }
 
-    fn order_for(&self, bytes: u64) -> Result<usize, BuddyError> {
+    fn order_for(&self, bytes: u64) -> Result<usize, AllocError> {
         let min = 1u64 << self.min_order;
         let blocks = bytes.max(1).div_ceil(min);
         let order = blocks.next_power_of_two().trailing_zeros() as usize;
         if order > self.levels {
-            Err(BuddyError::TooLarge)
+            Err(AllocError::TooLarge)
         } else {
             Ok(order)
         }
     }
 
     /// Allocate at least `bytes`; returns the block's physical address.
-    pub fn alloc(&mut self, bytes: u64) -> Result<u64, BuddyError> {
+    pub fn alloc(&mut self, bytes: u64) -> Result<u64, AllocError> {
         let want = self.order_for(bytes)?;
-        // Find the smallest available order ≥ want.
+        // Find and pop the smallest available order ≥ want, with exhaustion
+        // reported as a typed error — there is no panicking path here.
         let mut have = want;
-        while have <= self.levels && self.free[have].is_empty() {
+        let off = loop {
+            if have > self.levels {
+                return Err(AllocError::OutOfMemory);
+            }
+            if let Some(off) = self.free[have].pop() {
+                break off;
+            }
             have += 1;
-        }
-        if have > self.levels {
-            return Err(BuddyError::OutOfMemory);
-        }
+        };
         // Split down to the wanted order.
-        let off = self.free[have].pop().expect("non-empty");
         while have > want {
             have -= 1;
             let buddy = off + (1u64 << have);
@@ -100,12 +121,12 @@ impl BuddyZone {
     }
 
     /// Free a previously allocated block; coalesces with free buddies.
-    pub fn free(&mut self, addr: u64) -> Result<(), BuddyError> {
+    pub fn free(&mut self, addr: u64) -> Result<(), AllocError> {
         if addr < self.base {
-            return Err(BuddyError::BadFree);
+            return Err(AllocError::BadFree);
         }
         let mut off = (addr - self.base) >> self.min_order;
-        let mut order = self.live.remove(&off).ok_or(BuddyError::BadFree)?;
+        let mut order = self.live.remove(&off).ok_or(AllocError::BadFree)?;
         self.live_bytes -= (1u64 << order) << self.min_order;
         // Coalesce upward while the buddy is free.
         while order < self.levels {
@@ -182,27 +203,45 @@ impl NumaAllocator {
 
     /// Allocate preferring `zone`, falling back to the others in order —
     /// the "most desirable zone" policy of §III.
-    pub fn alloc(&mut self, zone: usize, bytes: u64) -> Result<(u64, usize), BuddyError> {
+    pub fn alloc(&mut self, zone: usize, bytes: u64) -> Result<(u64, usize), AllocError> {
         let n = self.zones.len();
         for k in 0..n {
             let z = (zone + k) % n;
             match self.zones[z].alloc(bytes) {
                 Ok(addr) => return Ok((addr, z)),
-                Err(BuddyError::TooLarge) => return Err(BuddyError::TooLarge),
+                Err(AllocError::TooLarge) => return Err(AllocError::TooLarge),
                 Err(_) => continue,
             }
         }
-        Err(BuddyError::OutOfMemory)
+        Err(AllocError::OutOfMemory)
+    }
+
+    /// [`NumaAllocator::alloc`] with the fault plane interposed: before the
+    /// real allocation is attempted, `faults` may declare this request
+    /// failed, modeling transient exhaustion (e.g. another core draining the
+    /// zone between check and grab). Injected failures are typed
+    /// [`AllocError::OutOfMemory`] — indistinguishable from the real thing,
+    /// which is the point: callers must already handle it.
+    pub fn alloc_faulted(
+        &mut self,
+        zone: usize,
+        bytes: u64,
+        faults: &mut interweave_core::FaultPlan,
+    ) -> Result<(u64, usize), AllocError> {
+        if faults.fail_alloc() {
+            return Err(AllocError::OutOfMemory);
+        }
+        self.alloc(zone, bytes)
     }
 
     /// Free an address in whichever zone owns it.
-    pub fn free(&mut self, addr: u64) -> Result<(), BuddyError> {
+    pub fn free(&mut self, addr: u64) -> Result<(), AllocError> {
         for z in &mut self.zones {
             if addr >= z.base && addr < z.base + z.capacity() {
                 return z.free(addr);
             }
         }
-        Err(BuddyError::BadFree)
+        Err(AllocError::BadFree)
     }
 
     /// Borrow a zone (inspection in tests).
@@ -263,13 +302,13 @@ mod tests {
     fn oom_when_exhausted() {
         let mut z = BuddyZone::new(0, 6, 2); // 4 min blocks = 256 B
         let _a = z.alloc(256).unwrap();
-        assert_eq!(z.alloc(64), Err(BuddyError::OutOfMemory));
+        assert_eq!(z.alloc(64), Err(AllocError::OutOfMemory));
     }
 
     #[test]
     fn too_large_is_distinguished() {
         let mut z = BuddyZone::new(0, 6, 2);
-        assert_eq!(z.alloc(1 << 20), Err(BuddyError::TooLarge));
+        assert_eq!(z.alloc(1 << 20), Err(AllocError::TooLarge));
     }
 
     #[test]
@@ -277,7 +316,7 @@ mod tests {
         let mut z = BuddyZone::new(0, 6, 4);
         let a = z.alloc(64).unwrap();
         z.free(a).unwrap();
-        assert_eq!(z.free(a), Err(BuddyError::BadFree));
+        assert_eq!(z.free(a), Err(AllocError::BadFree));
     }
 
     #[test]
@@ -300,6 +339,33 @@ mod tests {
         // Zone 0 is now full; falls back to zone 1.
         let (_, z1) = n.alloc(0, 512).unwrap();
         assert_eq!(z1, 1);
+    }
+
+    #[test]
+    fn alloc_faulted_injects_typed_oom() {
+        use interweave_core::{FaultConfig, FaultPlan};
+        let mut n = NumaAllocator::new(1, 6, 8);
+        // A quiet plan never interferes.
+        let mut quiet = FaultPlan::quiet(7);
+        let (a, _) = n.alloc_faulted(0, 128, &mut quiet).unwrap();
+        n.free(a).unwrap();
+        // At p=1 every request fails as typed OOM, and nothing is reserved.
+        let mut cfg = FaultConfig::quiet(7);
+        cfg.alloc_fail = 1.0;
+        let mut noisy = FaultPlan::new(cfg);
+        assert_eq!(
+            n.alloc_faulted(0, 128, &mut noisy),
+            Err(AllocError::OutOfMemory)
+        );
+        assert_eq!(n.zone(0).n_live(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn compat_alias_still_names_the_error() {
+        let e: BuddyError = AllocError::OutOfMemory;
+        assert_eq!(e, AllocError::OutOfMemory);
+        assert_eq!(e.to_string(), "out of memory");
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub mod timeline;
 pub mod trace;
 pub mod work;
 
+pub use buddy::{AllocError, NumaAllocator};
+pub use executor::Executor;
 pub use os::{LinuxModel, LinuxParams, NkModel, OsModel};
 pub use threads::{switch_cost, SwitchBreakdown, SwitchKind};
 pub use timeline::CpuTimeline;

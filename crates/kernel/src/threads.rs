@@ -33,6 +33,17 @@ pub const FIBER_FP_FACTOR: f64 = 0.75;
 /// TCB bookkeeping, and the fiber queue update.
 pub const FIBER_MGMT: Cycles = Cycles(150);
 
+/// Default kernel-thread stack size charged against the buddy allocator
+/// when a spawn goes through the stack-backed path (§III: thread stacks are
+/// "guaranteed to always be in the most desirable zone").
+pub const DEFAULT_STACK_BYTES: u64 = 16 * 1024;
+
+/// The "most desirable zone" for a thread bound to `cpu`: its socket's NUMA
+/// domain (one buddy zone per socket in our allocator layout).
+pub fn home_zone_for(cpu: usize, mc: &MachineConfig) -> usize {
+    mc.socket_of(cpu)
+}
+
 /// Which kernel design performs the switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OsKind {

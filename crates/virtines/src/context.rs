@@ -52,6 +52,30 @@ impl Virtine {
         }
     }
 
+    /// Invoke the entry function, with an optional injected kill point.
+    ///
+    /// `kill_at` models an asynchronous fault (host signal, hardware error,
+    /// fault-injection campaign) that destroys the virtine `kill_at` cycles
+    /// into the call. If the guest finishes before the kill point the fault
+    /// lands on a dead context and the invocation returns normally; if it is
+    /// still running, the host observes [`VirtineOutcome::Killed`] — exactly
+    /// the signal the Wasp layer uses to tear down and restart from
+    /// snapshot. A guest trap before the kill point still surfaces as
+    /// [`VirtineOutcome::Faulted`].
+    pub fn invoke_killable(
+        &mut self,
+        args: &[Val],
+        budget: u64,
+        kill_at: Option<u64>,
+    ) -> VirtineOutcome {
+        match kill_at {
+            // Running with fuel capped at the kill point makes the fuel
+            // exhaustion *be* the kill: the guest was live at that cycle.
+            Some(k) if k < budget => self.invoke(args, k),
+            _ => self.invoke(args, budget),
+        }
+    }
+
     /// Pages this invocation dirtied (what a copy-on-write snapshot restore
     /// must re-map): one 4 KiB page per 512 stored words, at least one page
     /// for the guest stack once anything ran.
@@ -163,6 +187,35 @@ mod tests {
         let img = extract_virtines(&m).remove(0);
         let mut v = Virtine::new(img);
         assert_eq!(v.invoke(&[], 10_000), VirtineOutcome::Killed);
+    }
+
+    #[test]
+    fn kill_point_only_lands_on_a_live_guest() {
+        let mut v = Virtine::new(fib_image());
+        // Establish how long the guest actually runs.
+        assert_eq!(
+            v.invoke(&[Val::I(12)], u64::MAX / 4),
+            VirtineOutcome::Returned(Some(Val::I(144)))
+        );
+        let guest = v.guest_cycles;
+        v.reset();
+        // A kill point mid-execution destroys the context.
+        assert_eq!(
+            v.invoke_killable(&[Val::I(12)], u64::MAX / 4, Some(guest / 2)),
+            VirtineOutcome::Killed
+        );
+        v.reset();
+        // A kill point after completion lands on a dead context: no effect.
+        assert_eq!(
+            v.invoke_killable(&[Val::I(12)], u64::MAX / 4, Some(guest * 2)),
+            VirtineOutcome::Returned(Some(Val::I(144)))
+        );
+        v.reset();
+        // No kill point at all delegates to the plain path.
+        assert_eq!(
+            v.invoke_killable(&[Val::I(12)], u64::MAX / 4, None),
+            VirtineOutcome::Returned(Some(Val::I(144)))
+        );
     }
 
     #[test]

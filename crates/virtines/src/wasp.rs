@@ -14,6 +14,7 @@ use crate::context::{Virtine, VirtineOutcome};
 use crate::extract::VirtineImage;
 use interweave_core::machine::MachineConfig;
 use interweave_core::time::{Cycles, MicroSeconds};
+use interweave_core::FaultPlan;
 use interweave_ir::types::Val;
 
 /// How a function can be launched in isolation.
@@ -116,6 +117,12 @@ pub struct WaspStats {
     pub reuses: u64,
     /// Invocations completed.
     pub invocations: u64,
+    /// Snapshot restarts performed after a kill or fault
+    /// ([`Wasp::invoke_recovering`]).
+    pub restarts: u64,
+    /// Injected kills that landed on a live guest and were detected as an
+    /// abnormal exit by the hypervisor.
+    pub faults_detected: u64,
 }
 
 /// Per-dirty-page cost of a copy-on-write snapshot restore, in
@@ -161,6 +168,15 @@ impl Wasp {
     /// boot. Returns the outcome and the total latency (start-up + guest
     /// execution) in cycles.
     pub fn invoke(&mut self, args: &[Val], budget: u64) -> (VirtineOutcome, Cycles) {
+        self.invoke_with(args, budget, None)
+    }
+
+    fn invoke_with(
+        &mut self,
+        args: &[Val],
+        budget: u64,
+        kill_at: Option<u64>,
+    ) -> (VirtineOutcome, Cycles) {
         let (mut ctx, start) = match self.pool.pop() {
             Some((mut v, dirty)) => {
                 v.reset();
@@ -179,7 +195,7 @@ impl Wasp {
                 )
             }
         };
-        let outcome = ctx.invoke(args, budget);
+        let outcome = ctx.invoke_killable(args, budget, kill_at);
         let total = start.total_cycles(&self.mc) + Cycles(ctx.guest_cycles);
         // Faulted/killed contexts are torn down, clean ones return to the
         // pool (remembering their dirty footprint for the next restore).
@@ -189,6 +205,45 @@ impl Wasp {
         }
         self.stats.invocations += 1;
         (outcome, total)
+    }
+
+    /// Invoke under a fault plan, restarting from snapshot on injected
+    /// kills.
+    ///
+    /// Each attempt draws a potential kill point from `faults`
+    /// ([`FaultPlan::virtine_kill_at`]); a kill that lands on a live guest
+    /// destroys the context (it never returns to the pool — exactly the
+    /// normal teardown path for faulted contexts) and the hypervisor
+    /// restarts the call from a fresh or pooled context, up to
+    /// `max_restarts` times. Returns the final outcome, the *total* latency
+    /// across all attempts (wasted partial executions included), and the
+    /// number of restarts performed. With a quiet plan this is byte-for-byte
+    /// `invoke`.
+    pub fn invoke_recovering(
+        &mut self,
+        args: &[Val],
+        budget: u64,
+        faults: &mut FaultPlan,
+        max_restarts: u32,
+    ) -> (VirtineOutcome, Cycles, u32) {
+        let mut total = Cycles(0);
+        let mut restarts = 0u32;
+        loop {
+            let kill_at = faults.virtine_kill_at(budget);
+            let (outcome, t) = self.invoke_with(args, budget, kill_at);
+            total += t;
+            if kill_at.is_some() && outcome == VirtineOutcome::Killed {
+                self.stats.faults_detected += 1;
+            }
+            match outcome {
+                VirtineOutcome::Returned(_) => return (outcome, total, restarts),
+                _ if restarts < max_restarts => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                }
+                _ => return (outcome, total, restarts),
+            }
+        }
     }
 
     /// Pre-warm the pool with `n` contexts (FaaS keep-warm policy).
@@ -332,6 +387,63 @@ mod tests {
         let (o, _) = w.invoke(&[], u64::MAX / 4);
         assert!(matches!(o, VirtineOutcome::Faulted(_)));
         assert_eq!(w.pooled(), 0, "a faulted context must be destroyed");
+    }
+
+    #[test]
+    fn injected_kills_are_detected_and_recovered_by_restart() {
+        use interweave_core::{FaultConfig, FaultPlan};
+        // Calibrate a budget tight enough that a uniform kill point has a
+        // real chance of landing mid-execution.
+        let mut probe = Virtine::new(fib_image());
+        probe.invoke(&[Val::I(12)], u64::MAX / 4);
+        // ~1.3x the guest's runtime: a uniform kill point lands mid-run
+        // roughly 3 times in 4, so a short request batch sees several.
+        let budget = probe.guest_cycles + probe.guest_cycles / 3;
+
+        let serve = |seed: u64| {
+            let mut faults = FaultPlan::new(FaultConfig {
+                virtine_kill: 1.0,
+                ..FaultConfig::quiet(seed)
+            });
+            let mut w = Wasp::new(fib_image(), MachineConfig::xeon_server_2s());
+            let mut total = Cycles(0);
+            let mut restarts = 0u32;
+            for _ in 0..10 {
+                let (outcome, t, r) = w.invoke_recovering(&[Val::I(12)], budget, &mut faults, 64);
+                assert_eq!(outcome, VirtineOutcome::Returned(Some(Val::I(144))));
+                total += t;
+                restarts += r;
+            }
+            (w.stats.restarts, w.stats.faults_detected, total, restarts)
+        };
+
+        let (s_restarts, s_detected, total, restarts) = serve(42);
+        assert!(restarts > 0, "p=1.0 kills over 10 requests must land");
+        assert_eq!(s_restarts, restarts as u64);
+        assert_eq!(
+            s_detected, restarts as u64,
+            "every restart here is a detected injected kill"
+        );
+        assert!(total.get() > 0);
+
+        // Same seed, fresh state: byte-identical recovery story.
+        assert_eq!(serve(42), (s_restarts, s_detected, total, restarts));
+    }
+
+    #[test]
+    fn quiet_plan_recovering_matches_plain_invoke() {
+        use interweave_core::FaultPlan;
+        let mut w = Wasp::new(fib_image(), MachineConfig::xeon_server_2s());
+        let (plain, t_plain) = w.invoke(&[Val::I(10)], u64::MAX / 4);
+
+        let mut faults = FaultPlan::quiet(7);
+        let mut w2 = Wasp::new(fib_image(), MachineConfig::xeon_server_2s());
+        let (o, t, restarts) = w2.invoke_recovering(&[Val::I(10)], u64::MAX / 4, &mut faults, 8);
+        assert_eq!(o, plain);
+        assert_eq!(t, t_plain);
+        assert_eq!(restarts, 0);
+        assert_eq!(w2.stats.faults_detected, 0);
+        assert_eq!(faults.total_injected(), 0, "quiet plan draws nothing");
     }
 
     #[test]
