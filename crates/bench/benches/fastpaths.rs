@@ -1085,6 +1085,48 @@ fn interp_fib(c: &mut Criterion) {
     });
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry overhead: the same executor workload with the plane off, at
+// counters-only, and at full span tracing. "Zero-cost when disabled" is a
+// measured claim — publishing through an off sink is one branch — and the
+// enabled tiers quantify what an instrumented run pays.
+
+fn telemetry_overhead(c: &mut Criterion) {
+    use interweave_core::machine::MachineConfig;
+    use interweave_core::telemetry::{Level, Sink};
+    use interweave_core::{FaultConfig, FaultPlan};
+    use interweave_kernel::work::LoopWork;
+    use interweave_kernel::Executor;
+
+    // A preemption-heavy workload under fault pressure, so every publish
+    // site (dispatch, switch, watchdog, fault plan) is on the hot path.
+    let run = |sink: Sink| {
+        let mc = MachineConfig::test(4);
+        let mut e = Executor::new(mc, Cycles(5_000));
+        e.set_telemetry(sink);
+        e.set_fault_plan(FaultPlan::new(FaultConfig {
+            drop_ipi: 0.2,
+            delay_ipi: 0.1,
+            ..FaultConfig::quiet(0x7E1E)
+        }));
+        e.enable_watchdog(Cycles(2_500));
+        for cpu in 0..4 {
+            for _ in 0..4 {
+                e.spawn(cpu, Box::new(LoopWork::new(40, Cycles(900))));
+            }
+        }
+        assert!(e.run());
+        e.stats.makespan
+    };
+    c.bench_function("telemetry/off", |b| b.iter(|| black_box(run(Sink::off()))));
+    c.bench_function("telemetry/counters", |b| {
+        b.iter(|| black_box(run(Sink::on(Level::Counters))))
+    });
+    c.bench_function("telemetry/full_spans", |b| {
+        b.iter(|| black_box(run(Sink::on(Level::Full))))
+    });
+}
+
 criterion_group!(
     benches,
     queue_cancel_seed,
@@ -1097,5 +1139,6 @@ criterion_group!(
     interp_loadstore,
     interp_allocchurn,
     interp_fib,
+    telemetry_overhead,
 );
 criterion_main!(benches);

@@ -9,6 +9,7 @@
 
 use interweave_bench::{f, print_table, s};
 use interweave_core::machine::MachineConfig;
+use interweave_core::telemetry::CounterEntry;
 use interweave_core::Cycles;
 use serde::Serialize;
 use std::time::Instant;
@@ -31,6 +32,9 @@ struct BenchSummary {
     /// Total wall-clock for the whole scoreboard, in milliseconds.
     total_wall_ms: f64,
     experiments: Vec<ExperimentSummary>,
+    /// Registry snapshot from the telemetry section's instrumented run, so
+    /// bookkeeping scripts can diff counters without scraping stdout.
+    counters: Vec<CounterEntry>,
 }
 
 /// Run one scoreboard section, timing it and recording the row.
@@ -217,6 +221,32 @@ fn main() {
         },
     );
 
+    let mut counters: Vec<CounterEntry> = Vec::new();
+    section(
+        &mut entries,
+        "telemetry",
+        "every cycle attributed; plane off by default",
+        || {
+            use interweave_core::telemetry::{Level, Sink};
+            use interweave_kernel::work::LoopWork;
+            use interweave_kernel::Executor;
+            let mc = MachineConfig::xeon_server_2s().with_cores(4);
+            let mut e = Executor::new(mc, Cycles(10_000));
+            let sink = Sink::on(Level::Counters);
+            e.set_telemetry(sink.clone());
+            for cpu in 0..4 {
+                e.spawn(cpu, Box::new(LoopWork::new(20, Cycles(400))));
+            }
+            assert!(e.run(), "scoreboard workload must quiesce");
+            sink.verify_attribution(e.attribution_clock())
+                .expect("every cycle attributed");
+            let snap = sink.snapshot().expect("sink is on");
+            let n = snap.counters.len();
+            counters = snap.counters;
+            format!("{n} counters, 100% of {} attributed", e.attribution_clock())
+        },
+    );
+
     let rows: Vec<Vec<String>> = entries
         .iter()
         .map(|e| vec![s(&e.experiment), s(&e.claim), s(&e.measured)])
@@ -230,10 +260,12 @@ fn main() {
     let summary = BenchSummary {
         total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         experiments: entries,
+        counters,
     };
     let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
     std::fs::write("BENCH_summary.json", json).expect("writable BENCH_summary.json");
     println!("\n(machine-readable results written to BENCH_summary.json)");
     println!("\nFull-scale runs: fig3_heartbeat fig4_fibers fig6_openmp fig7_coherence");
     println!("                 tab_carat tab_primitives tab_virtines tab_pipeline tab_blend tab_ablations");
+    println!("                 tab_faults tab_profile");
 }

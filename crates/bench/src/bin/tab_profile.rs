@@ -1,0 +1,311 @@
+//! TAB-PROFILE — cross-layer cycle attribution, interwoven vs layered.
+//!
+//! One mixed scheduler workload (compute loops, a cooperative yielder, a
+//! fork/join pair, lost/late kick IPIs rescued by the watchdog, and
+//! injected stack-allocation OOMs shed by the scheduler) runs twice on the
+//! same machine: once charged at the interwoven kernel's switch costs
+//! ([`OsKind::Nk`]) and once at the layered commodity stack's
+//! ([`OsKind::Linux`]). Each run attaches a telemetry [`Sink`] and the
+//! attribution ledger charges **every** simulated cycle to a
+//! `(layer, mechanism)` category — the table below is exhaustive by
+//! construction, enforced by [`Sink::verify_attribution`]: the rows sum
+//! exactly to makespan × CPUs for both runs.
+//!
+//! The interwoven run's sink is then shared with the other layers —
+//! coherence protocol, CARAT runtime, heartbeat delivery, virtine pool —
+//! so the second table is one unified counter registry spanning the whole
+//! stack. Pass `--trace-out <path>` to also export the collected spans as
+//! Chrome/Perfetto trace-event JSON (one process track per layer); the
+//! golden run passes nothing and writes nothing.
+//!
+//! Everything is driven by one fixed seed: two runs are byte-identical,
+//! which CI checks by diffing a double run and pinning the stdout hash.
+
+use interweave_bench::{f, print_table, s};
+use interweave_carat::defrag::fragmentation_demo;
+use interweave_carat::pik::PikSystem;
+use interweave_coherence::protocol::{CohMode, System, SystemConfig};
+use interweave_core::machine::MachineConfig;
+use interweave_core::telemetry::{
+    chrome_trace_json, find_overlap, well_bracketed, AttributionRow, Layer, Level, Sink, Snapshot,
+};
+use interweave_core::time::Cycles;
+use interweave_core::{FaultConfig, FaultPlan};
+use interweave_ir::interp::ExecStatus;
+use interweave_ir::types::Val;
+use interweave_kernel::threads::OsKind;
+use interweave_kernel::work::{LoopWork, ScriptedWork, WorkStep};
+use interweave_kernel::{Executor, NumaAllocator};
+use interweave_virtines::extract::extract_one;
+use interweave_virtines::wasp::Wasp;
+use serde::Serialize;
+
+/// The campaign seed. Fixed: the whole point is a bit-reproducible run.
+const SEED: u64 = 0x0050_F11E;
+
+#[derive(Serialize)]
+struct ProfileJson {
+    /// Full registry + attribution snapshot of the interwoven run.
+    interwoven: Snapshot,
+    /// Attribution table of the layered run (same workload, Linux costs).
+    layered: Vec<AttributionRow>,
+}
+
+/// Run the shared workload once under `os`'s switch costs, with the fault
+/// plan, watchdog, and stack allocator installed, recording into a fresh
+/// full-level sink. Returns the sink and the finished executor.
+fn profile(mc: &MachineConfig, os: OsKind) -> (Sink, Executor) {
+    let mut e = Executor::new(mc.clone(), Cycles(10_000));
+    e.set_os(os);
+    let sink = Sink::on(Level::Full);
+    e.set_telemetry(sink.clone());
+    e.set_stack_allocator(NumaAllocator::new(mc.sockets, 14, 4));
+    e.set_fault_plan(FaultPlan::new(FaultConfig {
+        drop_ipi: 0.25,
+        delay_ipi: 0.25,
+        alloc_fail: 0.15,
+        ..FaultConfig::quiet(SEED)
+    }));
+    e.enable_watchdog(Cycles(5_000));
+
+    // Compute loops across every CPU; the fault plan sheds some spawns.
+    let mut spawned = 0u64;
+    let mut shed = 0u64;
+    for cpu in 0..8 {
+        for _ in 0..3 {
+            match e.try_spawn(cpu, Box::new(LoopWork::new(30, Cycles(400)))) {
+                Ok(_) => spawned += 1,
+                Err(_) => shed += 1,
+            }
+        }
+    }
+    // A cooperative yielder and a fork/join pair exercise the voluntary
+    // switch and join-wait mechanisms.
+    let yielder: Vec<WorkStep> = (0..6)
+        .flat_map(|_| [WorkStep::Compute(Cycles(2_000)), WorkStep::Yield])
+        .chain([WorkStep::Done])
+        .collect();
+    if e.try_spawn(1, Box::new(ScriptedWork::new(yielder))).is_ok() {
+        spawned += 1;
+    }
+    if let Ok(child) = e.try_spawn(3, Box::new(LoopWork::new(10, Cycles(2_000)))) {
+        spawned += 1;
+        let parent = ScriptedWork::new(vec![
+            WorkStep::Compute(Cycles(1_000)),
+            WorkStep::Block(child),
+            WorkStep::Compute(Cycles(3_000)),
+            WorkStep::Done,
+        ]);
+        if e.try_spawn(0, Box::new(parent)).is_ok() {
+            spawned += 1;
+        }
+    }
+
+    assert!(e.run(), "surviving tasks must complete");
+    assert!(spawned > 0 && shed > 0, "campaign must shed and survive");
+    assert_eq!(e.stats.shed_tasks, shed);
+    assert!(e.stats.preemptions > 0, "quantum must fire");
+    assert!(e.stats.yields > 0, "yielder must run");
+    assert!(e.stats.blocks > 0, "join must block");
+    assert!(e.stats.recovered_stalls > 0, "watchdog must rescue");
+    sink.verify_attribution(e.attribution_clock())
+        .expect("every cycle attributed to a (layer, mechanism)");
+    (sink, e)
+}
+
+/// Share the interwoven run's sink with the other layers so the registry
+/// snapshot spans the whole stack: coherence gauges, CARAT runtime gauges,
+/// heartbeat delivery gauges, and live virtine counters + spans.
+fn cross_layer_publishers(sink: &Sink, mc: &MachineConfig) {
+    // Coherence: a small shared-then-private access mix.
+    let mut sys = System::new(SystemConfig::test(8, CohMode::Selective));
+    for l in 0..64u64 {
+        sys.write((l % 8) as usize, l);
+        sys.read(((l + 1) % 8) as usize, l);
+    }
+    sys.publish_telemetry(sink);
+
+    // CARAT: run the list workload to its first yield, audit the escape
+    // ledger once, and publish the runtime's counters.
+    let (m, entry) = fragmentation_demo("list");
+    let mut pik = PikSystem::new();
+    let (m, att) = pik.compile(m);
+    let pid = pik
+        .admit(m, att, entry, vec![Val::I(32)])
+        .expect("attested module admits");
+    loop {
+        match pik.processes[pid].run_slice(100_000) {
+            ExecStatus::Yielded => break,
+            ExecStatus::OutOfFuel => continue,
+            other => panic!("unexpected status before quiesce: {other:?}"),
+        }
+    }
+    let p = &mut pik.processes[pid];
+    let corruptions = p.runtime.audit_escapes(&p.interp.mem);
+    assert!(corruptions.is_empty(), "no faults injected here");
+    p.runtime.publish_telemetry(sink);
+
+    // Heartbeat: a short NK-IPI run at the paper's 20 µs target.
+    {
+        use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
+        let mut cfg = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1_000));
+        cfg.duration_us = 5_000.0;
+        run_heartbeat(&cfg).publish_telemetry(sink);
+    }
+
+    // Virtines: serve a few requests under a kill plan so restart counters
+    // and nested FaultRecovery/VirtineCall spans land in the trace.
+    let fibp = interweave_ir::programs::fib(12);
+    let image = extract_one(&fibp.module, fibp.entry);
+    let mut probe = interweave_virtines::context::Virtine::new(image.clone());
+    probe.invoke(&fibp.args, u64::MAX / 4);
+    let budget = probe.guest_cycles + probe.guest_cycles / 3;
+    let mut faults = FaultPlan::new(FaultConfig {
+        virtine_kill: 0.5,
+        ..FaultConfig::quiet(SEED)
+    });
+    let mut w = Wasp::new(image, mc.clone());
+    w.set_telemetry(sink.clone());
+    let mut restarts = 0u64;
+    for _ in 0..6 {
+        let (outcome, _, r) = w.invoke_recovering(&fibp.args, budget, &mut faults, 8);
+        assert!(
+            matches!(
+                outcome,
+                interweave_virtines::context::VirtineOutcome::Returned(_)
+            ),
+            "every request must eventually complete"
+        );
+        restarts += r as u64;
+    }
+    assert!(restarts > 0, "p=0.5 kills over 6 requests must land");
+}
+
+fn main() {
+    let mc = MachineConfig::xeon_server_2s().with_cores(8);
+    let (nk_sink, nk) = profile(&mc, OsKind::Nk);
+    let (lx_sink, lx) = profile(&mc, OsKind::Linux);
+    cross_layer_publishers(&nk_sink, &mc);
+    // The publishers above count and gauge but never charge the ledger, so
+    // the attribution invariant still holds against the executor's clock.
+    nk_sink
+        .verify_attribution(nk.attribution_clock())
+        .expect("publishers must not perturb the ledger");
+
+    // Attribution table: union of categories from both runs, in the
+    // ledger's deterministic (layer, mechanism) order.
+    let nk_rows = nk_sink.attribution_rows();
+    let lx_rows = lx_sink.attribution_rows();
+    let nk_clock = nk.attribution_clock().get() as f64;
+    let lx_clock = lx.attribution_clock().get() as f64;
+    let mut cats: Vec<(&'static str, &'static str)> =
+        nk_rows.iter().map(|r| (r.layer, r.mechanism)).collect();
+    for r in &lx_rows {
+        if !cats.contains(&(r.layer, r.mechanism)) {
+            cats.push((r.layer, r.mechanism));
+        }
+    }
+    let lookup = |rows: &[AttributionRow], cat: (&str, &str)| {
+        rows.iter()
+            .find(|r| (r.layer, r.mechanism) == cat)
+            .map(|r| r.cycles)
+            .unwrap_or(0)
+    };
+    let rows: Vec<Vec<String>> = cats
+        .iter()
+        .map(|&cat| {
+            let a = lookup(&nk_rows, cat);
+            let b = lookup(&lx_rows, cat);
+            vec![
+                s(cat.0),
+                s(cat.1),
+                s(a),
+                f(100.0 * a as f64 / nk_clock, 1) + "%",
+                s(b),
+                f(100.0 * b as f64 / lx_clock, 1) + "%",
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("TAB-PROFILE — cycle attribution, interwoven vs layered (seed {SEED:#x})"),
+        &[
+            "layer",
+            "mechanism",
+            "interwoven (cyc)",
+            "share",
+            "layered (cyc)",
+            "share",
+        ],
+        &rows,
+    );
+    println!(
+        "both ledgers sum exactly to makespan × {} CPUs: interwoven {} over {}, layered {} over {}",
+        mc.cores,
+        nk_sink.attributed(),
+        nk.stats.makespan,
+        lx_sink.attributed(),
+        lx.stats.makespan,
+    );
+
+    // Unified counter registry: every layer publishes into one namespace.
+    let snap = nk_sink.snapshot().expect("sink is on");
+    let counter_rows: Vec<Vec<String>> = snap
+        .counters
+        .iter()
+        .map(|c| {
+            vec![
+                s(&c.name),
+                s(c.layer),
+                s(c.unit),
+                s(c.total),
+                s(c.last_cycle),
+            ]
+        })
+        .collect();
+    print_table(
+        "counter registry snapshot (interwoven run, all layers)",
+        &["counter", "layer", "unit", "total", "last cycle"],
+        &counter_rows,
+    );
+
+    // Trace well-formedness: kernel lanes are strict schedules; virtine
+    // lanes nest restarts inside recovery episodes.
+    let spans = nk_sink.spans();
+    let kernel: Vec<_> = spans
+        .iter()
+        .copied()
+        .filter(|sp| sp.layer == Layer::Kernel)
+        .collect();
+    let virtine = spans.len() - kernel.len();
+    assert!(
+        find_overlap(&kernel).is_none(),
+        "kernel lanes must never overlap"
+    );
+    assert!(
+        well_bracketed(&spans).is_none(),
+        "every lane must be well-bracketed"
+    );
+    println!(
+        "\ntrace: {} spans ({} kernel, {} virtine); kernel lanes strict, all lanes well-bracketed",
+        spans.len(),
+        kernel.len(),
+        virtine
+    );
+
+    // Optional Perfetto export; the golden run passes no flag.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--trace-out") {
+        let path = args.get(pos + 1).expect("--trace-out takes a path");
+        let json = chrome_trace_json(&spans, mc.freq.mhz);
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("trace-out dir");
+        }
+        std::fs::write(path, &json).expect("writable trace path");
+        println!("(perfetto trace written to {path})");
+    }
+
+    interweave_bench::maybe_dump_json(&ProfileJson {
+        interwoven: snap,
+        layered: lx_rows,
+    });
+}

@@ -244,6 +244,38 @@ impl CaratRuntime {
         self.quarantined.len()
     }
 
+    /// Publish this runtime's counters into `sink`'s registry as gauges
+    /// (idempotent: re-publishing overwrites with current values).
+    pub fn publish_telemetry(&self, sink: &interweave_core::telemetry::Sink) {
+        use interweave_core::telemetry::{Key, Layer, Unit};
+        const KEYS: [Key; 9] = [
+            Key::new("carat.guards", Layer::Runtime, Unit::Count),
+            Key::new("carat.range_guards", Layer::Runtime, Unit::Count),
+            Key::new("carat.allocs", Layer::Runtime, Unit::Count),
+            Key::new("carat.frees", Layer::Runtime, Unit::Count),
+            Key::new("carat.escapes", Layer::Runtime, Unit::Count),
+            Key::new("carat.faults", Layer::Runtime, Unit::Count),
+            Key::new("carat.audits", Layer::Runtime, Unit::Count),
+            Key::new("carat.corruptions", Layer::Runtime, Unit::Count),
+            Key::new("carat.quarantined", Layer::Runtime, Unit::Count),
+        ];
+        let s = &self.stats;
+        let vals = [
+            s.guards,
+            s.range_guards,
+            s.allocs,
+            s.frees,
+            s.escapes,
+            s.faults,
+            s.audits,
+            s.corruptions,
+            self.quarantined.len() as u64,
+        ];
+        for (key, v) in KEYS.iter().zip(vals) {
+            sink.gauge(key, 0, v);
+        }
+    }
+
     fn check(&mut self, addr: u64, write: bool) -> Result<(), Trap> {
         // Healthy runs take one not-taken branch here; only after a
         // quarantine does the scan run at all.

@@ -163,6 +163,23 @@ impl Default for LineState {
     }
 }
 
+/// Registry keys for [`System::publish_telemetry`], in [`CohStats`] field
+/// order.
+const COH_KEYS: [interweave_core::telemetry::Key; 9] = {
+    use interweave_core::telemetry::{Key, Layer, Unit};
+    [
+        Key::new("coherence.reads", Layer::Coherence, Unit::Count),
+        Key::new("coherence.writes", Layer::Coherence, Unit::Count),
+        Key::new("coherence.l1_hits", Layer::Coherence, Unit::Count),
+        Key::new("coherence.dir_lookups", Layer::Coherence, Unit::Count),
+        Key::new("coherence.invalidations", Layer::Coherence, Unit::Count),
+        Key::new("coherence.forwards", Layer::Coherence, Unit::Count),
+        Key::new("coherence.writebacks", Layer::Coherence, Unit::Count),
+        Key::new("coherence.dram_fetches", Layer::Coherence, Unit::Count),
+        Key::new("coherence.deactivated", Layer::Coherence, Unit::Count),
+    ]
+};
+
 /// Aggregate protocol statistics.
 #[derive(Debug, Clone, Default)]
 pub struct CohStats {
@@ -233,6 +250,26 @@ impl System {
     /// mid-run.
     pub fn reserve_lines(&mut self, n: usize) {
         self.lines.reserve(n.saturating_sub(self.lines.len()));
+    }
+
+    /// Publish this system's protocol statistics into `sink`'s registry as
+    /// gauges (idempotent: re-publishing overwrites with current values).
+    pub fn publish_telemetry(&self, sink: &interweave_core::telemetry::Sink) {
+        let s = &self.stats;
+        let vals = [
+            s.reads,
+            s.writes,
+            s.l1_hits,
+            s.dir_lookups,
+            s.invalidations,
+            s.forwards,
+            s.writebacks,
+            s.dram_fetches,
+            s.deactivated,
+        ];
+        for (key, v) in COH_KEYS.iter().zip(vals) {
+            sink.gauge(key, 0, v);
+        }
     }
 
     /// Classify a range of lines. Honoured only in `Selective` mode; the

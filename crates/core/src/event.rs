@@ -15,9 +15,34 @@
 //! bounded by the live event count. The heap top is never left tombstoned,
 //! which keeps [`EventQueue::peek_time`] an `&self` read.
 
+use crate::telemetry::{Key, Layer, Sink, Unit};
 use crate::time::Cycles;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+
+/// Registry key: events scheduled since the queue was created.
+const KEY_SCHEDULED: Key = Key::new("core.evq.scheduled", Layer::Hardware, Unit::Count);
+/// Registry key: events popped (fired).
+const KEY_POPPED: Key = Key::new("core.evq.popped", Layer::Hardware, Unit::Count);
+/// Registry key: events cancelled (tombstoned).
+const KEY_CANCELLED: Key = Key::new("core.evq.cancelled", Layer::Hardware, Unit::Count);
+/// Registry key: tombstone compaction passes.
+const KEY_COMPACTIONS: Key = Key::new("core.evq.compactions", Layer::Hardware, Unit::Count);
+
+/// Lifetime counters the queue maintains for the telemetry plane. Plain
+/// integer increments on the hot paths; published on demand with
+/// [`EventQueue::publish_telemetry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvqStats {
+    /// Events scheduled (either way).
+    pub scheduled: u64,
+    /// Events popped (fired).
+    pub popped: u64,
+    /// Events cancelled via handle or predicate.
+    pub cancelled: u64,
+    /// Tombstone compaction passes performed.
+    pub compactions: u64,
+}
 
 /// An event scheduled at an absolute simulated time.
 #[derive(Debug, Clone)]
@@ -87,6 +112,8 @@ pub struct EventQueue<E> {
     cancellable: HashSet<u64>,
     /// Tombstones: seqs of cancelled events still physically in the heap.
     cancelled: HashSet<u64>,
+    /// Lifetime telemetry counters.
+    stats: EvqStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -104,7 +131,24 @@ impl<E> EventQueue<E> {
             now: Cycles::ZERO,
             cancellable: HashSet::new(),
             cancelled: HashSet::new(),
+            stats: EvqStats::default(),
         }
+    }
+
+    /// Lifetime queue counters (scheduled/popped/cancelled/compactions).
+    #[inline]
+    pub fn stats(&self) -> EvqStats {
+        self.stats
+    }
+
+    /// Publish the queue's lifetime counters into `sink`'s registry as
+    /// gauges on shard 0, stamped with the queue's current time. Gauge
+    /// semantics make re-publishing idempotent.
+    pub fn publish_telemetry(&self, sink: &Sink) {
+        sink.gauge_at(&KEY_SCHEDULED, 0, self.stats.scheduled, self.now);
+        sink.gauge_at(&KEY_POPPED, 0, self.stats.popped, self.now);
+        sink.gauge_at(&KEY_CANCELLED, 0, self.stats.cancelled, self.now);
+        sink.gauge_at(&KEY_COMPACTIONS, 0, self.stats.compactions, self.now);
     }
 
     /// The time of the most recently popped event (the simulator's "now").
@@ -153,6 +197,7 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.stats.scheduled += 1;
         self.heap.push(Scheduled { at, seq, payload });
         seq
     }
@@ -173,6 +218,7 @@ impl<E> EventQueue<E> {
             return false;
         }
         self.cancelled.insert(handle.seq);
+        self.stats.cancelled += 1;
         self.after_cancel();
         true
     }
@@ -191,6 +237,7 @@ impl<E> EventQueue<E> {
         self.cancellable.remove(&s.seq);
         self.prune_top();
         self.now = s.at;
+        self.stats.popped += 1;
         Some((s.at, s.payload))
     }
 
@@ -239,6 +286,7 @@ impl<E> EventQueue<E> {
             if !self.cancelled.contains(&s.seq) && pred(&s.payload) {
                 self.cancelled.insert(s.seq);
                 self.cancellable.remove(&s.seq);
+                self.stats.cancelled += 1;
                 n += 1;
             }
         }
@@ -273,6 +321,7 @@ impl<E> EventQueue<E> {
 
     /// Rebuild the heap without its tombstoned entries (one O(n) pass).
     fn compact(&mut self) {
+        self.stats.compactions += 1;
         let cancelled = std::mem::take(&mut self.cancelled);
         let kept: Vec<Scheduled<E>> = self
             .heap
@@ -498,6 +547,26 @@ mod tests {
         q.advance_to(Cycles(25));
         assert_eq!(q.pop(), Some((Cycles(30), "last")));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stats_count_and_publish_as_gauges() {
+        use crate::telemetry::{Level, Sink};
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), 0);
+        let h = q.schedule_cancellable(Cycles(20), 1);
+        q.schedule(Cycles(30), 2);
+        q.cancel(h);
+        q.pop();
+        let st = q.stats();
+        assert_eq!((st.scheduled, st.popped, st.cancelled), (3, 1, 1), "{st:?}");
+        let sink = Sink::on(Level::Counters);
+        q.publish_telemetry(&sink);
+        q.publish_telemetry(&sink); // gauge semantics: idempotent
+        assert_eq!(sink.counter("core.evq.scheduled"), 3);
+        assert_eq!(sink.counter("core.evq.popped"), 1);
+        assert_eq!(sink.counter("core.evq.cancelled"), 1);
+        assert_eq!(sink.counter("core.evq.compactions"), 0);
     }
 
     #[test]

@@ -28,7 +28,17 @@
 //! | [`FaultClass::VirtineKill`] | virtine mid-call | snapshot restart by the microhypervisor |
 
 use crate::rng::SplitMix64;
+use crate::telemetry::{Key, Layer, Sink, Unit};
 use crate::time::Cycles;
+
+/// Registry keys for injected faults, indexed by [`FaultClass::index`].
+const FAULT_KEYS: [Key; 5] = [
+    Key::new("core.fault.lost_ipi", Layer::Hardware, Unit::Count),
+    Key::new("core.fault.delayed_ipi", Layer::Hardware, Unit::Count),
+    Key::new("core.fault.alloc_fail", Layer::Kernel, Unit::Count),
+    Key::new("core.fault.bit_flip", Layer::Runtime, Unit::Count),
+    Key::new("core.fault.virtine_kill", Layer::Virtine, Unit::Count),
+];
 
 /// The injectable fault classes — one per recovery story in the stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +84,12 @@ impl FaultClass {
             FaultClass::BitFlip => 3,
             FaultClass::VirtineKill => 4,
         }
+    }
+
+    /// The registry key under which injections of this class are counted
+    /// when the plan carries a telemetry sink.
+    pub fn key(self) -> &'static Key {
+        &FAULT_KEYS[self.index()]
     }
 }
 
@@ -139,6 +155,9 @@ pub struct FaultPlan {
     /// Injections per class.
     injected: [u64; 5],
     trace: Vec<FaultRecord>,
+    /// Telemetry sink injections are published into (off by default, so a
+    /// plan without a sink behaves bit-identically to one predating it).
+    sink: Sink,
 }
 
 impl FaultPlan {
@@ -159,6 +178,7 @@ impl FaultPlan {
             draws: [0; 5],
             injected: [0; 5],
             trace: Vec::new(),
+            sink: Sink::off(),
         }
     }
 
@@ -170,6 +190,13 @@ impl FaultPlan {
     /// The configuration this plan was built from.
     pub fn config(&self) -> &FaultConfig {
         &self.cfg
+    }
+
+    /// Attach a telemetry sink: every injection is additionally counted
+    /// under its class key ([`FaultClass::key`]). Decisions are unchanged —
+    /// the sink observes, it never perturbs the decision streams.
+    pub fn set_sink(&mut self, sink: Sink) {
+        self.sink = sink;
     }
 
     /// Decide one class: burn a draw, record an injection if it fired.
@@ -184,6 +211,7 @@ impl FaultPlan {
         if fired {
             self.injected[i] += 1;
             self.trace.push(FaultRecord { class, draw });
+            self.sink.count(class.key(), 0, 1);
         }
         fired
     }
@@ -317,6 +345,26 @@ mod tests {
         for _ in 0..100 {
             let k = p.virtine_kill_at(5_000).expect("p=1 must fire");
             assert!((1..5_000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn sink_counts_injections_without_perturbing_decisions() {
+        use crate::telemetry::{Level, Sink};
+        let mut plain = FaultPlan::new(noisy(13));
+        let mut wired = FaultPlan::new(noisy(13));
+        let sink = Sink::on(Level::Counters);
+        wired.set_sink(sink.clone());
+        for _ in 0..200 {
+            assert_eq!(plain.drop_kick(), wired.drop_kick());
+            assert_eq!(plain.kick_delay(), wired.kick_delay());
+            assert_eq!(plain.fail_alloc(), wired.fail_alloc());
+            assert_eq!(plain.flip_spec(64), wired.flip_spec(64));
+            assert_eq!(plain.virtine_kill_at(10_000), wired.virtine_kill_at(10_000));
+        }
+        assert_eq!(plain.trace(), wired.trace());
+        for class in FaultClass::ALL {
+            assert_eq!(sink.counter(class.key().name), wired.injected(class));
         }
     }
 

@@ -9,9 +9,17 @@
 //! proposed hardware as an ablation.
 
 use crate::faults::FaultPlan;
+use crate::telemetry::{Key, Layer, Sink, Unit};
 use crate::time::Cycles;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Registry key: interrupts delivered on time.
+pub const KEY_DELIVERED: Key = Key::new("core.irq.delivered", Layer::Hardware, Unit::Count);
+/// Registry key: interrupts delivered late (fault plane delay).
+pub const KEY_DELAYED: Key = Key::new("core.irq.delayed", Layer::Hardware, Unit::Count);
+/// Registry key: interrupts dropped by the fabric.
+pub const KEY_DROPPED: Key = Key::new("core.irq.dropped", Layer::Hardware, Unit::Count);
 
 /// How the hardware delivers interrupts to a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -108,6 +116,26 @@ pub fn present(class: IrqClass, plan: &mut FaultPlan) -> DeliveryOutcome {
     }
 }
 
+/// [`present`], publishing the outcome into `sink`'s registry under the
+/// target CPU's shard, stamped at `now`. With the sink off this is exactly
+/// `present`.
+pub fn present_on(
+    class: IrqClass,
+    plan: &mut FaultPlan,
+    sink: &Sink,
+    cpu: usize,
+    now: Cycles,
+) -> DeliveryOutcome {
+    let out = present(class, plan);
+    let key = match out {
+        DeliveryOutcome::Delivered => &KEY_DELIVERED,
+        DeliveryOutcome::Delayed(_) => &KEY_DELAYED,
+        DeliveryOutcome::Dropped => &KEY_DROPPED,
+    };
+    sink.count_at(key, cpu, 1, now);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +189,29 @@ mod tests {
         );
         // The fabric-crossing class does get dropped at p=1.
         assert_eq!(present(IrqClass::Ipi, &mut plan), DeliveryOutcome::Dropped);
+    }
+
+    #[test]
+    fn present_on_counts_each_outcome() {
+        use crate::telemetry::{Level, Sink};
+        let mut cfg = FaultConfig::quiet(4);
+        cfg.drop_ipi = 0.5;
+        cfg.delay_ipi = 0.5;
+        let mut plan = FaultPlan::new(cfg);
+        let sink = Sink::on(Level::Counters);
+        let (mut delivered, mut delayed, mut dropped) = (0u64, 0u64, 0u64);
+        for i in 0..200 {
+            match present_on(IrqClass::Ipi, &mut plan, &sink, i % 4, Cycles(i as u64)) {
+                DeliveryOutcome::Delivered => delivered += 1,
+                DeliveryOutcome::Delayed(_) => delayed += 1,
+                DeliveryOutcome::Dropped => dropped += 1,
+            }
+        }
+        assert_eq!(sink.counter("core.irq.delivered"), delivered);
+        assert_eq!(sink.counter("core.irq.delayed"), delayed);
+        assert_eq!(sink.counter("core.irq.dropped"), dropped);
+        assert_eq!(delivered + delayed + dropped, 200);
+        assert!(dropped > 0 && delayed > 0, "p=0.5 must fire both ways");
     }
 
     #[test]

@@ -30,6 +30,10 @@
 //! - [`faults`]: the seeded fault-injection plane ([`faults::FaultPlan`])
 //!   that higher layers consult to inject lost IPIs, allocation failures,
 //!   memory bit-flips, and virtine crashes — deterministically.
+//! - [`telemetry`]: the cross-layer observability plane — a counter/gauge
+//!   registry, a cycle-attribution ledger whose categories must sum exactly
+//!   to the machine clock, and unified span tracing exported as
+//!   Chrome/Perfetto JSON with one track per layer. Zero-cost when off.
 
 #![warn(missing_docs)]
 
@@ -41,12 +45,14 @@ pub mod machine;
 pub mod rng;
 pub mod stack;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
-pub use event::{EventHandle, EventQueue};
+pub use event::{EventHandle, EventQueue, EvqStats};
 pub use faults::{FaultClass, FaultConfig, FaultPlan, FaultRecord};
 pub use interrupt::DeliveryMode;
 pub use machine::{CostModel, MachineConfig, Platform};
 pub use rng::SplitMix64;
 pub use stack::StackConfig;
+pub use telemetry::{Layer, Level, Sink, Span, SpanKind};
 pub use time::{Cycles, Freq, MicroSeconds};

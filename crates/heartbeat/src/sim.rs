@@ -100,6 +100,16 @@ impl HeartbeatResult {
     pub fn fraction_of_target(&self) -> f64 {
         self.achieved_rate / self.target_rate
     }
+
+    /// Publish delivery counters into `sink`'s registry as gauges
+    /// (idempotent: re-publishing overwrites with current values).
+    pub fn publish_telemetry(&self, sink: &interweave_core::telemetry::Sink) {
+        use interweave_core::telemetry::{Key, Layer, Unit};
+        const KEY_DELIVERED: Key = Key::new("heartbeat.delivered", Layer::Runtime, Unit::Count);
+        const KEY_COALESCED: Key = Key::new("heartbeat.coalesced", Layer::Runtime, Unit::Count);
+        sink.gauge(&KEY_DELIVERED, 0, self.delivered);
+        sink.gauge(&KEY_COALESCED, 0, self.coalesced);
+    }
 }
 
 /// Run one heartbeat experiment.

@@ -11,8 +11,15 @@
 //! on free. Property tests in `tests/` verify disjointness and full
 //! coalescing.
 
+use interweave_core::telemetry::{Key, Layer, Sink, Unit};
+
 /// The maximum block order supported (2^MAX_ORDER × min-block bytes).
 pub const MAX_ORDER: usize = 24;
+
+const KEY_ALLOCS: Key = Key::new("kernel.buddy.allocs", Layer::Kernel, Unit::Count);
+const KEY_FREES: Key = Key::new("kernel.buddy.frees", Layer::Kernel, Unit::Count);
+const KEY_OOM: Key = Key::new("kernel.buddy.oom", Layer::Kernel, Unit::Count);
+const KEY_LIVE_BYTES: Key = Key::new("kernel.buddy.live_bytes", Layer::Kernel, Unit::Bytes);
 
 /// One buddy zone managing a contiguous physical range.
 #[derive(Debug, Clone)]
@@ -182,6 +189,9 @@ impl BuddyZone {
 #[derive(Debug, Clone)]
 pub struct NumaAllocator {
     zones: Vec<BuddyZone>,
+    /// Telemetry sink (off by default); allocation traffic is counted per
+    /// zone, with the zone index as the registry shard.
+    sink: Sink,
 }
 
 impl NumaAllocator {
@@ -193,7 +203,16 @@ impl NumaAllocator {
         let zones = (0..n_zones)
             .map(|z| BuddyZone::new(0x100_0000 + z as u64 * span, min_order, levels))
             .collect();
-        NumaAllocator { zones }
+        NumaAllocator {
+            zones,
+            sink: Sink::off(),
+        }
+    }
+
+    /// Attach a telemetry sink: allocations, frees, OOMs, and live bytes
+    /// are published per zone (the zone index is the shard).
+    pub fn set_sink(&mut self, sink: Sink) {
+        self.sink = sink;
     }
 
     /// Number of zones.
@@ -208,11 +227,17 @@ impl NumaAllocator {
         for k in 0..n {
             let z = (zone + k) % n;
             match self.zones[z].alloc(bytes) {
-                Ok(addr) => return Ok((addr, z)),
+                Ok(addr) => {
+                    self.sink.count(&KEY_ALLOCS, z, 1);
+                    self.sink
+                        .gauge(&KEY_LIVE_BYTES, z, self.zones[z].live_bytes);
+                    return Ok((addr, z));
+                }
                 Err(AllocError::TooLarge) => return Err(AllocError::TooLarge),
                 Err(_) => continue,
             }
         }
+        self.sink.count(&KEY_OOM, zone, 1);
         Err(AllocError::OutOfMemory)
     }
 
@@ -229,6 +254,7 @@ impl NumaAllocator {
         faults: &mut interweave_core::FaultPlan,
     ) -> Result<(u64, usize), AllocError> {
         if faults.fail_alloc() {
+            self.sink.count(&KEY_OOM, zone, 1);
             return Err(AllocError::OutOfMemory);
         }
         self.alloc(zone, bytes)
@@ -236,9 +262,12 @@ impl NumaAllocator {
 
     /// Free an address in whichever zone owns it.
     pub fn free(&mut self, addr: u64) -> Result<(), AllocError> {
-        for z in &mut self.zones {
+        for (i, z) in self.zones.iter_mut().enumerate() {
             if addr >= z.base && addr < z.base + z.capacity() {
-                return z.free(addr);
+                z.free(addr)?;
+                self.sink.count(&KEY_FREES, i, 1);
+                self.sink.gauge(&KEY_LIVE_BYTES, i, z.live_bytes);
+                return Ok(());
             }
         }
         Err(AllocError::BadFree)

@@ -12,13 +12,22 @@
 use crate::buddy::{AllocError, NumaAllocator};
 use crate::sched::{RoundRobin, RunQueue, TaskId};
 use crate::threads::{home_zone_for, switch_cost, OsKind, SwitchKind, DEFAULT_STACK_BYTES};
-use crate::trace::{TraceEvent, TraceKind};
 use crate::work::{Work, WorkStep};
 use interweave_core::interrupt::{self, DeliveryOutcome, IrqClass};
 use interweave_core::machine::{CpuId, MachineConfig};
+use interweave_core::telemetry::{Key, Layer, Sink, Span, SpanKind, Unit};
 use interweave_core::time::Cycles;
 use interweave_core::{EventHandle, EventQueue, FaultPlan};
 use std::collections::HashMap;
+
+const KEY_PREEMPTIONS: Key = Key::new("kernel.sched.preemptions", Layer::Kernel, Unit::Count);
+const KEY_YIELDS: Key = Key::new("kernel.sched.yields", Layer::Kernel, Unit::Count);
+const KEY_BLOCKS: Key = Key::new("kernel.sched.blocks", Layer::Kernel, Unit::Count);
+const KEY_DISPATCHES: Key = Key::new("kernel.sched.dispatches", Layer::Kernel, Unit::Count);
+const KEY_SHED: Key = Key::new("kernel.sched.shed_tasks", Layer::Kernel, Unit::Count);
+const KEY_SWITCH_CYCLES: Key = Key::new("kernel.sched.switch_cycles", Layer::Kernel, Unit::Cycles);
+const KEY_WD_CHECKS: Key = Key::new("kernel.watchdog.checks", Layer::Kernel, Unit::Count);
+const KEY_WD_REKICKS: Key = Key::new("kernel.watchdog.rekicks", Layer::Kernel, Unit::Count);
 
 /// Bound on the watchdog's exponential retry backoff, in heartbeat periods.
 /// A CPU whose re-kicks keep getting dropped is retried at 1, 2, 4, ... up
@@ -122,6 +131,10 @@ pub struct Executor {
     signalled: HashMap<u64, Cycles>,
     events: EventQueue<ExecEvent>,
     tracing: bool,
+    /// Which OS's context-switch costs this kernel charges. `Nk` (the
+    /// default) is the interwoven Nautilus-like kernel; `Linux` models the
+    /// layered commodity stack for side-by-side attribution runs.
+    os: OsKind,
     /// Fault plane consulted whenever a kick IPI actually goes on the wire
     /// and whenever a stack is allocated. `None` (the default) is the exact
     /// pre-fault-plane behavior.
@@ -130,8 +143,11 @@ pub struct Executor {
     watchdog_period: Option<Cycles>,
     /// Buddy allocator backing task stacks, when configured.
     stack_alloc: Option<NumaAllocator>,
+    /// Telemetry sink: counters, cycle attribution, and spans all flow here
+    /// when enabled. Off by default — publishing is then a no-op branch.
+    sink: Sink,
     /// Recorded intervals (when tracing is enabled).
-    pub trace: Vec<TraceEvent>,
+    pub trace: Vec<Span>,
     /// Statistics (populated by [`Executor::run`]).
     pub stats: ExecutorStats,
 }
@@ -162,18 +178,55 @@ impl Executor {
             signalled: HashMap::new(),
             events: EventQueue::new(),
             tracing: false,
+            os: OsKind::Nk,
             faults: None,
             watchdog_period: None,
             stack_alloc: None,
+            sink: Sink::off(),
             trace: Vec::new(),
             stats: ExecutorStats::default(),
         }
     }
 
     /// Install a fault plan: from now on every kick IPI that actually goes
-    /// on the wire, and every stack allocation, consults it.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+    /// on the wire, and every stack allocation, consults it. The plan
+    /// inherits the executor's telemetry sink so its injections are counted.
+    pub fn set_fault_plan(&mut self, mut plan: FaultPlan) {
+        plan.set_sink(self.sink.clone());
         self.faults = Some(plan);
+    }
+
+    /// Charge context switches at `os`'s costs ([`OsKind::Nk`] by default).
+    /// This is the knob the attribution bench turns to contrast the
+    /// interwoven kernel with the layered commodity stack on one workload.
+    pub fn set_os(&mut self, os: OsKind) {
+        self.os = os;
+    }
+
+    /// Attach a telemetry sink: scheduler counters, watchdog activity, the
+    /// cycle-attribution ledger, and (at `Level::Full`) kernel spans all
+    /// publish into it. The sink also propagates to the fault plan and the
+    /// stack allocator, installed before or after this call.
+    pub fn set_telemetry(&mut self, sink: Sink) {
+        if let Some(plan) = self.faults.as_mut() {
+            plan.set_sink(sink.clone());
+        }
+        if let Some(alloc) = self.stack_alloc.as_mut() {
+            alloc.set_sink(sink.clone());
+        }
+        self.sink = sink;
+    }
+
+    /// The executor's telemetry sink (off unless [`Executor::set_telemetry`]
+    /// was called).
+    pub fn telemetry(&self) -> &Sink {
+        &self.sink
+    }
+
+    /// The clock the attribution ledger must sum to after [`Executor::run`]:
+    /// every CPU's timeline up to the makespan, i.e. makespan × #CPUs.
+    pub fn attribution_clock(&self) -> Cycles {
+        Cycles(self.stats.makespan.get() * self.cpus.len() as u64)
     }
 
     /// Remove and return the fault plan (e.g. to read its injection trace
@@ -201,7 +254,8 @@ impl Executor {
     /// "most desirable zone" policy) and frees it when the task completes.
     /// With an allocator installed, use [`Executor::try_spawn`] to observe
     /// allocation failure.
-    pub fn set_stack_allocator(&mut self, alloc: NumaAllocator) {
+    pub fn set_stack_allocator(&mut self, mut alloc: NumaAllocator) {
+        alloc.set_sink(self.sink.clone());
         self.stack_alloc = Some(alloc);
     }
 
@@ -216,16 +270,22 @@ impl Executor {
         self.tracing = true;
     }
 
-    fn record(&mut self, cpu: CpuId, task: u64, start: Cycles, end: Cycles, kind: TraceKind) {
-        if self.tracing && end > start {
-            self.trace.push(TraceEvent {
-                cpu,
-                task,
-                start,
-                end,
-                kind,
-            });
+    fn record(&mut self, cpu: CpuId, task: u64, start: Cycles, end: Cycles, kind: SpanKind) {
+        if end <= start {
+            return;
         }
+        let span = Span {
+            layer: Layer::Kernel,
+            track: cpu,
+            id: task,
+            kind,
+            start,
+            end,
+        };
+        if self.tracing {
+            self.trace.push(span);
+        }
+        self.sink.span(span);
     }
 
     /// Spawn a work body on a CPU; returns its task id (also its completion
@@ -255,6 +315,7 @@ impl Executor {
                     Ok((base, _zone)) => Some(base),
                     Err(e) => {
                         self.stats.shed_tasks += 1;
+                        self.sink.count(&KEY_SHED, cpu, 1);
                         return Err(e);
                     }
                 }
@@ -287,7 +348,7 @@ impl Executor {
         }
         // An IPI is actually sent: present it to the delivery fabric.
         let t_eff = match self.faults.as_mut() {
-            Some(plan) => match interrupt::present(IrqClass::Ipi, plan) {
+            Some(plan) => match interrupt::present_on(IrqClass::Ipi, plan, &self.sink, cpu, t) {
                 DeliveryOutcome::Delivered => t,
                 DeliveryOutcome::Delayed(d) => {
                     self.stats.delayed_kicks += 1;
@@ -353,10 +414,35 @@ impl Executor {
                     self.cpus[cpu].dispatch = None;
                     // Work is flowing on this CPU again: close any open
                     // stall window and reset the watchdog backoff.
-                    if let Some(since) = self.cpus[cpu].stalled_since.take() {
+                    let since = self.cpus[cpu].stalled_since.take();
+                    if let Some(since) = since {
                         self.stats.recovered_stalls += 1;
                         self.stats.stall_cycles += at - since;
                     }
+                    // Attribute the gap this CPU is about to skip over
+                    // (dispatch advances its clock to `at`): the part after
+                    // the lost kick was a stall, the rest plain idle.
+                    let prev = self.cpus[cpu].now;
+                    if self.sink.is_on() && at > prev {
+                        let gap = at - prev;
+                        let stall = match since {
+                            Some(s) => (at - s.max(prev)).min(gap),
+                            None => Cycles::ZERO,
+                        };
+                        self.sink.charge(Layer::Hardware, "stall", stall);
+                        self.sink.charge(Layer::Hardware, "idle", gap - stall);
+                        if stall > Cycles::ZERO {
+                            self.sink.span(Span {
+                                layer: Layer::Kernel,
+                                track: cpu,
+                                id: u64::MAX,
+                                kind: SpanKind::Stall,
+                                start: at - stall,
+                                end: at,
+                            });
+                        }
+                    }
+                    self.sink.count_at(&KEY_DISPATCHES, cpu, 1, at);
                     self.cpus[cpu].backoff = 1;
                     self.cpus[cpu].next_retry = Cycles::ZERO;
                     self.cpus[cpu].rekicks = 0;
@@ -373,6 +459,22 @@ impl Executor {
             .unwrap_or(Cycles::ZERO);
         self.stats.switch_cycles = self.cpus.iter().map(|c| c.switch_cycles).sum();
         self.stats.task_executed = self.tasks.iter().map(|t| t.executed).collect();
+        if self.sink.is_on() {
+            // Close the books: each CPU's trailing idle up to the makespan,
+            // so attributed cycles sum exactly to makespan × #CPUs.
+            let makespan = self.stats.makespan;
+            for cpu in 0..self.cpus.len() {
+                let tail = makespan - self.cpus[cpu].now;
+                self.sink.charge(Layer::Hardware, "idle", tail);
+                self.sink.gauge_at(
+                    &KEY_SWITCH_CYCLES,
+                    cpu,
+                    self.cpus[cpu].switch_cycles.get(),
+                    makespan,
+                );
+            }
+            self.events.publish_telemetry(&self.sink);
+        }
         self.tasks
             .iter()
             .all(|t| matches!(t.state, TaskState::Done))
@@ -383,6 +485,7 @@ impl Executor {
     fn watchdog_tick(&mut self, at: Cycles) {
         let period = self.watchdog_period.expect("watchdog event without period");
         self.stats.watchdog_checks += 1;
+        self.sink.count_at(&KEY_WD_CHECKS, 0, 1, at);
         for cpu in 0..self.cpus.len() {
             let c = &self.cpus[cpu];
             if c.dispatch.is_none()
@@ -391,6 +494,7 @@ impl Executor {
                 && c.rekicks < MAX_WATCHDOG_REKICKS
             {
                 self.stats.watchdog_rekicks += 1;
+                self.sink.count_at(&KEY_WD_REKICKS, cpu, 1, at);
                 let backoff = self.cpus[cpu].backoff;
                 self.cpus[cpu].next_retry =
                     at + Cycles(period.get().saturating_mul(backoff as u64));
@@ -429,7 +533,7 @@ impl Executor {
                         self.stats.yields += 1;
                         let cost = switch_cost(
                             &self.mc,
-                            OsKind::Nk,
+                            self.os,
                             SwitchKind::FiberCooperative,
                             false,
                             false,
@@ -441,7 +545,9 @@ impl Executor {
                         c.switch_cycles += cost;
                         c.queue.push(tid);
                         let now = c.now;
-                        self.record(cpu, u64::MAX, start, now, TraceKind::Switch);
+                        self.sink.count_at(&KEY_YIELDS, cpu, 1, now);
+                        self.sink.charge(Layer::Kernel, "switch-yield", cost);
+                        self.record(cpu, u64::MAX, start, now, SpanKind::Switch);
                         self.kick(cpu, now);
                         return;
                     }
@@ -451,10 +557,14 @@ impl Executor {
                         // the joiner's clock advances to the signal time.
                         if let Some(&st) = self.signalled.get(&tag) {
                             let c = &mut self.cpus[cpu];
-                            c.now = c.now.max(st);
+                            if st > c.now {
+                                self.sink.charge(Layer::Kernel, "join-wait", st - c.now);
+                                c.now = st;
+                            }
                             continue;
                         }
                         self.stats.blocks += 1;
+                        self.sink.count_at(&KEY_BLOCKS, cpu, 1, self.cpus[cpu].now);
                         task.state = TaskState::Blocked(tag);
                         self.waiters.entry(tag).or_default().push(tid);
                         let now = self.cpus[cpu].now;
@@ -491,26 +601,24 @@ impl Executor {
             c.busy += slice;
             quantum_left -= slice;
             let run_end = self.cpus[cpu].now;
-            self.record(cpu, tid, run_start, run_end, TraceKind::Run);
+            self.sink.charge(Layer::Application, "compute", slice);
+            self.record(cpu, tid, run_start, run_end, SpanKind::Run);
 
             if quantum_left == Cycles::ZERO {
                 // Timer preemption.
                 self.stats.preemptions += 1;
-                let cost = switch_cost(
-                    &self.mc,
-                    OsKind::Nk,
-                    SwitchKind::ThreadInterrupt,
-                    false,
-                    false,
-                )
-                .total();
+                let cost =
+                    switch_cost(&self.mc, self.os, SwitchKind::ThreadInterrupt, false, false)
+                        .total();
                 let c = &mut self.cpus[cpu];
                 let start = c.now;
                 c.now += cost;
                 c.switch_cycles += cost;
                 c.queue.push(tid);
                 let now = c.now;
-                self.record(cpu, u64::MAX, start, now, TraceKind::Switch);
+                self.sink.count_at(&KEY_PREEMPTIONS, cpu, 1, now);
+                self.sink.charge(Layer::Kernel, "switch-preempt", cost);
+                self.record(cpu, u64::MAX, start, now, SpanKind::Switch);
                 self.kick(cpu, now);
                 return;
             }
@@ -645,7 +753,7 @@ mod tests {
 
     #[test]
     fn tracing_records_consistent_nonoverlapping_intervals() {
-        use crate::trace::{chrome_trace_json, find_overlap, TraceKind};
+        use crate::trace::{chrome_trace_json, find_overlap};
         let mut e = exec(2, 1_000);
         let a = e.spawn(0, Box::new(LoopWork::new(1, Cycles(5_000))));
         let b = e.spawn(0, Box::new(LoopWork::new(1, Cycles(5_000))));
@@ -658,7 +766,7 @@ mod tests {
             let traced: u64 = e
                 .trace
                 .iter()
-                .filter(|ev| ev.task == tid && ev.kind == TraceKind::Run)
+                .filter(|ev| ev.id == tid && ev.kind == SpanKind::Run)
                 .map(|ev| ev.duration().get())
                 .sum();
             assert_eq!(traced, expect, "task {tid}");
@@ -666,6 +774,105 @@ mod tests {
         let json = chrome_trace_json(&e.trace, 1000);
         assert!(json.contains("\"name\":\"task0\""));
         assert!(json.contains("\"name\":\"switch\""));
+    }
+
+    #[test]
+    fn telemetry_attribution_sums_exactly_to_clock() {
+        use interweave_core::telemetry::{Level, Sink};
+        // A gnarly workload: faults, watchdog, blocks, yields, preemptions —
+        // and still every simulated cycle lands in exactly one category.
+        let mut cfg = interweave_core::FaultConfig::quiet(21);
+        cfg.drop_ipi = 0.3;
+        cfg.delay_ipi = 0.3;
+        let mut e = exec(4, 2_000);
+        let sink = Sink::on(Level::Full);
+        e.set_telemetry(sink.clone());
+        e.set_fault_plan(interweave_core::FaultPlan::new(cfg));
+        e.enable_watchdog(Cycles(5_000));
+        let child = e.spawn(1, Box::new(LoopWork::new(4, Cycles(3_000))));
+        e.spawn(
+            0,
+            Box::new(ScriptedWork::new(vec![
+                WorkStep::Compute(Cycles(500)),
+                WorkStep::Yield,
+                WorkStep::Block(child),
+                WorkStep::Compute(Cycles(500)),
+                WorkStep::Done,
+            ])),
+        );
+        e.spawn(2, Box::new(LoopWork::new(2, Cycles(7_000))));
+        assert!(e.run());
+        sink.verify_attribution(e.attribution_clock())
+            .expect("attributed cycles must equal makespan × #CPUs");
+        // Counters agree with the stats struct.
+        assert_eq!(
+            sink.counter("kernel.sched.preemptions"),
+            e.stats.preemptions
+        );
+        assert_eq!(sink.counter("kernel.sched.yields"), e.stats.yields);
+        assert_eq!(sink.counter("kernel.sched.blocks"), e.stats.blocks);
+        assert_eq!(sink.counter("core.irq.dropped"), e.stats.lost_kicks);
+        assert_eq!(sink.counter("core.irq.delayed"), e.stats.delayed_kicks);
+        assert_eq!(
+            sink.counter("kernel.watchdog.checks"),
+            e.stats.watchdog_checks
+        );
+        assert_eq!(
+            sink.counter("kernel.watchdog.rekicks"),
+            e.stats.watchdog_rekicks
+        );
+        assert_eq!(
+            sink.counter("core.fault.lost_ipi"),
+            e.take_fault_plan()
+                .unwrap()
+                .injected(interweave_core::FaultClass::LostIpi)
+        );
+        // Spans exist and respect the strict per-lane invariant.
+        let spans = sink.spans();
+        assert!(!spans.is_empty());
+        assert!(interweave_core::telemetry::find_overlap(&spans).is_none());
+    }
+
+    #[test]
+    fn telemetry_off_run_is_bit_identical() {
+        use interweave_core::telemetry::{Level, Sink};
+        let run = |sink: Option<Sink>| {
+            let mut cfg = interweave_core::FaultConfig::quiet(33);
+            cfg.drop_ipi = 0.4;
+            let mut e = exec(2, 1_500);
+            if let Some(s) = sink {
+                e.set_telemetry(s);
+            }
+            e.set_fault_plan(interweave_core::FaultPlan::new(cfg));
+            e.enable_watchdog(Cycles(4_000));
+            e.spawn(0, Box::new(LoopWork::new(3, Cycles(2_500))));
+            e.spawn(1, Box::new(LoopWork::new(3, Cycles(2_500))));
+            e.run();
+            (
+                e.stats.makespan,
+                e.stats.lost_kicks,
+                e.stats.watchdog_rekicks,
+                e.stats.stall_cycles,
+            )
+        };
+        let off = run(None);
+        let on = run(Some(Sink::on(Level::Full)));
+        assert_eq!(off, on, "telemetry must never perturb the simulation");
+    }
+
+    #[test]
+    fn layered_os_charges_more_switch_cycles() {
+        let run = |os: OsKind| {
+            let mut e = exec(1, 1_000);
+            e.set_os(os);
+            e.spawn(0, Box::new(LoopWork::new(1, Cycles(20_000))));
+            e.spawn(0, Box::new(LoopWork::new(1, Cycles(20_000))));
+            assert!(e.run());
+            e.stats.switch_cycles
+        };
+        let nk = run(OsKind::Nk);
+        let linux = run(OsKind::Linux);
+        assert!(linux > nk, "layered switches {linux} vs interwoven {nk}");
     }
 
     #[test]

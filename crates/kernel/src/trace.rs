@@ -1,104 +1,41 @@
-//! Execution tracing: record scheduler intervals and export them in the
-//! Chrome trace-event format (`chrome://tracing` / Perfetto).
+//! Execution tracing — now a thin facade over the cross-layer span plane.
 //!
-//! Interweaving arguments are about where cycles go; a visual timeline of
-//! who ran when — tasks, switches, idle gaps — is the fastest way to sanity-
-//! check a scheduling simulation. [`crate::executor::Executor`] records
-//! [`TraceEvent`]s when tracing is enabled; [`chrome_trace_json`] renders
-//! them as a standard trace file.
+//! The kernel-only `TraceEvent` grew into
+//! [`interweave_core::telemetry::Span`]: the scheduler timeline is simply
+//! the `Layer::Kernel` process track (one thread per CPU) of the unified
+//! Chrome/Perfetto trace, alongside virtine invocations, fault recovery,
+//! and coherence epochs from the other layers. The span type, the
+//! non-overlap invariant ([`find_overlap`]), and the JSON exporter
+//! ([`chrome_trace_json`]) all live in core now; this module re-exports
+//! them so existing kernel-facing callers keep compiling.
 
-use interweave_core::machine::CpuId;
-use interweave_core::time::Cycles;
-use std::fmt::Write as _;
+pub use interweave_core::telemetry::{
+    chrome_trace_json, find_overlap, well_bracketed, Span, SpanKind,
+};
 
-/// What happened during a traced interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceKind {
-    /// A task computed.
-    Run,
-    /// The scheduler switched contexts (preemption or yield).
-    Switch,
-}
+/// The old kernel-only trace record. `cpu` became [`Span::track`] and
+/// `task` became [`Span::id`]; everything else maps one-to-one.
+#[deprecated(note = "use interweave_core::telemetry::Span")]
+pub type TraceEvent = Span;
 
-/// One traced interval on one CPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// CPU the interval ran on.
-    pub cpu: CpuId,
-    /// Task id (`u64::MAX` for scheduler-internal intervals).
-    pub task: u64,
-    /// Interval start (cycles).
-    pub start: Cycles,
-    /// Interval end (cycles).
-    pub end: Cycles,
-    /// Interval kind.
-    pub kind: TraceKind,
-}
-
-impl TraceEvent {
-    /// Duration of the interval.
-    pub fn duration(&self) -> Cycles {
-        self.end - self.start
-    }
-}
-
-/// Verify the fundamental trace invariant: intervals on one CPU never
-/// overlap. Returns the first violating pair, if any.
-pub fn find_overlap(events: &[TraceEvent]) -> Option<(TraceEvent, TraceEvent)> {
-    let mut per_cpu: std::collections::BTreeMap<CpuId, Vec<TraceEvent>> = Default::default();
-    for &e in events {
-        per_cpu.entry(e.cpu).or_default().push(e);
-    }
-    for (_, mut evs) in per_cpu {
-        evs.sort_by_key(|e| e.start);
-        for w in evs.windows(2) {
-            if w[1].start < w[0].end {
-                return Some((w[0], w[1]));
-            }
-        }
-    }
-    None
-}
-
-/// Render events as a Chrome trace-event JSON document. Cycles are reported
-/// as microsecond timestamps scaled by `cycles_per_us` (pass the machine
-/// frequency in MHz; 1 keeps raw cycles).
-pub fn chrome_trace_json(events: &[TraceEvent], cycles_per_us: u64) -> String {
-    let scale = cycles_per_us.max(1) as f64;
-    let mut out = String::from("[\n");
-    for (i, e) in events.iter().enumerate() {
-        let name = match e.kind {
-            TraceKind::Run => format!("task{}", e.task),
-            TraceKind::Switch => "switch".to_string(),
-        };
-        let _ = write!(
-            out,
-            "  {{\"name\":\"{name}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
-            match e.kind {
-                TraceKind::Run => "run",
-                TraceKind::Switch => "sched",
-            },
-            e.start.as_f64() / scale,
-            e.duration().as_f64() / scale,
-            e.cpu
-        );
-        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
-    }
-    out.push(']');
-    out
-}
+/// The old kernel-only interval kind, a strict subset of [`SpanKind`].
+#[deprecated(note = "use interweave_core::telemetry::SpanKind")]
+pub type TraceKind = SpanKind;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use interweave_core::telemetry::Layer;
+    use interweave_core::time::Cycles;
 
-    fn ev(cpu: usize, task: u64, start: u64, end: u64) -> TraceEvent {
-        TraceEvent {
-            cpu,
-            task,
+    fn ev(cpu: usize, task: u64, start: u64, end: u64) -> Span {
+        Span {
+            layer: Layer::Kernel,
+            track: cpu,
+            id: task,
+            kind: SpanKind::Run,
             start: Cycles(start),
             end: Cycles(end),
-            kind: TraceKind::Run,
         }
     }
 

@@ -13,9 +13,16 @@ use crate::bespoke::BespokeSpec;
 use crate::context::{Virtine, VirtineOutcome};
 use crate::extract::VirtineImage;
 use interweave_core::machine::MachineConfig;
+use interweave_core::telemetry::{Key, Layer, Sink, Span, SpanKind, Unit};
 use interweave_core::time::{Cycles, MicroSeconds};
 use interweave_core::FaultPlan;
 use interweave_ir::types::Val;
+
+const KEY_INVOCATIONS: Key = Key::new("virtines.invocations", Layer::Virtine, Unit::Count);
+const KEY_COLD_STARTS: Key = Key::new("virtines.cold_starts", Layer::Virtine, Unit::Count);
+const KEY_REUSES: Key = Key::new("virtines.reuses", Layer::Virtine, Unit::Count);
+const KEY_RESTARTS: Key = Key::new("virtines.restarts", Layer::Virtine, Unit::Count);
+const KEY_DETECTED: Key = Key::new("virtines.faults_detected", Layer::Virtine, Unit::Count);
 
 /// How a function can be launched in isolation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -149,6 +156,12 @@ pub struct Wasp {
     mc: MachineConfig,
     pool: Vec<(Virtine, u64)>, // (context, dirty pages to restore)
     image: VirtineImage,
+    /// Telemetry sink (off by default): invocation counters plus nested
+    /// virtine-call / fault-recovery spans.
+    sink: Sink,
+    /// This hypervisor's running clock: cumulative invocation latency,
+    /// advanced per call so spans get deterministic timestamps.
+    clock: Cycles,
     /// Counters.
     pub stats: WaspStats,
 }
@@ -160,8 +173,19 @@ impl Wasp {
             mc,
             pool: Vec::new(),
             image,
+            sink: Sink::off(),
+            clock: Cycles::ZERO,
             stats: WaspStats::default(),
         }
+    }
+
+    /// Attach a telemetry sink: invocations, cold starts, pool reuses,
+    /// restarts, and detected faults are counted, and (at `Level::Full`)
+    /// each invocation becomes a `virtine` span — with a `fault` span
+    /// enclosing every restart episode, so recovery shows up as properly
+    /// nested intervals on the virtine track.
+    pub fn set_telemetry(&mut self, sink: Sink) {
+        self.sink = sink;
     }
 
     /// Invoke the virtine: reuse a pooled context when available, else cold
@@ -181,6 +205,7 @@ impl Wasp {
             Some((mut v, dirty)) => {
                 v.reset();
                 self.stats.reuses += 1;
+                self.sink.count_at(&KEY_REUSES, 0, 1, self.clock);
                 // Restore cost scales with what the previous tenant
                 // dirtied: each CoW'd page must be dropped and re-mapped.
                 let mut b = startup(LaunchPath::VirtineSnapshot);
@@ -189,6 +214,7 @@ impl Wasp {
             }
             None => {
                 self.stats.cold_starts += 1;
+                self.sink.count_at(&KEY_COLD_STARTS, 0, 1, self.clock);
                 (
                     Virtine::new(self.image.clone()),
                     startup(LaunchPath::VirtineCold),
@@ -203,7 +229,19 @@ impl Wasp {
             let dirty = ctx.dirty_pages();
             self.pool.push((ctx, dirty));
         }
+        let seq = self.stats.invocations;
         self.stats.invocations += 1;
+        let t_start = self.clock;
+        self.clock += total;
+        self.sink.count_at(&KEY_INVOCATIONS, 0, 1, self.clock);
+        self.sink.span(Span {
+            layer: Layer::Virtine,
+            track: 0,
+            id: seq,
+            kind: SpanKind::VirtineCall,
+            start: t_start,
+            end: self.clock,
+        });
         (outcome, total)
     }
 
@@ -226,24 +264,42 @@ impl Wasp {
         faults: &mut FaultPlan,
         max_restarts: u32,
     ) -> (VirtineOutcome, Cycles, u32) {
+        let t0 = self.clock;
+        let first_seq = self.stats.invocations;
         let mut total = Cycles(0);
         let mut restarts = 0u32;
-        loop {
+        let outcome = loop {
             let kill_at = faults.virtine_kill_at(budget);
             let (outcome, t) = self.invoke_with(args, budget, kill_at);
             total += t;
             if kill_at.is_some() && outcome == VirtineOutcome::Killed {
                 self.stats.faults_detected += 1;
+                self.sink.count_at(&KEY_DETECTED, 0, 1, self.clock);
             }
             match outcome {
-                VirtineOutcome::Returned(_) => return (outcome, total, restarts),
+                VirtineOutcome::Returned(_) => break outcome,
                 _ if restarts < max_restarts => {
                     restarts += 1;
                     self.stats.restarts += 1;
+                    self.sink.count_at(&KEY_RESTARTS, 0, 1, self.clock);
                 }
-                _ => return (outcome, total, restarts),
+                _ => break outcome,
             }
+        };
+        if restarts > 0 {
+            // The whole recovery episode — the failed attempts plus the one
+            // that finally returned — as one enclosing span, so the
+            // per-attempt virtine spans nest inside it.
+            self.sink.span(Span {
+                layer: Layer::Virtine,
+                track: 0,
+                id: first_seq,
+                kind: SpanKind::FaultRecovery,
+                start: t0,
+                end: self.clock,
+            });
         }
+        (outcome, total, restarts)
     }
 
     /// Pre-warm the pool with `n` contexts (FaaS keep-warm policy).
@@ -251,6 +307,7 @@ impl Wasp {
         for _ in 0..n {
             self.pool.push((Virtine::new(self.image.clone()), 0));
             self.stats.cold_starts += 1;
+            self.sink.count_at(&KEY_COLD_STARTS, 0, 1, self.clock);
         }
     }
 
@@ -428,6 +485,44 @@ mod tests {
 
         // Same seed, fresh state: byte-identical recovery story.
         assert_eq!(serve(42), (s_restarts, s_detected, total, restarts));
+    }
+
+    #[test]
+    fn telemetry_spans_nest_restarts_inside_recovery_episodes() {
+        use interweave_core::telemetry::{well_bracketed, Level, Sink, SpanKind};
+        use interweave_core::{FaultConfig, FaultPlan};
+        let mut probe = Virtine::new(fib_image());
+        probe.invoke(&[Val::I(12)], u64::MAX / 4);
+        let budget = probe.guest_cycles + probe.guest_cycles / 3;
+
+        let mut faults = FaultPlan::new(FaultConfig {
+            virtine_kill: 1.0,
+            ..FaultConfig::quiet(42)
+        });
+        let mut w = Wasp::new(fib_image(), MachineConfig::xeon_server_2s());
+        let sink = Sink::on(Level::Full);
+        w.set_telemetry(sink.clone());
+        for _ in 0..10 {
+            let (outcome, _, _) = w.invoke_recovering(&[Val::I(12)], budget, &mut faults, 64);
+            assert_eq!(outcome, VirtineOutcome::Returned(Some(Val::I(144))));
+        }
+        assert_eq!(sink.counter("virtines.invocations"), w.stats.invocations);
+        assert_eq!(sink.counter("virtines.restarts"), w.stats.restarts);
+        assert_eq!(
+            sink.counter("virtines.faults_detected"),
+            w.stats.faults_detected
+        );
+        assert_eq!(sink.counter("virtines.cold_starts"), w.stats.cold_starts);
+        assert_eq!(sink.counter("virtines.reuses"), w.stats.reuses);
+        let spans = sink.spans();
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::FaultRecovery),
+            "p=1 kills must produce recovery episodes"
+        );
+        assert!(
+            well_bracketed(&spans).is_none(),
+            "attempt spans must nest inside recovery spans"
+        );
     }
 
     #[test]

@@ -1,19 +1,23 @@
 //! Kernel-trace example: run a small preemptive workload on the executor
-//! and export a Chrome trace (`chrome://tracing` / https://ui.perfetto.dev).
+//! and export a cross-layer Chrome trace (`chrome://tracing` /
+//! https://ui.perfetto.dev).
 //!
-//! Run with: `cargo run --example kernel_trace` — writes `trace.json` in the
-//! working directory.
+//! Run with: `cargo run --example kernel_trace` — writes
+//! `target/trace.json` (never the repo root, so the artifact stays out of
+//! version control).
 
 use interweave::core::machine::MachineConfig;
+use interweave::core::telemetry::{chrome_trace_json, find_overlap, Level, Sink};
 use interweave::core::Cycles;
 use interweave::kernel::executor::Executor;
-use interweave::kernel::trace::{chrome_trace_json, find_overlap};
 use interweave::kernel::work::{LoopWork, ScriptedWork, WorkStep};
 
 fn main() {
     let mc = MachineConfig::xeon_server_2s().with_cores(4);
     let mhz = mc.freq.mhz;
     let mut e = Executor::new(mc, Cycles(20_000));
+    let sink = Sink::on(Level::Full);
+    e.set_telemetry(sink.clone());
     e.enable_tracing();
 
     // A mixed workload: compute-bound tasks, a cooperative yielder, and a
@@ -43,6 +47,8 @@ fn main() {
         find_overlap(&e.trace).is_none(),
         "trace must be well-formed"
     );
+    sink.verify_attribution(e.attribution_clock())
+        .expect("every cycle attributed");
 
     println!(
         "ran {} tasks: makespan {} ({}), {} preemptions, {} yields, {} blocks",
@@ -55,11 +61,23 @@ fn main() {
         e.stats.yields,
         e.stats.blocks
     );
+    println!("cycle attribution (sums exactly to makespan × CPUs):");
+    for row in sink.attribution_rows() {
+        println!(
+            "  {:>10} / {:<16} {:>12}",
+            row.layer, row.mechanism, row.cycles
+        );
+    }
 
-    let json = chrome_trace_json(&e.trace, mhz);
-    std::fs::write("trace.json", &json).expect("writable cwd");
+    let spans = sink.spans();
+    let json = chrome_trace_json(&spans, mhz);
+    let out = std::path::Path::new("target");
+    std::fs::create_dir_all(out).expect("create target/");
+    let path = out.join("trace.json");
+    std::fs::write(&path, &json).expect("writable target/");
     println!(
-        "wrote trace.json ({} events) — open it in chrome://tracing or https://ui.perfetto.dev",
-        e.trace.len()
+        "wrote {} ({} spans) — open it in chrome://tracing or https://ui.perfetto.dev",
+        path.display(),
+        spans.len()
     );
 }
