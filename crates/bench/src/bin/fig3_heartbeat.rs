@@ -3,10 +3,16 @@
 //! Reproduces the figure's structure: for each TPAL-style benchmark and
 //! ♥ ∈ {100 µs, 20 µs} on 16 CPUs, the achieved rate as a fraction of
 //! target, the inter-beat stability (CV), and the scheduling overhead —
-//! plus the §V-D pipeline-interrupt ablation.
+//! plus the §V-D pipeline-interrupt ablation. The mechanisms compared are
+//! declared as stack compositions and composed through the harness.
 
-use interweave_bench::{f, print_table, s};
-use interweave_heartbeat::sim::{fig3_benchmarks, run_heartbeat, HeartbeatConfig, SignalKind};
+use interweave::compose::ComposedStack;
+use interweave_bench::harness::{Harness, Scenario};
+use interweave_bench::{f, s};
+use interweave_core::machine::MachineConfig;
+use interweave_core::stack::StackConfig;
+use interweave_core::Cycles;
+use interweave_heartbeat::sim::{fig3_benchmarks, run_heartbeat, HeartbeatConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,16 +26,48 @@ struct JsonRow {
     coalesced: u64,
 }
 
+/// The figure's heartbeat setup for one composed stack: the stack picks
+/// the signaling mechanism and the machine (including delivery mode).
+fn cfg_for(stack: &ComposedStack, target_us: f64, handler: Cycles) -> HeartbeatConfig {
+    let mut cfg = HeartbeatConfig::fig3(stack.signal_kind(), target_us, handler);
+    cfg.machine = stack.machine().clone();
+    cfg
+}
+
 fn main() {
+    let mc = MachineConfig::xeon_server_2s().with_cores(16);
+    let h = Harness::new(vec![
+        Scenario::new("linux", StackConfig::commodity(), mc.clone()),
+        Scenario::new("nautilus", StackConfig::nautilus(), mc.clone()),
+        // §V-D ablation: the same interwoven stack on pipeline-interrupt
+        // hardware — a composition the builder admits only on the NK path.
+        Scenario::new(
+            "nautilus+pipeline",
+            StackConfig::nautilus(),
+            mc.with_pipeline_interrupts(),
+        ),
+    ]);
+    let mechanisms = &h.scenarios()[..2];
+
     let mut json = Vec::new();
     for &target_us in &[100.0, 20.0] {
+        // One parallel sweep per mechanism over the benchmark suite.
+        let results: Vec<Vec<_>> = mechanisms
+            .iter()
+            .map(|sc| {
+                sc.sweep(fig3_benchmarks(), |stack, (bench, handler)| {
+                    let r = run_heartbeat(&cfg_for(stack, target_us, handler));
+                    (bench, stack.signal_kind().name(), r)
+                })
+            })
+            .collect();
         let mut rows = Vec::new();
-        for (bench, handler) in fig3_benchmarks() {
-            for kind in [SignalKind::LinuxSignals, SignalKind::NkIpi] {
-                let r = run_heartbeat(&HeartbeatConfig::fig3(kind, target_us, handler));
+        for i in 0..fig3_benchmarks().len() {
+            for swept in &results {
+                let (bench, mechanism, r) = &swept[i];
                 rows.push(vec![
                     s(bench),
-                    s(kind.name()),
+                    s(mechanism),
                     f(r.target_rate, 1),
                     f(r.achieved_rate, 1),
                     f(100.0 * r.fraction_of_target(), 1) + "%",
@@ -38,9 +76,9 @@ fn main() {
                     s(r.coalesced),
                 ]);
                 json.push(JsonRow {
-                    bench: bench.into(),
+                    bench: (*bench).into(),
                     target_us,
-                    mechanism: kind.name().into(),
+                    mechanism: (*mechanism).into(),
                     fraction_of_target: r.fraction_of_target(),
                     interbeat_cv: r.interbeat_cv,
                     overhead_pct: r.overhead_pct,
@@ -48,7 +86,7 @@ fn main() {
                 });
             }
         }
-        print_table(
+        h.table(
             &format!("Fig. 3 — heartbeat rate, ♥ = {target_us} µs, 16 CPUs"),
             &[
                 "benchmark",
@@ -65,25 +103,15 @@ fn main() {
     }
 
     // §V-D ablation: pipeline interrupts on the Nautilus path.
-    let mut rows = Vec::new();
-    {
-        let &target_us = &20.0;
-        let base =
-            HeartbeatConfig::fig3(SignalKind::NkIpi, target_us, interweave_core::Cycles(1000));
-        let idt = run_heartbeat(&base);
-        let mut pipe_cfg = base.clone();
-        pipe_cfg.machine = pipe_cfg.machine.with_pipeline_interrupts();
-        let pipe = run_heartbeat(&pipe_cfg);
-        rows.push(vec![s("IDT dispatch"), f(idt.overhead_pct, 2) + "%"]);
-        rows.push(vec![
-            s("pipeline-branch dispatch"),
-            f(pipe.overhead_pct, 2) + "%",
-        ]);
-    }
-    print_table(
+    let idt = run_heartbeat(&cfg_for(&h.stack("nautilus"), 20.0, Cycles(1000)));
+    let pipe = run_heartbeat(&cfg_for(&h.stack("nautilus+pipeline"), 20.0, Cycles(1000)));
+    h.table(
         "§V-D ablation — Nautilus heartbeat overhead at ♥ = 20 µs by delivery mode",
         &["delivery", "overhead"],
-        &rows,
+        &[
+            vec![s("IDT dispatch"), f(idt.overhead_pct, 2) + "%"],
+            vec![s("pipeline-branch dispatch"), f(pipe.overhead_pct, 2) + "%"],
+        ],
     );
 
     // End-to-end: what the delivered beats buy — heartbeat-scheduled loop
@@ -103,7 +131,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    h.table(
         "Heartbeat scheduling payoff — loop speedup via promotion (NK path, ♥=20 µs)",
         &["workers", "speedup", "promotions", "steals", "overhead"],
         &rows,
@@ -114,5 +142,5 @@ fn main() {
          Linux undershoots at 20 µs with unsteady rates. Overheads: Linux 13–22 %,\n\
          Nautilus ≤ 4.9 % (see EXPERIMENTS.md for measured-vs-paper discussion)."
     );
-    interweave_bench::maybe_dump_json(&json);
+    h.finish(&json);
 }

@@ -1,11 +1,14 @@
 //! Fig. 4: context-switch costs for threads, fibers, and compiler-timed
 //! fibers on the Phi KNL preset, plus measured overhead sweeps and
-//! granularity floors.
+//! granularity floors. The kernels compared are declared as stack
+//! compositions and composed through the harness.
 
-use interweave_bench::{f, print_table, s};
+use interweave_bench::harness::{Harness, Scenario};
+use interweave_bench::{f, s};
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::{StackConfig, TimingSource};
 use interweave_fibers::study::{analytic_rows, floor_cycles, overhead_sweep};
-use interweave_kernel::threads::{OsKind, SwitchKind};
+use interweave_kernel::threads::SwitchKind;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,10 +24,28 @@ struct JsonRow {
 }
 
 fn main() {
-    let mc = MachineConfig::phi_knl();
+    let knl = MachineConfig::phi_knl();
+    let h = Harness::new(vec![
+        Scenario::new("linux", StackConfig::commodity(), knl.clone()),
+        Scenario::new("nautilus", StackConfig::nautilus(), knl.clone()),
+        // The compiler-timed fiber rows: the timing axis moves into the
+        // toolchain, everything else stays raw Nautilus.
+        Scenario::new(
+            "nautilus+comptime",
+            StackConfig {
+                timing: TimingSource::CompilerInjected,
+                ..StackConfig::nautilus()
+            },
+            knl,
+        ),
+    ]);
+    let mc = &h.scenario("nautilus").machine;
+    let linux = h.stack("linux").os_kind();
+    let nk = h.stack("nautilus").os_kind();
+    let comptime = h.stack("nautilus+comptime").os_kind();
 
     // The figure's bars: cost decomposition per configuration.
-    let rows_data = analytic_rows(&mc);
+    let rows_data = analytic_rows(mc);
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for r in &rows_data {
@@ -50,7 +71,7 @@ fn main() {
             total: b.total().get(),
         });
     }
-    print_table(
+    h.table(
         "Fig. 4 — context-switch cost decomposition (cycles, Phi KNL preset)",
         &[
             "configuration",
@@ -66,11 +87,11 @@ fn main() {
     );
 
     // Headline ratios the figure calls out.
-    let linux_fp = floor_cycles(&mc, SwitchKind::ThreadInterrupt, OsKind::Linux, true);
-    let nk_fp = floor_cycles(&mc, SwitchKind::ThreadInterrupt, OsKind::Nk, true);
-    let fib_fp = floor_cycles(&mc, SwitchKind::FiberCompilerTimed, OsKind::Nk, true);
-    let fib_nofp = floor_cycles(&mc, SwitchKind::FiberCompilerTimed, OsKind::Nk, false);
-    print_table(
+    let linux_fp = floor_cycles(mc, SwitchKind::ThreadInterrupt, linux, true);
+    let nk_fp = floor_cycles(mc, SwitchKind::ThreadInterrupt, nk, true);
+    let fib_fp = floor_cycles(mc, SwitchKind::FiberCompilerTimed, comptime, true);
+    let fib_nofp = floor_cycles(mc, SwitchKind::FiberCompilerTimed, comptime, false);
+    h.table(
         "Fig. 4 callouts",
         &["quantity", "value"],
         &[
@@ -90,7 +111,7 @@ fn main() {
 
     // Measured overhead sweep: mechanism overhead vs quantum.
     let quanta = [1_000u64, 2_000, 5_000, 10_000, 50_000, 200_000];
-    let pts = overhead_sweep(&mc, &quanta);
+    let pts = overhead_sweep(mc, &quanta);
     let mut rows = Vec::new();
     for &q in &quanta {
         let find = |m| {
@@ -108,7 +129,7 @@ fn main() {
             s(hw.switches),
         ]);
     }
-    print_table(
+    h.table(
         "Measured mechanism overhead vs preemption quantum (mixed workload)",
         &[
             "quantum (cyc)",
@@ -120,5 +141,5 @@ fn main() {
         &rows,
     );
 
-    interweave_bench::maybe_dump_json(&json);
+    h.finish(&json);
 }

@@ -1,9 +1,13 @@
 //! Fig. 6: kernel-OpenMP performance relative to Linux as a function of
 //! CPUs — NAS BT and SP on the Phi KNL preset, plus the 8-socket/192-core
-//! repetition and the EPCC overhead table.
+//! repetition and the EPCC overhead table. The RTK/PIK/CCK kernels are
+//! declared as stack compositions; their OpenMP modes (and the table
+//! columns) derive from the composed stacks.
 
-use interweave_bench::{f, print_table, s};
+use interweave_bench::harness::{Harness, Scenario};
+use interweave_bench::{f, s};
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::StackConfig;
 use interweave_omp::epcc::{epcc_table, Construct};
 use interweave_omp::nas::fig6_specs;
 use interweave_omp::sim::{fig6_series, geomean_rel, knl_cpu_counts};
@@ -20,12 +24,30 @@ struct JsonPoint {
 
 fn main() {
     let knl = MachineConfig::phi_knl();
+    let h = Harness::new(vec![
+        Scenario::new("linux", StackConfig::commodity(), knl.clone()),
+        Scenario::new("rtk", StackConfig::rtk(), knl.clone()),
+        Scenario::new("pik", StackConfig::pik(), knl.clone()),
+        Scenario::new("cck", StackConfig::cck(), knl.clone()),
+    ]);
+    // The kernel modes under comparison, derived from the compositions
+    // (the Linux scenario is the baseline inside fig6_series).
+    let modes: Vec<OmpMode> = h.scenarios()[1..]
+        .iter()
+        .map(|sc| {
+            sc.compose()
+                .omp_mode()
+                .unwrap_or_else(|| panic!("scenario {:?} is not an OpenMP stack", sc.id))
+        })
+        .collect();
+    let mode_names: Vec<&'static str> = modes.iter().map(|m| m.name()).collect();
+
     let counts = knl_cpu_counts();
     let mut all_points = Vec::new();
     let mut json = Vec::new();
 
     for spec in fig6_specs() {
-        let pts = fig6_series(&spec, &knl, &counts, 42);
+        let pts = fig6_series(&spec, &knl, &counts, &modes, 42);
         let mut rows = Vec::new();
         for &p in &counts {
             let get = |m: OmpMode| {
@@ -34,19 +56,18 @@ fn main() {
                     .map(|r| r.relative)
                     .unwrap_or(0.0)
             };
-            rows.push(vec![
-                s(p),
-                f(get(OmpMode::Rtk), 3),
-                f(get(OmpMode::Pik), 3),
-                f(get(OmpMode::Cck), 3),
-            ]);
+            let mut row = vec![s(p)];
+            row.extend(modes.iter().map(|&m| f(get(m), 3)));
+            rows.push(row);
         }
-        print_table(
+        let mut header = vec!["CPUs"];
+        header.extend(&mode_names);
+        h.table(
             &format!(
                 "Fig. 6 — NAS {} on {}: performance relative to Linux (1.0 = baseline)",
                 spec.name, knl.name
             ),
-            &["CPUs", "RTK", "PIK", "CCK"],
+            &header,
             &rows,
         );
         for r in &pts {
@@ -60,14 +81,16 @@ fn main() {
         all_points.extend(pts);
     }
 
-    print_table(
+    let geomean_rows = |points: &[interweave_omp::sim::RelPerf]| -> Vec<Vec<String>> {
+        modes
+            .iter()
+            .map(|&m| vec![s(m.name()), f(geomean_rel(points, m), 3)])
+            .collect()
+    };
+    h.table(
         "Geometric means across scales and benchmarks (paper: RTK ≈ +22 %)",
         &["mode", "geomean rel. perf."],
-        &[
-            vec![s("RTK"), f(geomean_rel(&all_points, OmpMode::Rtk), 3)],
-            vec![s("PIK"), f(geomean_rel(&all_points, OmpMode::Pik), 3)],
-            vec![s("CCK"), f(geomean_rel(&all_points, OmpMode::Cck), 3)],
-        ],
+        &geomean_rows(&all_points),
     );
 
     // The 192-core repetition (§V-A: "~20% for RTK and PIK").
@@ -76,16 +99,12 @@ fn main() {
     let mut big_points = Vec::new();
     for spec in fig6_specs() {
         let spec = spec.scaled(8);
-        big_points.extend(fig6_series(&spec, &big, &big_counts, 7));
+        big_points.extend(fig6_series(&spec, &big, &big_counts, &modes, 7));
     }
-    print_table(
+    h.table(
         &format!("Repetition on {} (paper: ~20 % for RTK and PIK)", big.name),
         &["mode", "geomean rel. perf."],
-        &[
-            vec![s("RTK"), f(geomean_rel(&big_points, OmpMode::Rtk), 3)],
-            vec![s("PIK"), f(geomean_rel(&big_points, OmpMode::Pik), 3)],
-            vec![s("CCK"), f(geomean_rel(&big_points, OmpMode::Cck), 3)],
-        ],
+        &geomean_rows(&big_points),
     );
 
     // EPCC construct overheads.
@@ -101,7 +120,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    h.table(
         "EPCC-style construct overheads (cycles)",
         &["construct", "mode", "threads", "overhead"],
         &rows,
@@ -115,7 +134,7 @@ fn main() {
         .iter()
         .map(|(scale, rel)| vec![f(*scale, 1) + "x", f(*rel, 3)])
         .collect();
-    print_table(
+    h.table(
         "Noise-sensitivity ablation — RTK advantage vs Linux noise level (BT, 32 CPUs)",
         &["noise scale", "RTK relative perf"],
         &rows,
@@ -125,5 +144,5 @@ fn main() {
 noise amplifies through barriers into the bulk of Fig. 6's gap."
     );
 
-    interweave_bench::maybe_dump_json(&json);
+    h.finish(&json);
 }

@@ -3,65 +3,32 @@
 //! reference; this is the "is everything still standing?" view.
 //!
 //! Besides the printed table, the run writes `BENCH_summary.json` — one
-//! record per experiment with its claim, measured headline and wall-clock
-//! — so CI and bookkeeping scripts can diff results without scraping
-//! stdout.
+//! record per experiment with its claim, the [`StackConfig`] composition
+//! it measures, the measured headline and wall-clock — so CI and
+//! bookkeeping scripts can diff results without scraping stdout. The
+//! schema lives in `interweave_bench::harness` ([`BenchSummary`]) and
+//! every entry's composition is validated through the facade's
+//! `StackBuilder` before the section runs.
 
+use interweave_bench::harness::{section, BenchSummary, ExperimentSummary};
 use interweave_bench::{f, print_table, s};
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::{StackConfig, TimingSource};
 use interweave_core::telemetry::CounterEntry;
 use interweave_core::Cycles;
-use serde::Serialize;
 use std::time::Instant;
-
-/// One scoreboard entry, as written to `BENCH_summary.json`.
-#[derive(Serialize)]
-struct ExperimentSummary {
-    /// Figure/section identifier (e.g. "Fig 3", "§IV-A").
-    experiment: String,
-    /// The paper's claim being checked.
-    claim: String,
-    /// The measured headline, formatted as in the table.
-    measured: String,
-    /// Wall-clock time to regenerate this entry, in milliseconds.
-    wall_ms: f64,
-}
-
-#[derive(Serialize)]
-struct BenchSummary {
-    /// Total wall-clock for the whole scoreboard, in milliseconds.
-    total_wall_ms: f64,
-    experiments: Vec<ExperimentSummary>,
-    /// Registry snapshot from the telemetry section's instrumented run, so
-    /// bookkeeping scripts can diff counters without scraping stdout.
-    counters: Vec<CounterEntry>,
-}
-
-/// Run one scoreboard section, timing it and recording the row.
-fn section(
-    out: &mut Vec<ExperimentSummary>,
-    experiment: &str,
-    claim: &str,
-    run: impl FnOnce() -> String,
-) {
-    let start = Instant::now();
-    let measured = run();
-    out.push(ExperimentSummary {
-        experiment: experiment.to_string(),
-        claim: claim.to_string(),
-        measured,
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
-    });
-}
 
 fn main() {
     let t0 = Instant::now();
     let mut entries: Vec<ExperimentSummary> = Vec::new();
+    let xeon = MachineConfig::xeon_server_2s();
 
     section(
         &mut entries,
         "Fig 3",
         "NK sustains ♥=20µs; Linux cannot",
+        StackConfig::nautilus(),
+        xeon.clone().with_cores(16),
         || {
             use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
             let mut nk = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1000));
@@ -81,6 +48,11 @@ fn main() {
         &mut entries,
         "Fig 4",
         "fiber granularity < 600 cycles",
+        StackConfig {
+            timing: TimingSource::CompilerInjected,
+            ..StackConfig::nautilus()
+        },
+        MachineConfig::phi_knl(),
         || {
             use interweave_kernel::threads::{switch_cost, OsKind, SwitchKind};
             let knl = MachineConfig::phi_knl();
@@ -100,6 +72,8 @@ fn main() {
         &mut entries,
         "Fig 6",
         "RTK ≈ +22% geomean over Linux",
+        StackConfig::rtk(),
+        MachineConfig::phi_knl(),
         || {
             use interweave_omp::nas::bt;
             use interweave_omp::sim::run_omp;
@@ -115,6 +89,8 @@ fn main() {
         &mut entries,
         "Fig 7",
         "selective coherence ≈1.46x, −53% NoC energy",
+        StackConfig::interwoven(),
+        xeon.clone(),
         || {
             use interweave_coherence::experiment::{
                 fig7_reduced, mean_energy_reduction, mean_speedup,
@@ -132,6 +108,8 @@ fn main() {
         &mut entries,
         "§IV-A",
         "CARAT <6% geomean (naive is costly)",
+        StackConfig::pik(),
+        xeon.clone(),
         || {
             use interweave_carat::overhead::{geomean_overheads, run_suite};
             let (naive, opt) = geomean_overheads(&run_suite(2));
@@ -143,6 +121,8 @@ fn main() {
         &mut entries,
         "§IV-D",
         "virtine start-up ≈ 100 µs",
+        StackConfig::interwoven(),
+        xeon.clone(),
         || {
             use interweave_virtines::wasp::{startup, LaunchPath};
             format!("{}", startup(LaunchPath::VirtineCold).total())
@@ -153,6 +133,8 @@ fn main() {
         &mut entries,
         "§V-D",
         "dispatch 100–1000x cheaper",
+        StackConfig::nautilus(),
+        xeon.clone().with_pipeline_interrupts(),
         || {
             let mc = MachineConfig::xeon_server_2s();
             let pipe = mc.clone().with_pipeline_interrupts();
@@ -169,6 +151,8 @@ fn main() {
         &mut entries,
         "§V-C",
         "polled drivers, zero interrupts",
+        StackConfig::nautilus(),
+        xeon.clone(),
         || {
             use interweave_blend::polling::{run_device_experiment, DeviceConfig, DriveMode};
             use interweave_ir::programs;
@@ -191,6 +175,8 @@ fn main() {
         &mut entries,
         "simulator",
         "interpreter throughput (page-backed memory)",
+        StackConfig::commodity(),
+        xeon.clone(),
         || {
             use interweave_ir::interp::{Interp, InterpConfig, NullHooks};
             use interweave_ir::programs;
@@ -211,6 +197,8 @@ fn main() {
         &mut entries,
         "§III",
         "primitives orders of magnitude faster",
+        StackConfig::nautilus(),
+        xeon.clone(),
         || {
             use interweave_kernel::microbench::primitive_table;
             use interweave_kernel::os::{LinuxModel, NkModel};
@@ -226,6 +214,8 @@ fn main() {
         &mut entries,
         "telemetry",
         "every cycle attributed; plane off by default",
+        StackConfig::nautilus(),
+        xeon.clone().with_cores(4),
         || {
             use interweave_core::telemetry::{Level, Sink};
             use interweave_kernel::work::LoopWork;

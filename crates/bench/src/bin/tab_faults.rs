@@ -17,20 +17,23 @@
 //! one fixed seed: two runs of this binary are byte-identical, which CI
 //! checks by diffing a double run and pinning the stdout hash.
 
-use interweave_bench::{f, print_table, s};
+use interweave::compose::ComposedStack;
+use interweave_bench::harness::{Harness, Scenario};
+use interweave_bench::{f, s};
 use interweave_carat::defrag::fragmentation_demo;
 use interweave_carat::pik::PikSystem;
 use interweave_carat::quarantine_and_relocate;
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::StackConfig;
 use interweave_core::time::Cycles;
 use interweave_core::{FaultClass, FaultConfig, FaultPlan};
 use interweave_ir::interp::ExecStatus;
 use interweave_ir::types::Val;
 use interweave_kernel::work::LoopWork;
-use interweave_kernel::{Executor, NkModel, NumaAllocator, OsModel};
+use interweave_kernel::{Executor, NumaAllocator};
 use interweave_virtines::context::Virtine;
 use interweave_virtines::extract::extract_one;
-use interweave_virtines::wasp::{startup, LaunchPath, Wasp};
+use interweave_virtines::wasp::{startup, Wasp};
 use serde::Serialize;
 
 /// The campaign seed. Fixed: the whole point is a bit-reproducible run.
@@ -112,7 +115,8 @@ fn ipi_rows(mc: &MachineConfig) -> (Row, Row) {
 }
 
 /// Injected buddy OOM at stack-carve time, shed by the scheduler.
-fn alloc_row(mc: &MachineConfig) -> Row {
+fn alloc_row(stack: &ComposedStack) -> Row {
+    let mc = stack.machine();
     let mut e = Executor::new(mc.clone(), Cycles(10_000));
     // 2 zones × 16 × 16 KiB stacks: capacity for every spawn that the
     // fault plane lets through.
@@ -144,15 +148,16 @@ fn alloc_row(mc: &MachineConfig) -> Row {
         recovered: shed,
         // Synchronous `Err` at the call site; recovery is one scheduler
         // pick to move on to the next runnable task.
-        interwoven: NkModel::new(mc.clone()).ctx_switch(false, false).get(),
+        interwoven: stack.os.ctx_switch(false, false).get(),
         layered: mc.freq.cycles_per_us(LAYERED_OOM_US).get(),
         note: "typed Err + shed vs OOM-killer scan",
     }
 }
 
 /// A seeded bit-flip in a pointer word, caught by the CARAT escape audit
-/// and healed by quarantine-and-relocate.
-fn bit_flip_row(mc: &MachineConfig) -> Row {
+/// and healed by quarantine-and-relocate. The layered cost restarts the
+/// process through the commodity stack's isolation path.
+fn bit_flip_row(mc: &MachineConfig, layered: &ComposedStack) -> Row {
     let (m, entry) = fragmentation_demo("list");
     let n = 64i64;
     let mut sys = PikSystem::new();
@@ -197,7 +202,7 @@ fn bit_flip_row(mc: &MachineConfig) -> Row {
     // Layered scrub: page-granularity, so the scrubber reads the entire
     // resident set; then the corrupted process is killed and restarted.
     let resident_words = p.interp.mem.resident_pages() as u64 * 4096 / 8;
-    let layered = resident_words * 2 + startup(LaunchPath::Process).total_cycles(mc).get();
+    let layered = resident_words * 2 + startup(layered.isolation).total_cycles(mc).get();
     match sys.processes[pid].run_slice(u64::MAX / 4) {
         ExecStatus::Done(Some(Val::I(v))) => {
             assert_eq!(v, n * (n - 1) / 2, "post-recovery result corrupted")
@@ -215,8 +220,9 @@ fn bit_flip_row(mc: &MachineConfig) -> Row {
     }
 }
 
-/// Virtines killed mid-call, restarted from the snapshot pool.
-fn virtine_row(mc: &MachineConfig) -> Row {
+/// Virtines killed mid-call, restarted from the snapshot pool; the layered
+/// comparison re-launches through the commodity stack's isolation path.
+fn virtine_row(mc: &MachineConfig, layered: &ComposedStack) -> Row {
     let fibp = interweave_ir::programs::fib(18);
     let image = extract_one(&fibp.module, fibp.entry);
     let mut probe = Virtine::new(image.clone());
@@ -265,20 +271,26 @@ fn virtine_row(mc: &MachineConfig) -> Row {
         interwoven: (t_fault - t_quiet) / restarts,
         // Legacy FaaS isolation restarts with fork+exec and re-runs the
         // whole request.
-        layered: startup(LaunchPath::Process).total_cycles(mc).get() + guest,
+        layered: startup(layered.isolation).total_cycles(mc).get() + guest,
         note: "snapshot restart vs fork+exec re-run",
     }
 }
 
 fn main() {
     let mc = MachineConfig::xeon_server_2s();
+    let h = Harness::new(vec![
+        Scenario::new("interwoven", StackConfig::nautilus(), mc.clone()),
+        Scenario::new("layered", StackConfig::commodity(), mc.clone()),
+    ]);
+    let interwoven = h.stack("interwoven");
+    let layered = h.stack("layered");
     let (lost, delayed) = ipi_rows(&mc);
     let rows_data = vec![
         lost,
         delayed,
-        alloc_row(&mc),
-        bit_flip_row(&mc),
-        virtine_row(&mc),
+        alloc_row(&interwoven),
+        bit_flip_row(&mc, &layered),
+        virtine_row(&mc, &layered),
     ];
 
     let mut rows = Vec::new();
@@ -305,7 +317,7 @@ fn main() {
             layered_cycles: r.layered,
         });
     }
-    print_table(
+    h.table(
         &format!("TAB-FAULTS — recovery cost per fault class (seed {SEED:#x})"),
         &[
             "fault class",
@@ -325,5 +337,5 @@ fn main() {
         total,
         rows_data.len()
     );
-    interweave_bench::maybe_dump_json(&json);
+    h.finish(&json);
 }

@@ -21,11 +21,14 @@
 //! Everything is driven by one fixed seed: two runs are byte-identical,
 //! which CI checks by diffing a double run and pinning the stdout hash.
 
-use interweave_bench::{f, print_table, s};
+use interweave::compose::ComposedStack;
+use interweave_bench::harness::{Harness, Scenario};
+use interweave_bench::{f, s};
 use interweave_carat::defrag::fragmentation_demo;
 use interweave_carat::pik::PikSystem;
 use interweave_coherence::protocol::{CohMode, System, SystemConfig};
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::StackConfig;
 use interweave_core::telemetry::{
     chrome_trace_json, find_overlap, well_bracketed, AttributionRow, Layer, Level, Sink, Snapshot,
 };
@@ -33,7 +36,6 @@ use interweave_core::time::Cycles;
 use interweave_core::{FaultConfig, FaultPlan};
 use interweave_ir::interp::ExecStatus;
 use interweave_ir::types::Val;
-use interweave_kernel::threads::OsKind;
 use interweave_kernel::work::{LoopWork, ScriptedWork, WorkStep};
 use interweave_kernel::{Executor, NumaAllocator};
 use interweave_virtines::extract::extract_one;
@@ -51,12 +53,13 @@ struct ProfileJson {
     layered: Vec<AttributionRow>,
 }
 
-/// Run the shared workload once under `os`'s switch costs, with the fault
-/// plan, watchdog, and stack allocator installed, recording into a fresh
-/// full-level sink. Returns the sink and the finished executor.
-fn profile(mc: &MachineConfig, os: OsKind) -> (Sink, Executor) {
+/// Run the shared workload once under `stack`'s kernel switch costs, with
+/// the fault plan, watchdog, and stack allocator installed, recording into
+/// a fresh full-level sink. Returns the sink and the finished executor.
+fn profile(stack: &ComposedStack) -> (Sink, Executor) {
+    let mc = stack.machine();
     let mut e = Executor::new(mc.clone(), Cycles(10_000));
-    e.set_os(os);
+    e.set_os(stack.os_kind());
     let sink = Sink::on(Level::Full);
     e.set_telemetry(sink.clone());
     e.set_stack_allocator(NumaAllocator::new(mc.sockets, 14, 4));
@@ -183,8 +186,12 @@ fn cross_layer_publishers(sink: &Sink, mc: &MachineConfig) {
 
 fn main() {
     let mc = MachineConfig::xeon_server_2s().with_cores(8);
-    let (nk_sink, nk) = profile(&mc, OsKind::Nk);
-    let (lx_sink, lx) = profile(&mc, OsKind::Linux);
+    let h = Harness::new(vec![
+        Scenario::new("interwoven", StackConfig::nautilus(), mc.clone()),
+        Scenario::new("layered", StackConfig::commodity(), mc.clone()),
+    ]);
+    let (nk_sink, nk) = profile(&h.stack("interwoven"));
+    let (lx_sink, lx) = profile(&h.stack("layered"));
     cross_layer_publishers(&nk_sink, &mc);
     // The publishers above count and gauge but never charge the ledger, so
     // the attribution invariant still holds against the executor's clock.
@@ -226,7 +233,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    h.table(
         &format!("TAB-PROFILE — cycle attribution, interwoven vs layered (seed {SEED:#x})"),
         &[
             "layer",
@@ -262,7 +269,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    h.table(
         "counter registry snapshot (interwoven run, all layers)",
         &["counter", "layer", "unit", "total", "last cycle"],
         &counter_rows,
@@ -293,9 +300,7 @@ fn main() {
     );
 
     // Optional Perfetto export; the golden run passes no flag.
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--trace-out") {
-        let path = args.get(pos + 1).expect("--trace-out takes a path");
+    if let Some(path) = h.trace_out() {
         let json = chrome_trace_json(&spans, mc.freq.mhz);
         if let Some(dir) = std::path::Path::new(path).parent() {
             std::fs::create_dir_all(dir).expect("trace-out dir");
@@ -304,7 +309,7 @@ fn main() {
         println!("(perfetto trace written to {path})");
     }
 
-    interweave_bench::maybe_dump_json(&ProfileJson {
+    h.finish(&ProfileJson {
         interwoven: snap,
         layered: lx_rows,
     });

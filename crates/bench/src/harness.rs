@@ -1,0 +1,338 @@
+//! One declarative harness for every figure/table binary.
+//!
+//! Each experiment declares *what* it measures — a set of [`Scenario`]s
+//! naming a [`StackConfig`] on a machine preset — and the harness owns the
+//! rest: composing the stack through the facade's `StackBuilder` (so a
+//! binary cannot measure a composition that could not exist), the shared
+//! CLI contract (`--json <path>`, `--trace-out <path>`), parallel sweeps
+//! over the composed stack, table printing, and the machine-readable
+//! results envelope that embeds every scenario's `StackConfig`.
+//!
+//! The contract the golden-stdout CI guard relies on: a harness run with no
+//! flags prints exactly the tables and notes the experiment asks for —
+//! nothing else — so migrating a binary onto the harness is byte-identical
+//! on stdout.
+
+use crate::{parallel_map, print_table};
+use interweave::compose::ComposedStack;
+use interweave_core::machine::MachineConfig;
+use interweave_core::stack::StackConfig;
+use interweave_core::telemetry::CounterEntry;
+use serde::Serialize;
+
+/// The command-line contract shared by every figure/table binary.
+///
+/// `--json <path>` additionally writes the machine-readable results
+/// envelope; `--trace-out <path>` asks binaries that collect telemetry
+/// spans to export a Chrome/Perfetto trace. The golden CI runs pass
+/// neither, so neither affects pinned stdout.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    /// Path for the JSON results envelope, when requested.
+    pub json: Option<String>,
+    /// Path for the Perfetto trace export, when requested.
+    pub trace_out: Option<String>,
+}
+
+impl Cli {
+    /// Parse the process's own arguments.
+    pub fn parse() -> Cli {
+        Cli::from_args(std::env::args())
+    }
+
+    /// Parse an explicit argument list (unit-testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Cli {
+        let args: Vec<String> = args.into_iter().collect();
+        let value_of = |flag: &str| {
+            args.iter().position(|a| a == flag).map(|pos| {
+                args.get(pos + 1)
+                    .unwrap_or_else(|| panic!("{flag} takes a path"))
+                    .clone()
+            })
+        };
+        Cli {
+            json: value_of("--json"),
+            trace_out: value_of("--trace-out"),
+        }
+    }
+}
+
+/// One named point of an experiment: which stack composition, on which
+/// machine. Declarative — composing it is the harness's job.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short identifier used in tables and the JSON envelope.
+    pub id: &'static str,
+    /// The stack composition this scenario measures.
+    pub config: StackConfig,
+    /// The machine preset it runs on.
+    pub machine: MachineConfig,
+}
+
+impl Scenario {
+    /// A scenario measuring `config` on `machine`.
+    pub fn new(id: &'static str, config: StackConfig, machine: MachineConfig) -> Scenario {
+        Scenario {
+            id,
+            config,
+            machine,
+        }
+    }
+
+    /// Materialize the composed stack. An experiment declaring an
+    /// incoherent composition is a bug in the experiment, so the typed
+    /// rejection becomes a panic naming the scenario.
+    pub fn compose(&self) -> ComposedStack {
+        interweave::compose::compose(self.config, self.machine.clone())
+            .unwrap_or_else(|e| panic!("scenario {:?} is not a coherent stack: {e}", self.id))
+    }
+
+    /// Run `f` over `items` on the bounded worker pool, every worker
+    /// sharing one composed stack. Output order is input order, and the
+    /// simulators are deterministic, so fan-out changes wall-clock only.
+    pub fn sweep<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&ComposedStack, T) -> R + Sync,
+    {
+        let stack = self.compose();
+        parallel_map(items, |item| f(&stack, item))
+    }
+}
+
+/// Metadata for one scenario as written to the JSON envelope.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioMeta {
+    /// The scenario's identifier.
+    pub id: String,
+    /// The machine preset's display name.
+    pub machine: String,
+    /// The full stack composition, round-trippable back to [`StackConfig`].
+    pub stack: StackConfig,
+}
+
+/// The machine-readable results envelope: which compositions were
+/// measured, then the experiment's own rows.
+///
+/// `Serialize` is hand-written because the envelope is generic over the
+/// row type and the vendored derive only handles concrete shapes.
+pub struct RunSummary<'a, T> {
+    /// One entry per declared scenario.
+    pub scenarios: Vec<ScenarioMeta>,
+    /// The experiment's rows, in its own schema.
+    pub rows: &'a T,
+}
+
+impl<T: Serialize> Serialize for RunSummary<'_, T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"scenarios\":");
+        self.scenarios.serialize_json(out);
+        out.push_str(",\"rows\":");
+        self.rows.serialize_json(out);
+        out.push('}');
+    }
+}
+
+/// The driver a figure/table binary hands its scenarios to.
+pub struct Harness {
+    cli: Cli,
+    scenarios: Vec<Scenario>,
+}
+
+impl Harness {
+    /// A harness over `scenarios`, parsing the process CLI.
+    pub fn new(scenarios: Vec<Scenario>) -> Harness {
+        Harness::with_cli(Cli::parse(), scenarios)
+    }
+
+    /// A harness with an explicit CLI (unit-testable).
+    pub fn with_cli(cli: Cli, scenarios: Vec<Scenario>) -> Harness {
+        Harness { cli, scenarios }
+    }
+
+    /// The declared scenarios, in declaration order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Look up a scenario by id; unknown ids are experiment bugs.
+    pub fn scenario(&self, id: &str) -> &Scenario {
+        self.scenarios
+            .iter()
+            .find(|sc| sc.id == id)
+            .unwrap_or_else(|| panic!("no scenario {id:?} declared"))
+    }
+
+    /// Compose one scenario's stack by id.
+    pub fn stack(&self, id: &str) -> ComposedStack {
+        self.scenario(id).compose()
+    }
+
+    /// The Perfetto export path, when `--trace-out` was passed.
+    pub fn trace_out(&self) -> Option<&str> {
+        self.cli.trace_out.as_deref()
+    }
+
+    /// Print one boxed table (title banner, aligned header and rows).
+    pub fn table(&self, title: &str, header: &[&str], rows: &[Vec<String>]) {
+        print_table(title, header, rows);
+    }
+
+    /// The JSON envelope for `rows` under this harness's scenarios.
+    pub fn summary_json<T: Serialize>(&self, rows: &T) -> String {
+        let summary = RunSummary {
+            scenarios: self
+                .scenarios
+                .iter()
+                .map(|sc| ScenarioMeta {
+                    id: sc.id.to_string(),
+                    machine: sc.machine.name.to_string(),
+                    stack: sc.config,
+                })
+                .collect(),
+            rows,
+        };
+        serde_json::to_string_pretty(&summary).expect("serializable results")
+    }
+
+    /// Finish the run: when `--json <path>` was passed, write the envelope
+    /// and acknowledge on stdout (flag runs only — golden runs pass none).
+    pub fn finish<T: Serialize>(&self, rows: &T) {
+        if let Some(path) = &self.cli.json {
+            std::fs::write(path, self.summary_json(rows)).expect("writable json path");
+            println!("(json written to {path})");
+        }
+    }
+}
+
+/// One scoreboard entry, as written to `BENCH_summary.json`.
+#[derive(Serialize)]
+pub struct ExperimentSummary {
+    /// Figure/section identifier (e.g. "Fig 3", "§IV-A").
+    pub experiment: String,
+    /// The paper's claim being checked.
+    pub claim: String,
+    /// The stack composition the headline measures.
+    pub stack: StackConfig,
+    /// The measured headline, formatted as in the table.
+    pub measured: String,
+    /// Wall-clock time to regenerate this entry, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The scoreboard file schema (`BENCH_summary.json`).
+#[derive(Serialize)]
+pub struct BenchSummary {
+    /// Total wall-clock for the whole scoreboard, in milliseconds.
+    pub total_wall_ms: f64,
+    /// One record per experiment.
+    pub experiments: Vec<ExperimentSummary>,
+    /// Registry snapshot from the telemetry section's instrumented run, so
+    /// bookkeeping scripts can diff counters without scraping stdout.
+    pub counters: Vec<CounterEntry>,
+}
+
+/// Run one scoreboard section, timing it and recording the row. The
+/// section's composition is validated eagerly: a scoreboard entry naming
+/// an impossible stack fails loudly, not silently.
+pub fn section(
+    out: &mut Vec<ExperimentSummary>,
+    experiment: &str,
+    claim: &str,
+    stack: StackConfig,
+    machine: MachineConfig,
+    run: impl FnOnce() -> String,
+) {
+    Scenario::new("section", stack, machine).compose();
+    let start = std::time::Instant::now();
+    let measured = run();
+    out.push(ExperimentSummary {
+        experiment: experiment.to_string(),
+        claim: claim.to_string(),
+        stack,
+        measured,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cli_parses_both_flags_anywhere() {
+        let cli = Cli::from_args(args(&["bin", "--trace-out", "t.json", "--json", "r.json"]));
+        assert_eq!(cli.json.as_deref(), Some("r.json"));
+        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        let none = Cli::from_args(args(&["bin"]));
+        assert!(none.json.is_none() && none.trace_out.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "--json takes a path")]
+    fn cli_rejects_a_dangling_flag() {
+        Cli::from_args(args(&["bin", "--json"]));
+    }
+
+    #[test]
+    fn scenario_composes_and_sweeps_in_order() {
+        let sc = Scenario::new(
+            "nk",
+            StackConfig::nautilus(),
+            MachineConfig::xeon_server_2s(),
+        );
+        assert_eq!(sc.compose().os.name(), "Nautilus");
+        let costs = sc.sweep((0..64u64).collect(), |stack, i| {
+            stack.os.ctx_switch(false, false).get() + i
+        });
+        let base = sc.compose().os.ctx_switch(false, false).get();
+        assert_eq!(costs, (0..64u64).map(|i| base + i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a coherent stack")]
+    fn scenario_with_an_incoherent_stack_panics_with_its_id() {
+        use interweave_core::stack::Translation;
+        let broken = StackConfig {
+            translation: Translation::Carat,
+            ..StackConfig::commodity()
+        };
+        Scenario::new("broken", broken, MachineConfig::xeon_server_2s()).compose();
+    }
+
+    #[test]
+    fn envelope_embeds_every_scenario_stack() {
+        let h = Harness::with_cli(
+            Cli::default(),
+            vec![
+                Scenario::new(
+                    "linux",
+                    StackConfig::commodity(),
+                    MachineConfig::xeon_server_2s(),
+                ),
+                Scenario::new("nk", StackConfig::nautilus(), MachineConfig::phi_knl()),
+            ],
+        );
+        #[derive(Serialize)]
+        struct Row {
+            v: u64,
+        }
+        let json = h.summary_json(&vec![Row { v: 7 }]);
+        let v = serde::json::parse(&json).expect("valid envelope");
+        let scenarios = match v.get("scenarios") {
+            Some(serde::json::JsonValue::Arr(a)) => a,
+            other => panic!("scenarios must be an array, got {other:?}"),
+        };
+        assert_eq!(scenarios.len(), 2);
+        let stack = scenarios[1].get("stack").expect("stack embedded");
+        use serde::Deserialize;
+        let parsed = StackConfig::deserialize_json(stack).expect("round-trips");
+        assert_eq!(parsed, StackConfig::nautilus());
+        assert!(json.contains("\"rows\""));
+    }
+}

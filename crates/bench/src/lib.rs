@@ -17,7 +17,11 @@
 //! | `tab_blend`       | §V-C — blended drivers + far-memory sweeps |
 //!
 //! Each binary accepts `--json <path>` to also dump machine-readable
-//! results, used by `EXPERIMENTS.md` bookkeeping.
+//! results, used by `EXPERIMENTS.md` bookkeeping. The [`harness`] module
+//! owns that CLI contract plus stack composition and sweep plumbing; the
+//! binaries above declare [`harness::Scenario`]s and print.
+
+pub mod harness;
 
 use serde::Serialize;
 use std::fmt::Display;

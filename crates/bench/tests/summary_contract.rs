@@ -1,0 +1,73 @@
+//! Contract test for the scoreboard file: the `BenchSummary` schema the
+//! `summary` binary writes to `BENCH_summary.json` must be parseable JSON,
+//! and every experiment's embedded [`StackConfig`] must deserialize back
+//! to exactly the composition that was serialized — bookkeeping scripts
+//! key on it.
+
+use interweave_bench::harness::{BenchSummary, ExperimentSummary};
+use interweave_core::stack::StackConfig;
+use serde::Deserialize;
+
+fn scoreboard() -> (BenchSummary, Vec<StackConfig>) {
+    let stacks = vec![
+        StackConfig::commodity(),
+        StackConfig::nautilus(),
+        StackConfig::rtk(),
+        StackConfig::pik(),
+        StackConfig::cck(),
+        StackConfig::interwoven(),
+    ];
+    let experiments = stacks
+        .iter()
+        .enumerate()
+        .map(|(i, &stack)| ExperimentSummary {
+            experiment: format!("exp-{i}"),
+            claim: "stays standing".into(),
+            stack,
+            measured: "1.0x".into(),
+            wall_ms: 0.25,
+        })
+        .collect();
+    (
+        BenchSummary {
+            total_wall_ms: 1.5,
+            experiments,
+            counters: Vec::new(),
+        },
+        stacks,
+    )
+}
+
+#[test]
+fn embedded_stack_configs_round_trip_through_the_summary_file() {
+    let (summary, stacks) = scoreboard();
+    // The same serialization path the summary binary uses for the file.
+    let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+    let doc = serde::json::parse(&json).expect("the file is valid JSON");
+    let experiments = match doc.get("experiments") {
+        Some(serde::json::JsonValue::Arr(a)) => a,
+        other => panic!("experiments must be an array, got {other:?}"),
+    };
+    assert_eq!(experiments.len(), stacks.len());
+    for (exp, want) in experiments.iter().zip(&stacks) {
+        let embedded = exp.get("stack").expect("every experiment embeds its stack");
+        let got = StackConfig::deserialize_json(embedded).expect("stack parses back");
+        assert_eq!(&got, want, "embedded composition must round-trip exactly");
+    }
+}
+
+#[test]
+fn summary_file_keeps_its_bookkeeping_fields() {
+    let (summary, _) = scoreboard();
+    let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+    let doc = serde::json::parse(&json).expect("valid JSON");
+    assert!(doc.get("total_wall_ms").is_some());
+    assert!(doc.get("counters").is_some());
+    let exp = match doc.get("experiments") {
+        Some(serde::json::JsonValue::Arr(a)) => &a[0],
+        other => panic!("experiments must be an array, got {other:?}"),
+    };
+    for field in ["experiment", "claim", "stack", "measured", "wall_ms"] {
+        assert!(exp.get(field).is_some(), "missing field {field}");
+    }
+}

@@ -264,38 +264,6 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Drop all pending events matching `pred`, returning how many were
-    /// removed. Used e.g. to cancel a thread's timers on exit.
-    ///
-    /// Compatibility wrapper over the tombstone machinery: matching entries
-    /// are marked dead in place (no heap rebuild unless the tombstone load
-    /// triggers a compaction).
-    ///
-    /// Deprecated: the predicate scan is O(n) over the whole heap per call,
-    /// which is exactly the cost profile the tombstone redesign removed.
-    /// Keep the [`EventHandle`] from [`EventQueue::schedule_cancellable`]
-    /// and retract events individually with [`EventQueue::cancel`] instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "O(n) scan per call; keep the EventHandle from \
-                schedule_cancellable and use cancel(handle) instead"
-    )]
-    pub fn cancel_where(&mut self, mut pred: impl FnMut(&E) -> bool) -> usize {
-        let mut n = 0;
-        for s in self.heap.iter() {
-            if !self.cancelled.contains(&s.seq) && pred(&s.payload) {
-                self.cancelled.insert(s.seq);
-                self.cancellable.remove(&s.seq);
-                self.stats.cancelled += 1;
-                n += 1;
-            }
-        }
-        if n > 0 {
-            self.after_cancel();
-        }
-        n
-    }
-
     /// Restore the no-tombstone-at-top invariant and bound tombstone load.
     fn after_cancel(&mut self) {
         // Compact when tombstones exceed half the heap; otherwise just make
@@ -389,19 +357,6 @@ mod tests {
         q.schedule(Cycles(100), "late");
         assert_eq!(q.pop_before(Cycles(50)), None);
         assert_eq!(q.pop_before(Cycles(100)), Some((Cycles(100), "late")));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn cancel_where_removes_matching() {
-        let mut q = EventQueue::new();
-        q.schedule(Cycles(1), 1);
-        q.schedule(Cycles(2), 2);
-        q.schedule(Cycles(3), 3);
-        let n = q.cancel_where(|e| *e % 2 == 1);
-        assert_eq!(n, 2);
-        assert_eq!(q.pop(), Some((Cycles(2), 2)));
-        assert_eq!(q.pop(), None);
     }
 
     #[test]
@@ -503,21 +458,6 @@ mod tests {
         );
         assert_eq!(q.pop(), Some((Cycles(1_000_999), 999)));
         assert!(q.pop().is_none());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn cancel_where_skips_already_cancelled() {
-        let mut q = EventQueue::new();
-        let h = q.schedule_cancellable(Cycles(1), 10);
-        q.schedule(Cycles(2), 11);
-        q.schedule(Cycles(3), 20);
-        assert!(q.cancel(h));
-        // Payload 10 is already dead; cancel_where must not double-count it.
-        let n = q.cancel_where(|e| *e >= 10 && *e < 20);
-        assert_eq!(n, 1);
-        assert_eq!(q.pop(), Some((Cycles(3), 20)));
-        assert!(q.is_empty());
     }
 
     #[test]

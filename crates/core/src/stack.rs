@@ -18,6 +18,12 @@ pub enum TimingSource {
     CompilerInjected,
 }
 
+impl TimingSource {
+    /// Every value of this axis, in declaration order.
+    pub const ALL: [TimingSource; 2] =
+        [TimingSource::HardwareTimer, TimingSource::CompilerInjected];
+}
+
 /// How out-of-band events reach parallel workers (§IV-B, heartbeat).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SignalPath {
@@ -26,6 +32,11 @@ pub enum SignalPath {
     /// Interwoven path: LAPIC timer on one CPU broadcast by IPI directly to
     /// kernel-mode workers (the Nautilus/Nemo design of Fig. 2).
     NkIpiBroadcast,
+}
+
+impl SignalPath {
+    /// Every value of this axis, in declaration order.
+    pub const ALL: [SignalPath; 2] = [SignalPath::LinuxSignals, SignalPath::NkIpiBroadcast];
 }
 
 /// How addresses are translated and protected (§IV-A, CARAT).
@@ -41,6 +52,15 @@ pub enum Translation {
     Carat,
 }
 
+impl Translation {
+    /// Every value of this axis, in declaration order.
+    pub const ALL: [Translation; 3] = [
+        Translation::Paging,
+        Translation::Identity,
+        Translation::Carat,
+    ];
+}
+
 /// Cache-coherence policy (§V-B, selective coherence deactivation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CoherencePolicy {
@@ -49,6 +69,11 @@ pub enum CoherencePolicy {
     /// MESI extended with selective deactivation driven by language-level
     /// sharing knowledge.
     Selective,
+}
+
+impl CoherencePolicy {
+    /// Every value of this axis, in declaration order.
+    pub const ALL: [CoherencePolicy; 2] = [CoherencePolicy::FullMesi, CoherencePolicy::Selective];
 }
 
 /// Isolation mechanism for launching functions/tasks (§IV-D, virtines).
@@ -64,6 +89,17 @@ pub enum Isolation {
     Virtine,
     /// A bespoke context (§V-E): synthesized runtime, possibly no OS at all.
     Bespoke,
+}
+
+impl Isolation {
+    /// Every value of this axis, in declaration order.
+    pub const ALL: [Isolation; 5] = [
+        Isolation::Process,
+        Isolation::Container,
+        Isolation::FullVm,
+        Isolation::Virtine,
+        Isolation::Bespoke,
+    ];
 }
 
 /// A complete stack composition: one point in the interweaving design space.
@@ -119,6 +155,64 @@ impl StackConfig {
         }
     }
 
+    /// The RTK composition of §V-A: the OpenMP *runtime in the kernel*.
+    /// Structurally this is the raw Nautilus stack — identity mapping,
+    /// kernel-mode workers kicked by IPI — with the runtime linked in.
+    pub fn rtk() -> StackConfig {
+        StackConfig {
+            timing: TimingSource::HardwareTimer,
+            signal: SignalPath::NkIpiBroadcast,
+            translation: Translation::Identity,
+            coherence: CoherencePolicy::FullMesi,
+            isolation: Isolation::Process,
+        }
+    }
+
+    /// The PIK composition of §V-A: an unmodified *process in the kernel*,
+    /// kept safe without paging by CARAT-style compiler guards and
+    /// attestation (the `carat::pik` admission path).
+    pub fn pik() -> StackConfig {
+        StackConfig {
+            translation: Translation::Carat,
+            ..StackConfig::rtk()
+        }
+    }
+
+    /// The CCK composition of §V-A: *custom compilation for the kernel* —
+    /// the PIK guarantees plus a compiler-interwoven toolchain that owns
+    /// timing (task-based execution, no timer interrupts).
+    pub fn cck() -> StackConfig {
+        StackConfig {
+            timing: TimingSource::CompilerInjected,
+            ..StackConfig::pik()
+        }
+    }
+
+    /// Every point in the design space: the cartesian product of all five
+    /// axes (2 × 2 × 3 × 2 × 5 = 120 compositions), in a fixed
+    /// lexicographic order. Not every point is a *coherent* stack — the
+    /// facade's `StackBuilder` validates and rejects the incoherent ones
+    /// with typed errors.
+    pub fn enumerate() -> impl Iterator<Item = StackConfig> {
+        TimingSource::ALL.into_iter().flat_map(|timing| {
+            SignalPath::ALL.into_iter().flat_map(move |signal| {
+                Translation::ALL.into_iter().flat_map(move |translation| {
+                    CoherencePolicy::ALL.into_iter().flat_map(move |coherence| {
+                        Isolation::ALL
+                            .into_iter()
+                            .map(move |isolation| StackConfig {
+                                timing,
+                                signal,
+                                translation,
+                                coherence,
+                                isolation,
+                            })
+                    })
+                })
+            })
+        })
+    }
+
     /// Count of axes on which `self` differs from the commodity stack — a
     /// crude "degree of interweaving" used in reports.
     pub fn interweaving_degree(&self) -> usize {
@@ -159,6 +253,48 @@ mod tests {
     fn nautilus_is_partially_interwoven() {
         let d = StackConfig::nautilus().interweaving_degree();
         assert!(d > 0 && d < 5, "nautilus degree = {d}");
+    }
+
+    #[test]
+    fn enumerate_covers_the_whole_design_space() {
+        let all: Vec<StackConfig> = StackConfig::enumerate().collect();
+        assert_eq!(all.len(), 2 * 2 * 3 * 2 * 5);
+        // No duplicates, and every named preset is in the space.
+        for (i, a) in all.iter().enumerate() {
+            assert!(!all[i + 1..].contains(a), "duplicate composition {a}");
+        }
+        for preset in [
+            StackConfig::commodity(),
+            StackConfig::interwoven(),
+            StackConfig::nautilus(),
+            StackConfig::rtk(),
+            StackConfig::pik(),
+            StackConfig::cck(),
+        ] {
+            assert!(all.contains(&preset));
+        }
+    }
+
+    #[test]
+    fn omp_presets_differ_only_on_the_expected_axes() {
+        assert_eq!(StackConfig::rtk(), StackConfig::nautilus());
+        let (rtk, pik, cck) = (StackConfig::rtk(), StackConfig::pik(), StackConfig::cck());
+        assert_eq!(pik.translation, Translation::Carat);
+        assert_eq!(
+            StackConfig {
+                translation: rtk.translation,
+                ..pik
+            },
+            rtk
+        );
+        assert_eq!(cck.timing, TimingSource::CompilerInjected);
+        assert_eq!(
+            StackConfig {
+                timing: pik.timing,
+                ..cck
+            },
+            pik
+        );
     }
 
     #[test]

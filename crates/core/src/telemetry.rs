@@ -851,6 +851,15 @@ mod tests {
     }
 
     #[test]
+    fn chrome_json_scales_timestamps_by_frequency() {
+        let spans = [sp(Layer::Kernel, 0, 1400, 2800)];
+        // 1400 MHz → 1400 cycles = 1 µs.
+        let json = chrome_trace_json(&spans, 1400);
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":1.000"));
+    }
+
+    #[test]
     fn disabled_sink_is_inert() {
         let s = Sink::off();
         s.count(&K_A, 0, 5);

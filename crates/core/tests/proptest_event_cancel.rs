@@ -2,9 +2,9 @@
 //! [`EventQueue`] must be observationally equivalent to a naive model queue
 //! (a plain Vec popped by minimum `(time, seq)`, cancelled by direct
 //! removal) under arbitrary interleavings of schedule, cancellable
-//! schedule, handle cancel, predicate cancel, and pop — including FIFO
-//! tie-breaking at equal times, which the small time deltas here force
-//! constantly.
+//! schedule, handle cancel, batched handle cancels, and pop — including
+//! FIFO tie-breaking at equal times, which the small time deltas here
+//! force constantly.
 
 use interweave_core::{Cycles, EventHandle, EventQueue};
 use proptest::prelude::*;
@@ -22,8 +22,9 @@ enum Op {
     Pop,
     /// Pop only if the earliest event is within now + delta.
     PopBefore(u64),
-    /// Cancel every pending event whose payload % 3 == r.
-    CancelWhere(u64),
+    /// Cancel every handle ever issued whose payload % 3 == r — a bulk
+    /// retraction that piles up tombstones and stresses prune/compaction.
+    CancelBatch(u64),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -33,7 +34,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0usize..64).prop_map(Op::Cancel),
         Just(Op::Pop),
         (0u64..8).prop_map(Op::PopBefore),
-        (0u64..3).prop_map(Op::CancelWhere),
+        (0u64..3).prop_map(Op::CancelBatch),
     ]
 }
 
@@ -82,12 +83,6 @@ impl ModelQueue {
             None => false,
         }
     }
-
-    fn cancel_where(&mut self, pred: impl Fn(u64) -> bool) -> usize {
-        let before = self.pending.len();
-        self.pending.retain(|&(_, _, p)| !pred(p));
-        before - self.pending.len()
-    }
 }
 
 proptest! {
@@ -97,8 +92,8 @@ proptest! {
     fn tombstone_queue_equals_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
         let mut q: EventQueue<u64> = EventQueue::new();
         let mut model = ModelQueue::default();
-        // Handles issued so far, paired with the seq the model assigned.
-        let mut handles: Vec<(EventHandle, u64)> = Vec::new();
+        // Handles issued so far, with the model's seq and the payload.
+        let mut handles: Vec<(EventHandle, u64, u64)> = Vec::new();
         let mut next_payload = 0u64;
 
         for op in &ops {
@@ -114,11 +109,11 @@ proptest! {
                     next_payload += 1;
                     let h = q.schedule_cancellable(q.now() + Cycles(delta), payload);
                     let seq = model.schedule(model.now + delta, payload);
-                    handles.push((h, seq));
+                    handles.push((h, seq, payload));
                 }
                 Op::Cancel(i) => {
                     if !handles.is_empty() {
-                        let (h, seq) = handles[i % handles.len()];
+                        let (h, seq, _) = handles[i % handles.len()];
                         prop_assert_eq!(q.cancel(h), model.cancel_seq(seq));
                     }
                 }
@@ -135,12 +130,14 @@ proptest! {
                     let got = q.pop_before(deadline).map(|(t, p)| (t.get(), p));
                     prop_assert_eq!(got, want);
                 }
-                Op::CancelWhere(r) => {
-                    // Deliberately exercises the deprecated compat wrapper:
-                    // as long as it exists it must stay model-equivalent.
-                    #[allow(deprecated)]
-                    let n = q.cancel_where(|p| *p % 3 == r);
-                    prop_assert_eq!(n, model.cancel_where(|p| p % 3 == r));
+                Op::CancelBatch(r) => {
+                    // Every cancel in the batch must agree with the model,
+                    // fired or pending alike (stale handles return false).
+                    for &(h, seq, payload) in &handles {
+                        if payload % 3 == r {
+                            prop_assert_eq!(q.cancel(h), model.cancel_seq(seq));
+                        }
+                    }
                 }
             }
             // Observable state must agree after every operation.

@@ -64,10 +64,6 @@ impl std::fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
-/// Former name of [`AllocError`], kept for downstream source compatibility.
-#[deprecated(since = "0.1.0", note = "renamed to AllocError")]
-pub type BuddyError = AllocError;
-
 impl BuddyZone {
     /// A zone at `base` spanning `2^levels` min-blocks of `2^min_order`
     /// bytes each.
@@ -387,14 +383,6 @@ mod tests {
             Err(AllocError::OutOfMemory)
         );
         assert_eq!(n.zone(0).n_live(), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn compat_alias_still_names_the_error() {
-        let e: BuddyError = AllocError::OutOfMemory;
-        assert_eq!(e, AllocError::OutOfMemory);
-        assert_eq!(e.to_string(), "out of memory");
     }
 
     #[test]

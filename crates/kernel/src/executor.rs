@@ -753,7 +753,7 @@ mod tests {
 
     #[test]
     fn tracing_records_consistent_nonoverlapping_intervals() {
-        use crate::trace::{chrome_trace_json, find_overlap};
+        use interweave_core::telemetry::{chrome_trace_json, find_overlap};
         let mut e = exec(2, 1_000);
         let a = e.spawn(0, Box::new(LoopWork::new(1, Cycles(5_000))));
         let b = e.spawn(0, Box::new(LoopWork::new(1, Cycles(5_000))));

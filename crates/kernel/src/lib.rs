@@ -53,7 +53,6 @@ pub mod sched;
 pub mod steering;
 pub mod threads;
 pub mod timeline;
-pub mod trace;
 pub mod work;
 
 pub use buddy::{AllocError, NumaAllocator};

@@ -26,7 +26,10 @@ pub struct NoiseEvent {
 }
 
 /// Kernel personality: primitive costs and timing behaviour.
-pub trait OsModel {
+///
+/// Models are plain cost tables (`Send + Sync`), so a composed stack can be
+/// shared across the harness's parallel sweep workers.
+pub trait OsModel: Send + Sync {
     /// Display name ("Linux", "Nautilus").
     fn name(&self) -> &'static str;
 

@@ -43,7 +43,7 @@ proptest! {
             e.stats.switch_cycles
         );
         // Trace intervals never overlap per CPU.
-        prop_assert!(interweave_kernel::trace::find_overlap(&e.trace).is_none());
+        prop_assert!(interweave_core::telemetry::find_overlap(&e.trace).is_none());
     }
 
     /// Preemption count is bounded by total work / quantum (+1 per task).

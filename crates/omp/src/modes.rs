@@ -39,6 +39,10 @@ impl OmpMode {
     pub fn all() -> [OmpMode; 4] {
         [OmpMode::LinuxUser, OmpMode::Rtk, OmpMode::Pik, OmpMode::Cck]
     }
+
+    /// The kernel-interwoven designs Fig. 6 plots against the Linux
+    /// baseline, in the figure's column order.
+    pub const KERNEL: [OmpMode; 3] = [OmpMode::Rtk, OmpMode::Pik, OmpMode::Cck];
 }
 
 /// Priced runtime events for one mode on one machine.

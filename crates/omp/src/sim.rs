@@ -117,17 +117,20 @@ pub struct RelPerf {
     pub relative: f64,
 }
 
-/// Produce the Fig. 6 series for one workload across CPU counts.
+/// Produce the Fig. 6 series for one workload across CPU counts: each mode
+/// in `modes` relative to the Linux baseline at the same scale. The figure
+/// uses [`OmpMode::KERNEL`]; ablations can pass a subset.
 pub fn fig6_series(
     spec: &WorkloadSpec,
     mc: &MachineConfig,
     cpu_counts: &[usize],
+    modes: &[OmpMode],
     seed: u64,
 ) -> Vec<RelPerf> {
     let mut out = Vec::new();
     for &p in cpu_counts {
         let linux = run_omp(spec, OmpMode::LinuxUser, p, mc, seed);
-        for mode in [OmpMode::Rtk, OmpMode::Pik, OmpMode::Cck] {
+        for &mode in modes {
             let r = run_omp(spec, mode, p, mc, seed);
             out.push(RelPerf {
                 bench: spec.name,
@@ -230,7 +233,13 @@ mod tests {
     fn all_points() -> Vec<RelPerf> {
         let mut pts = Vec::new();
         for spec in fig6_specs() {
-            pts.extend(fig6_series(&spec, &knl(), &knl_cpu_counts(), 42));
+            pts.extend(fig6_series(
+                &spec,
+                &knl(),
+                &knl_cpu_counts(),
+                &OmpMode::KERNEL,
+                42,
+            ));
         }
         pts
     }
@@ -261,7 +270,7 @@ mod tests {
     #[test]
     fn gains_grow_with_scale() {
         let spec = bt();
-        let pts = fig6_series(&spec, &knl(), &knl_cpu_counts(), 42);
+        let pts = fig6_series(&spec, &knl(), &knl_cpu_counts(), &OmpMode::KERNEL, 42);
         let rel = |p: usize| {
             pts.iter()
                 .find(|r| r.cpus == p && r.mode == OmpMode::Rtk)
@@ -279,7 +288,7 @@ mod tests {
         // §V-A's wording: CCK helps at small scale (cheap tasking) and
         // hurts at large scale (centralized queue) — i.e. it crosses RTK.
         let spec = sp();
-        let pts = fig6_series(&spec, &knl(), &knl_cpu_counts(), 42);
+        let pts = fig6_series(&spec, &knl(), &knl_cpu_counts(), &OmpMode::KERNEL, 42);
         let get = |p: usize, m: OmpMode| {
             pts.iter()
                 .find(|r| r.cpus == p && r.mode == m)
@@ -303,7 +312,7 @@ mod tests {
         let mut pts = Vec::new();
         for spec in fig6_specs() {
             let spec = spec.scaled(8);
-            pts.extend(fig6_series(&spec, &mc, &counts, 7));
+            pts.extend(fig6_series(&spec, &mc, &counts, &OmpMode::KERNEL, 7));
         }
         let rtk = geomean_rel(&pts, OmpMode::Rtk);
         assert!(

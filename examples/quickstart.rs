@@ -8,8 +8,9 @@
 //! Run with: `cargo run --example quickstart`
 
 use interweave::carat;
+use interweave::compose::{compose, StackBuilder};
 use interweave::core::machine::MachineConfig;
-use interweave::core::stack::StackConfig;
+use interweave::core::stack::{StackConfig, Translation};
 use interweave::core::Cycles;
 use interweave::fibers::study::floor_cycles;
 use interweave::heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
@@ -18,16 +19,37 @@ use interweave::ir::programs;
 use interweave::kernel::threads::{OsKind, SwitchKind};
 
 fn main() {
-    // 1. The design space: the paper's interweaving axes as data.
+    // 1. The design space: the paper's interweaving axes as data, and the
+    // builder that turns a point in that space into a composed stack.
     let commodity = StackConfig::commodity();
     let interwoven = StackConfig::interwoven();
     println!("commodity stack:  {commodity}");
     println!("interwoven stack: {interwoven}");
     println!(
-        "interweaving degree: {} -> {}\n",
+        "interweaving degree: {} -> {}",
         commodity.interweaving_degree(),
         interwoven.interweaving_degree()
     );
+    let machine = MachineConfig::xeon_server_2s();
+    let stack = StackBuilder::new(interwoven, machine.clone())
+        .build()
+        .expect("the interwoven preset is a coherent stack");
+    println!(
+        "composed: os={}, translation={}, delivery={:?}",
+        stack.os.name(),
+        stack.translation.name(),
+        stack.delivery
+    );
+    // Incoherent combinations come back as typed errors, not panics:
+    // CARAT's guards need the NK kernel side, so it can't ride on signals.
+    let bad = StackConfig {
+        translation: Translation::Carat,
+        ..StackConfig::commodity()
+    };
+    match compose(bad, machine) {
+        Err(e) => println!("rejected [{}]: {e}\n", e.rule()),
+        Ok(_) => unreachable!("carat-on-commodity must not compose"),
+    }
 
     // 2. CARAT (§IV-A): protection by compiler + runtime, no paging.
     let prog = programs::stream_triad(128);

@@ -1,0 +1,447 @@
+//! Cross-layer stack composition: make [`StackConfig`] load-bearing.
+//!
+//! The paper's Figure 1 thesis is that the *composition of the stack* is
+//! the experimental variable. [`StackConfig`] names the five axes; this
+//! module makes each named point buildable: [`StackBuilder`] takes a
+//! configuration plus a [`MachineConfig`] preset and materializes the
+//! actual composed objects — the OS personality ([`OsModel`]), the
+//! interrupt [`DeliveryMode`], the translation regime (paging model,
+//! identity mapping, or the CARAT guard pipeline), the coherence policy,
+//! and the isolation launch path — after rejecting incoherent axis
+//! combinations with a typed [`ComposeError`].
+//!
+//! Every harness-run experiment routes its stack selection through here,
+//! so a figure binary cannot measure a composition that could not exist:
+//! `StackConfig` provably maps to one runtime composition, and new stacks
+//! (the §V-A RTK/PIK/CCK kernel modes, the RISC-V preset) are one-line
+//! scenarios instead of hand-rolled per-binary machine setup.
+//!
+//! ```
+//! use interweave::compose::{compose, ComposeError, StackBuilder};
+//! use interweave::prelude::*;
+//!
+//! // The fully interwoven stack builds...
+//! let stack = compose(StackConfig::interwoven(), MachineConfig::xeon_server_2s()).unwrap();
+//! assert_eq!(stack.os.name(), "Nautilus");
+//!
+//! // ...while CARAT translation on the commodity kernel is rejected.
+//! let mut broken = StackConfig::commodity();
+//! broken.translation = interweave::core::stack::Translation::Carat;
+//! let err = StackBuilder::new(broken, MachineConfig::xeon_server_2s())
+//!     .build()
+//!     .unwrap_err();
+//! assert_eq!(err, ComposeError::CaratOnCommodityKernel);
+//! ```
+
+use interweave_carat::runtime::GuardCosts;
+use interweave_coherence::protocol::CohMode;
+use interweave_core::interrupt::DeliveryMode;
+use interweave_core::machine::MachineConfig;
+use interweave_core::stack::{
+    CoherencePolicy, Isolation, SignalPath, StackConfig, TimingSource, Translation,
+};
+use interweave_heartbeat::sim::SignalKind;
+use interweave_ir::passes::PassStats;
+use interweave_ir::Module;
+use interweave_kernel::os::{LinuxModel, NkModel, OsModel};
+use interweave_kernel::paging::PagingModel;
+use interweave_kernel::threads::OsKind;
+use interweave_omp::OmpMode;
+use interweave_virtines::bespoke::BespokeSpec;
+use interweave_virtines::wasp::LaunchPath;
+use std::fmt;
+
+/// An incoherent axis combination, rejected at composition time.
+///
+/// Each variant names the cross-layer dependency the configuration broke.
+/// The rules are the contract the table-driven validation test enumerates:
+/// a `StackConfig` either builds, or returns exactly one of these — never a
+/// panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComposeError {
+    /// CARAT translation (§IV-A) replaces paging with compiler guards and a
+    /// tracking runtime *inside one address space*. The commodity kernel's
+    /// user/kernel split (signals, per-process page tables) is exactly what
+    /// CARAT removes, so `Translation::Carat` requires the interwoven
+    /// kernel path (`SignalPath::NkIpiBroadcast`).
+    CaratOnCommodityKernel,
+    /// Identity mapping (§III) exposes physical addresses to every task; a
+    /// commodity kernel cannot identity-map untrusted user processes, so
+    /// `Translation::Identity` requires the interwoven kernel path.
+    IdentityOnCommodityKernel,
+    /// Selective coherence deactivation (§V-B) is "driven by language-level
+    /// sharing knowledge" — it needs the compiler in the loop, so
+    /// `CoherencePolicy::Selective` requires
+    /// `TimingSource::CompilerInjected` (the compiler-interwoven toolchain).
+    SelectiveCoherenceWithoutCompilerToolchain,
+    /// Bespoke contexts (§V-E) are *synthesized by the compiler* from the
+    /// workload, so `Isolation::Bespoke` requires
+    /// `TimingSource::CompilerInjected`.
+    BespokeWithoutCompilerToolchain,
+    /// Pipeline interrupts (§V-D) inject delivery into instruction fetch
+    /// with no privilege-level change — only sound when every recipient
+    /// runs kernel-mode, so a machine with
+    /// `DeliveryMode::PipelineBranch` requires the interwoven kernel path.
+    PipelineDeliveryOnCommodityKernel,
+}
+
+impl ComposeError {
+    /// Short machine-readable rule name (tables, JSON).
+    pub fn rule(&self) -> &'static str {
+        match self {
+            ComposeError::CaratOnCommodityKernel => "carat-needs-nk",
+            ComposeError::IdentityOnCommodityKernel => "identity-needs-nk",
+            ComposeError::SelectiveCoherenceWithoutCompilerToolchain => "selective-needs-compiler",
+            ComposeError::BespokeWithoutCompilerToolchain => "bespoke-needs-compiler",
+            ComposeError::PipelineDeliveryOnCommodityKernel => "pipeline-needs-nk",
+        }
+    }
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::CaratOnCommodityKernel => {
+                write!(
+                    f,
+                    "CARAT translation requires the interwoven (NK) kernel path"
+                )
+            }
+            ComposeError::IdentityOnCommodityKernel => {
+                write!(
+                    f,
+                    "identity mapping requires the interwoven (NK) kernel path"
+                )
+            }
+            ComposeError::SelectiveCoherenceWithoutCompilerToolchain => write!(
+                f,
+                "selective coherence needs language-level sharing knowledge (compiler timing)"
+            ),
+            ComposeError::BespokeWithoutCompilerToolchain => write!(
+                f,
+                "bespoke contexts are compiler-synthesized (compiler timing required)"
+            ),
+            ComposeError::PipelineDeliveryOnCommodityKernel => write!(
+                f,
+                "pipeline interrupt delivery requires the interwoven (NK) kernel path"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// The materialized translation regime of a composed stack.
+pub enum TranslationSetup {
+    /// Conventional paging: a TLB + demand-fault model priced from the
+    /// machine's cost model.
+    Paging(PagingModel),
+    /// Raw identity mapping with the largest page size: translation is
+    /// free and unprotected (§III).
+    Identity,
+    /// CARAT: the compiler guard pipeline plus the tracking runtime's cost
+    /// table. Call [`TranslationSetup::instrument`] to run the pipeline on
+    /// a module before admitting it.
+    Carat {
+        /// Per-call costs of the tracking runtime.
+        costs: GuardCosts,
+        /// Run the guard-elision/hoisting optimizer passes (§IV-A's
+        /// "optimized" row) or keep naive instrumentation.
+        optimize: bool,
+    },
+}
+
+impl TranslationSetup {
+    /// Display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TranslationSetup::Paging(_) => "paging",
+            TranslationSetup::Identity => "identity",
+            TranslationSetup::Carat { .. } => "carat",
+        }
+    }
+
+    /// Apply this regime's compile-time component to a module: the CARAT
+    /// guard pipeline instruments it (returning per-pass statistics);
+    /// paging and identity mapping need no compiler work and return an
+    /// empty pass list.
+    pub fn instrument(&self, m: &mut Module) -> Vec<(String, PassStats)> {
+        match self {
+            TranslationSetup::Carat { optimize, .. } => interweave_carat::instrument(m, *optimize),
+            TranslationSetup::Paging(_) | TranslationSetup::Identity => Vec::new(),
+        }
+    }
+}
+
+/// One runtime composition: every object a `StackConfig` names, built and
+/// ready to price an experiment.
+pub struct ComposedStack {
+    /// The configuration this stack was built from.
+    pub config: StackConfig,
+    /// The kernel personality (Nautilus-like or Linux-like) on the machine.
+    pub os: Box<dyn OsModel>,
+    /// How the machine delivers interrupts (IDT or §V-D pipeline branch).
+    pub delivery: DeliveryMode,
+    /// The translation regime.
+    pub translation: TranslationSetup,
+    /// The coherence policy, in the protocol simulator's terms.
+    pub coherence: CohMode,
+    /// The isolation launch path, in the virtine pool's terms. `Virtine`
+    /// composes to the snapshot path (the steady-state serving mechanism);
+    /// `Bespoke` to a minimal synthesized context.
+    pub isolation: LaunchPath,
+}
+
+impl fmt::Debug for ComposedStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComposedStack")
+            .field("config", &self.config)
+            .field("os", &self.os.name())
+            .field("delivery", &self.delivery)
+            .field("translation", &self.translation.name())
+            .field("coherence", &self.coherence)
+            .field("isolation", &self.isolation.name())
+            .finish()
+    }
+}
+
+impl ComposedStack {
+    /// The machine this stack runs on.
+    pub fn machine(&self) -> &MachineConfig {
+        self.os.machine()
+    }
+
+    /// The scheduler/threads view of the kernel axis.
+    pub fn os_kind(&self) -> OsKind {
+        match self.config.signal {
+            SignalPath::NkIpiBroadcast => OsKind::Nk,
+            SignalPath::LinuxSignals => OsKind::Linux,
+        }
+    }
+
+    /// The heartbeat simulator's view of the signaling axis.
+    pub fn signal_kind(&self) -> SignalKind {
+        match self.config.signal {
+            SignalPath::NkIpiBroadcast => SignalKind::NkIpi,
+            SignalPath::LinuxSignals => SignalKind::LinuxSignals,
+        }
+    }
+
+    /// The OpenMP mode this composition corresponds to, when it is one of
+    /// the four §V-A stacks (`commodity` ↦ Linux user-level libomp,
+    /// [`StackConfig::rtk`]/[`StackConfig::pik`]/[`StackConfig::cck`] ↦
+    /// the kernel modes). Other compositions have no OpenMP incarnation.
+    pub fn omp_mode(&self) -> Option<OmpMode> {
+        let c = self.config;
+        if c == StackConfig::commodity() {
+            Some(OmpMode::LinuxUser)
+        } else if c == StackConfig::rtk() {
+            Some(OmpMode::Rtk)
+        } else if c == StackConfig::pik() {
+            Some(OmpMode::Pik)
+        } else if c == StackConfig::cck() {
+            Some(OmpMode::Cck)
+        } else {
+            None
+        }
+    }
+}
+
+/// Builds a [`ComposedStack`] from a configuration and a machine preset.
+#[derive(Debug, Clone)]
+pub struct StackBuilder {
+    config: StackConfig,
+    machine: MachineConfig,
+    carat_optimize: bool,
+}
+
+impl StackBuilder {
+    /// A builder for `config` on `machine`.
+    pub fn new(config: StackConfig, machine: MachineConfig) -> StackBuilder {
+        StackBuilder {
+            config,
+            machine,
+            carat_optimize: true,
+        }
+    }
+
+    /// Whether a CARAT composition runs the guard optimizer passes
+    /// (default) or keeps naive instrumentation (§IV-A's ablation).
+    pub fn carat_optimize(mut self, optimize: bool) -> StackBuilder {
+        self.carat_optimize = optimize;
+        self
+    }
+
+    /// Check the configuration against the machine without building
+    /// anything. Rules are checked in a fixed order (translation,
+    /// coherence, isolation, delivery) so rejections are deterministic.
+    pub fn validate(&self) -> Result<(), ComposeError> {
+        let c = &self.config;
+        let commodity_kernel = c.signal == SignalPath::LinuxSignals;
+        if c.translation == Translation::Carat && commodity_kernel {
+            return Err(ComposeError::CaratOnCommodityKernel);
+        }
+        if c.translation == Translation::Identity && commodity_kernel {
+            return Err(ComposeError::IdentityOnCommodityKernel);
+        }
+        if c.coherence == CoherencePolicy::Selective && c.timing != TimingSource::CompilerInjected {
+            return Err(ComposeError::SelectiveCoherenceWithoutCompilerToolchain);
+        }
+        if c.isolation == Isolation::Bespoke && c.timing != TimingSource::CompilerInjected {
+            return Err(ComposeError::BespokeWithoutCompilerToolchain);
+        }
+        if self.machine.delivery == DeliveryMode::PipelineBranch && commodity_kernel {
+            return Err(ComposeError::PipelineDeliveryOnCommodityKernel);
+        }
+        Ok(())
+    }
+
+    /// Materialize the composition, or return the first broken rule.
+    pub fn build(self) -> Result<ComposedStack, ComposeError> {
+        self.validate()?;
+        let StackBuilder {
+            config,
+            machine,
+            carat_optimize,
+        } = self;
+        let os: Box<dyn OsModel> = match config.signal {
+            SignalPath::NkIpiBroadcast => Box::new(NkModel::new(machine.clone())),
+            SignalPath::LinuxSignals => Box::new(LinuxModel::new(machine.clone())),
+        };
+        let translation = match config.translation {
+            Translation::Paging => TranslationSetup::Paging(PagingModel::new(&machine.cost)),
+            Translation::Identity => TranslationSetup::Identity,
+            Translation::Carat => TranslationSetup::Carat {
+                costs: GuardCosts::default(),
+                optimize: carat_optimize,
+            },
+        };
+        let coherence = match config.coherence {
+            CoherencePolicy::FullMesi => CohMode::Full,
+            CoherencePolicy::Selective => CohMode::Selective,
+        };
+        let isolation = match config.isolation {
+            Isolation::Process => LaunchPath::Process,
+            Isolation::Container => LaunchPath::Container,
+            Isolation::FullVm => LaunchPath::FullVm,
+            Isolation::Virtine => LaunchPath::VirtineSnapshot,
+            Isolation::Bespoke => LaunchPath::Bespoke(BespokeSpec::minimal()),
+        };
+        Ok(ComposedStack {
+            config,
+            delivery: machine.delivery,
+            os,
+            translation,
+            coherence,
+            isolation,
+        })
+    }
+}
+
+/// Compose `config` on `machine` with default builder knobs.
+pub fn compose(config: StackConfig, machine: MachineConfig) -> Result<ComposedStack, ComposeError> {
+    StackBuilder::new(config, machine).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MachineConfig {
+        MachineConfig::test(8)
+    }
+
+    #[test]
+    fn named_presets_all_build() {
+        for cfg in [
+            StackConfig::commodity(),
+            StackConfig::interwoven(),
+            StackConfig::nautilus(),
+            StackConfig::rtk(),
+            StackConfig::pik(),
+            StackConfig::cck(),
+        ] {
+            let stack = compose(cfg, mc()).unwrap_or_else(|e| panic!("{cfg} rejected: {e}"));
+            assert_eq!(stack.config, cfg);
+        }
+    }
+
+    #[test]
+    fn composed_objects_track_the_axes() {
+        let c = compose(StackConfig::commodity(), mc()).unwrap();
+        assert_eq!(c.os.name(), "Linux");
+        assert_eq!(c.os_kind(), OsKind::Linux);
+        assert!(matches!(c.translation, TranslationSetup::Paging(_)));
+        assert_eq!(c.coherence, CohMode::Full);
+        assert_eq!(c.isolation, LaunchPath::Process);
+        assert_eq!(c.omp_mode(), Some(OmpMode::LinuxUser));
+
+        let i = compose(StackConfig::interwoven(), mc()).unwrap();
+        assert_eq!(i.os.name(), "Nautilus");
+        assert_eq!(i.os_kind(), OsKind::Nk);
+        assert_eq!(i.signal_kind(), SignalKind::NkIpi);
+        assert!(matches!(
+            i.translation,
+            TranslationSetup::Carat { optimize: true, .. }
+        ));
+        assert_eq!(i.coherence, CohMode::Selective);
+        assert_eq!(i.isolation, LaunchPath::VirtineSnapshot);
+        assert_eq!(i.omp_mode(), None, "interwoven is not an OpenMP stack");
+    }
+
+    #[test]
+    fn omp_presets_map_to_their_modes() {
+        let modes: Vec<Option<OmpMode>> =
+            [StackConfig::rtk(), StackConfig::pik(), StackConfig::cck()]
+                .into_iter()
+                .map(|c| compose(c, mc()).unwrap().omp_mode())
+                .collect();
+        assert_eq!(
+            modes,
+            vec![Some(OmpMode::Rtk), Some(OmpMode::Pik), Some(OmpMode::Cck)]
+        );
+    }
+
+    #[test]
+    fn carat_on_commodity_kernel_is_typed_rejection() {
+        let cfg = StackConfig {
+            translation: Translation::Carat,
+            ..StackConfig::commodity()
+        };
+        assert_eq!(
+            compose(cfg, mc()).unwrap_err(),
+            ComposeError::CaratOnCommodityKernel
+        );
+    }
+
+    #[test]
+    fn pipeline_delivery_needs_nk_kernel() {
+        let pipeline = mc().with_pipeline_interrupts();
+        assert_eq!(
+            compose(StackConfig::commodity(), pipeline.clone()).unwrap_err(),
+            ComposeError::PipelineDeliveryOnCommodityKernel
+        );
+        let nk = compose(StackConfig::nautilus(), pipeline).unwrap();
+        assert_eq!(nk.delivery, DeliveryMode::PipelineBranch);
+    }
+
+    #[test]
+    fn carat_instrument_runs_the_guard_pipeline() {
+        let prog = interweave_ir::programs::stream_triad(16);
+        let stack = compose(StackConfig::interwoven(), mc()).unwrap();
+        let mut m = prog.module.clone();
+        let stats = stack.translation.instrument(&mut m);
+        assert!(!stats.is_empty(), "carat must run passes");
+        // Paging stacks need no compiler work.
+        let commodity = compose(StackConfig::commodity(), mc()).unwrap();
+        let mut m2 = prog.module.clone();
+        assert!(commodity.translation.instrument(&mut m2).is_empty());
+    }
+
+    #[test]
+    fn composed_stack_is_shareable_across_sweep_workers() {
+        fn assert_sync<T: Sync + Send>(_: &T) {}
+        let stack = compose(StackConfig::interwoven(), mc()).unwrap();
+        assert_sync(&stack);
+    }
+}

@@ -9,6 +9,8 @@
 //! let knl = MachineConfig::phi_knl();
 //! assert_eq!(knl.dispatch_cost(), Cycles(1000)); // §V-D's measured cost
 //! ```
+pub mod compose;
+
 pub use interweave_blend as blend;
 pub use interweave_carat as carat;
 pub use interweave_coherence as coherence;
@@ -22,6 +24,7 @@ pub use interweave_virtines as virtines;
 
 /// Common imports for working with the laboratory.
 pub mod prelude {
+    pub use crate::compose::{compose, ComposeError, ComposedStack, StackBuilder};
     pub use interweave_core::machine::{CostModel, MachineConfig, Platform};
     pub use interweave_core::stack::StackConfig;
     pub use interweave_core::{Cycles, DeliveryMode, Freq};

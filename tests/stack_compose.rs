@@ -1,0 +1,144 @@
+//! Table-driven validation of the whole stack design space.
+//!
+//! [`StackConfig::enumerate`] yields all 120 axis combinations; every one
+//! must either build a [`ComposedStack`] or come back as exactly the typed
+//! [`ComposeError`] this test's independent rule table predicts — never a
+//! panic. The rule table deliberately restates the composition rules
+//! (first match in check order wins) so a drift in either place fails
+//! loudly.
+
+use interweave::compose::{compose, ComposeError, StackBuilder, TranslationSetup};
+use interweave::core::machine::MachineConfig;
+use interweave::core::stack::{
+    CoherencePolicy, Isolation, SignalPath, StackConfig, TimingSource, Translation,
+};
+use interweave::core::DeliveryMode;
+
+/// Independent statement of the composition rules, in the builder's
+/// documented check order (translation, coherence, isolation, delivery).
+fn expected_rejection(c: StackConfig, machine: &MachineConfig) -> Option<ComposeError> {
+    let commodity_kernel = c.signal == SignalPath::LinuxSignals;
+    if c.translation == Translation::Carat && commodity_kernel {
+        return Some(ComposeError::CaratOnCommodityKernel);
+    }
+    if c.translation == Translation::Identity && commodity_kernel {
+        return Some(ComposeError::IdentityOnCommodityKernel);
+    }
+    if c.coherence == CoherencePolicy::Selective && c.timing != TimingSource::CompilerInjected {
+        return Some(ComposeError::SelectiveCoherenceWithoutCompilerToolchain);
+    }
+    if c.isolation == Isolation::Bespoke && c.timing != TimingSource::CompilerInjected {
+        return Some(ComposeError::BespokeWithoutCompilerToolchain);
+    }
+    if machine.delivery == DeliveryMode::PipelineBranch && commodity_kernel {
+        return Some(ComposeError::PipelineDeliveryOnCommodityKernel);
+    }
+    None
+}
+
+#[test]
+fn every_axis_combination_builds_or_is_rejected_with_the_predicted_error() {
+    // Both delivery regimes: the pipeline machine adds the §V-D rule.
+    let machines = [
+        MachineConfig::xeon_server_2s(),
+        MachineConfig::xeon_server_2s().with_pipeline_interrupts(),
+    ];
+    let mut built = 0usize;
+    let mut rejected = 0usize;
+    for machine in &machines {
+        for cfg in StackConfig::enumerate() {
+            let result = compose(cfg, machine.clone());
+            match expected_rejection(cfg, machine) {
+                None => {
+                    let stack = result.unwrap_or_else(|e| {
+                        panic!("{cfg} on {} must build, got {e}", machine.name)
+                    });
+                    // The composition mirrors the configuration it came from.
+                    assert_eq!(stack.config, cfg);
+                    assert_eq!(
+                        stack.os.name(),
+                        match cfg.signal {
+                            SignalPath::NkIpiBroadcast => "Nautilus",
+                            SignalPath::LinuxSignals => "Linux",
+                        }
+                    );
+                    assert_eq!(
+                        stack.translation.name(),
+                        match cfg.translation {
+                            Translation::Paging => "paging",
+                            Translation::Identity => "identity",
+                            Translation::Carat => "carat",
+                        }
+                    );
+                    assert_eq!(stack.delivery, machine.delivery);
+                    built += 1;
+                }
+                Some(err) => {
+                    assert_eq!(
+                        result.as_ref().map(|_| ()).unwrap_err(),
+                        &err,
+                        "{cfg} on {} must be rejected as {err:?}",
+                        machine.name
+                    );
+                    // validate() agrees with build() without constructing.
+                    assert_eq!(StackBuilder::new(cfg, machine.clone()).validate(), Err(err));
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(built + rejected, 2 * 120, "the sweep covers the full space");
+    // The space is genuinely mixed: plenty of coherent stacks, and every
+    // rejection rule actually fires somewhere.
+    assert!(built >= 40, "only {built} compositions built");
+    assert!(rejected >= 100, "only {rejected} compositions rejected");
+}
+
+#[test]
+fn every_rejection_rule_fires_and_names_itself() {
+    let machines = [
+        MachineConfig::xeon_server_2s(),
+        MachineConfig::xeon_server_2s().with_pipeline_interrupts(),
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    for machine in &machines {
+        for cfg in StackConfig::enumerate() {
+            if let Err(e) = compose(cfg, machine.clone()) {
+                seen.insert(e.rule());
+            }
+        }
+    }
+    let all: Vec<&str> = seen.into_iter().collect();
+    assert_eq!(
+        all,
+        vec![
+            "bespoke-needs-compiler",
+            "carat-needs-nk",
+            "identity-needs-nk",
+            "pipeline-needs-nk",
+            "selective-needs-compiler",
+        ],
+        "every ComposeError variant must be reachable from the design space"
+    );
+}
+
+#[test]
+fn carat_optimize_knob_reaches_the_translation_setup() {
+    let naive = StackBuilder::new(StackConfig::pik(), MachineConfig::xeon_server_2s())
+        .carat_optimize(false)
+        .build()
+        .expect("pik builds");
+    match naive.translation {
+        TranslationSetup::Carat { optimize, .. } => assert!(!optimize),
+        other => panic!("pik must compose carat translation, got {}", other.name()),
+    }
+}
+
+#[test]
+fn stack_config_serde_round_trips_across_the_whole_space() {
+    for cfg in StackConfig::enumerate() {
+        let json = serde_json::to_string(&cfg).expect("serializable");
+        let back: StackConfig = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(back, cfg, "round-trip must be lossless for {cfg}");
+    }
+}
