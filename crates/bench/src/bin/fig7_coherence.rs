@@ -1,9 +1,14 @@
 //! Fig. 7: speedup of selective coherence deactivation on PBBS-archetype
 //! workloads, dual-socket 24-core machine, plus the interconnect-energy
 //! companion claim and the scale trend.
+//!
+//! `--shards <n>` runs the sweeps on `n` event-queue shards. The output is
+//! bit-identical at every shard count — the CI determinism gate
+//! byte-compares `--shards 1` against `--shards 4`.
 
+use interweave_bench::harness::Cli;
 use interweave_bench::{f, print_table, s};
-use interweave_coherence::experiment::{fig7, mean_energy_reduction, mean_speedup};
+use interweave_coherence::experiment::{fig7_sharded, mean_energy_reduction, mean_speedup};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -14,7 +19,8 @@ struct JsonRow {
 }
 
 fn main() {
-    let rows_data = fig7(24, 11);
+    let shards = Cli::parse().shards;
+    let rows_data = fig7_sharded(24, 11, shards);
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for r in &rows_data {
@@ -48,10 +54,15 @@ fn main() {
         100.0 * mean_energy_reduction(&rows_data)
     );
 
-    // Scale trend (§V-B: "benefits grow with scale").
+    // Scale trend (§V-B: "benefits grow with scale"). The 24-core row is
+    // the main table's run — fig7 is deterministic, so reuse it.
     let mut rows = Vec::new();
     for cores in [8usize, 16, 24, 48] {
-        let r = fig7(cores, 11);
+        let r = if cores == 24 {
+            rows_data.clone()
+        } else {
+            fig7_sharded(cores, 11, shards)
+        };
         rows.push(vec![
             s(cores),
             f(mean_speedup(&r), 3),

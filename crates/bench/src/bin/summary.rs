@@ -10,7 +10,7 @@
 //! every entry's composition is validated through the facade's
 //! `StackBuilder` before the section runs.
 
-use interweave_bench::harness::{section, BenchSummary, ExperimentSummary};
+use interweave_bench::harness::{section, section_sharded, BenchSummary, Cli, ExperimentSummary};
 use interweave_bench::{f, print_table, s};
 use interweave_core::machine::MachineConfig;
 use interweave_core::stack::{StackConfig, TimingSource};
@@ -20,6 +20,7 @@ use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
+    let shards = Cli::parse().shards;
     let mut entries: Vec<ExperimentSummary> = Vec::new();
     let xeon = MachineConfig::xeon_server_2s();
 
@@ -85,17 +86,18 @@ fn main() {
         },
     );
 
-    section(
+    section_sharded(
         &mut entries,
         "Fig 7",
         "selective coherence ≈1.46x, −53% NoC energy",
         StackConfig::interwoven(),
         xeon.clone(),
+        shards,
         || {
             use interweave_coherence::experiment::{
-                fig7_reduced, mean_energy_reduction, mean_speedup,
+                fig7_reduced_sharded, mean_energy_reduction, mean_speedup,
             };
-            let r = fig7_reduced(24, 11, 4);
+            let r = fig7_reduced_sharded(24, 11, 4, shards);
             format!(
                 "{:.2}x, −{:.0}%",
                 mean_speedup(&r),

@@ -24,14 +24,29 @@ use serde::Serialize;
 ///
 /// `--json <path>` additionally writes the machine-readable results
 /// envelope; `--trace-out <path>` asks binaries that collect telemetry
-/// spans to export a Chrome/Perfetto trace. The golden CI runs pass
-/// neither, so neither affects pinned stdout.
-#[derive(Debug, Clone, Default)]
+/// spans to export a Chrome/Perfetto trace; `--shards <n>` selects the
+/// simulation-kernel shard count for binaries whose hot loop runs on the
+/// sharded kernel (the result is bit-identical at every count — the CI
+/// determinism gate relies on exactly that). The golden CI runs pass no
+/// flags, so none affects pinned stdout.
+#[derive(Debug, Clone)]
 pub struct Cli {
     /// Path for the JSON results envelope, when requested.
     pub json: Option<String>,
     /// Path for the Perfetto trace export, when requested.
     pub trace_out: Option<String>,
+    /// Simulation-kernel shard count (`--shards <n>`, default 1).
+    pub shards: usize,
+}
+
+impl Default for Cli {
+    fn default() -> Cli {
+        Cli {
+            json: None,
+            trace_out: None,
+            shards: 1,
+        }
+    }
 }
 
 impl Cli {
@@ -50,9 +65,18 @@ impl Cli {
                     .clone()
             })
         };
+        let shards = match value_of("--shards") {
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| panic!("--shards takes a positive count, got {v:?}")),
+            None => 1,
+        };
         Cli {
             json: value_of("--json"),
             trace_out: value_of("--trace-out"),
+            shards,
         }
     }
 }
@@ -174,6 +198,11 @@ impl Harness {
         self.cli.trace_out.as_deref()
     }
 
+    /// The simulation-kernel shard count (`--shards`, default 1).
+    pub fn shards(&self) -> usize {
+        self.cli.shards
+    }
+
     /// Print one boxed table (title banner, aligned header and rows).
     pub fn table(&self, title: &str, header: &[&str], rows: &[Vec<String>]) {
         print_table(title, header, rows);
@@ -219,6 +248,9 @@ pub struct ExperimentSummary {
     pub measured: String,
     /// Wall-clock time to regenerate this entry, in milliseconds.
     pub wall_ms: f64,
+    /// Simulation-kernel shard count the section ran with (1 = the merged
+    /// sequential kernel; results are bit-identical at every count).
+    pub shards: usize,
 }
 
 /// The scoreboard file schema (`BENCH_summary.json`).
@@ -244,6 +276,20 @@ pub fn section(
     machine: MachineConfig,
     run: impl FnOnce() -> String,
 ) {
+    section_sharded(out, experiment, claim, stack, machine, 1, run);
+}
+
+/// [`section`], for a section whose hot loop ran on the sharded simulation
+/// kernel: records the true shard count in the scoreboard record.
+pub fn section_sharded(
+    out: &mut Vec<ExperimentSummary>,
+    experiment: &str,
+    claim: &str,
+    stack: StackConfig,
+    machine: MachineConfig,
+    shards: usize,
+    run: impl FnOnce() -> String,
+) {
     Scenario::new("section", stack, machine).compose();
     let start = std::time::Instant::now();
     let measured = run();
@@ -253,6 +299,7 @@ pub fn section(
         stack,
         measured,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        shards,
     });
 }
 
@@ -271,6 +318,21 @@ mod tests {
         assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
         let none = Cli::from_args(args(&["bin"]));
         assert!(none.json.is_none() && none.trace_out.is_none());
+    }
+
+    #[test]
+    fn cli_shards_defaults_to_one_and_parses() {
+        assert_eq!(Cli::from_args(args(&["bin"])).shards, 1);
+        assert_eq!(Cli::default().shards, 1);
+        let cli = Cli::from_args(args(&["bin", "--shards", "4", "--json", "r.json"]));
+        assert_eq!(cli.shards, 4);
+        assert_eq!(cli.json.as_deref(), Some("r.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--shards takes a positive count")]
+    fn cli_rejects_zero_shards() {
+        Cli::from_args(args(&["bin", "--shards", "0"]));
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn scoreboard() -> (BenchSummary, Vec<StackConfig>) {
             stack,
             measured: "1.0x".into(),
             wall_ms: 0.25,
+            shards: i + 1,
         })
         .collect();
     (
@@ -67,7 +68,34 @@ fn summary_file_keeps_its_bookkeeping_fields() {
         Some(serde::json::JsonValue::Arr(a)) => &a[0],
         other => panic!("experiments must be an array, got {other:?}"),
     };
-    for field in ["experiment", "claim", "stack", "measured", "wall_ms"] {
+    for field in [
+        "experiment",
+        "claim",
+        "stack",
+        "measured",
+        "wall_ms",
+        "shards",
+    ] {
         assert!(exp.get(field).is_some(), "missing field {field}");
     }
+}
+
+#[test]
+fn shard_counts_round_trip_through_the_summary_file() {
+    let (summary, stacks) = scoreboard();
+    let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+    let doc = serde::json::parse(&json).expect("valid JSON");
+    let experiments = match doc.get("experiments") {
+        Some(serde::json::JsonValue::Arr(a)) => a,
+        other => panic!("experiments must be an array, got {other:?}"),
+    };
+    // Each record reports the true shard count its section ran with.
+    for (i, exp) in experiments.iter().enumerate() {
+        let got: usize = match exp.get("shards") {
+            Some(serde::json::JsonValue::Num(n)) => n.parse().expect("integral shard count"),
+            other => panic!("shards must be a number, got {other:?}"),
+        };
+        assert_eq!(got, i + 1, "shard count must round-trip exactly");
+    }
+    assert_eq!(experiments.len(), stacks.len());
 }

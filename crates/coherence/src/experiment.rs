@@ -7,19 +7,33 @@
 //! (fork-join barrier), and in selective mode the producer→consumer
 //! hand-offs reclassify at the boundary (charged to the handing core).
 //! Reported: makespan speedup and interconnect-energy ratio.
+//!
+//! ## The sharded engine
+//!
+//! The round loop runs on [`ShardedKernel`]: each event-queue shard owns a
+//! contiguous block of cores (`shard = core · shards / cores`) and fires
+//! that block's consume/work events; the only cross-shard traffic is the
+//! round-boundary hand-off of a produced buffer to the successor core,
+//! which travels through the kernel's deterministic mailbox and is applied
+//! at the window barrier in canonical `(time, sender shard, sender seq)`
+//! order. Under the contiguous mapping that order *is* ascending core
+//! order — exactly the sequential reference loop — so the makespan and
+//! the (order-sensitive) f64 energy accumulation are bit-identical at
+//! every shard count. A model-equality test below pins this against the
+//! retired sequential implementation.
 
 use crate::protocol::{Class, CohMode, ProtocolKind, System, SystemConfig};
+use interweave_core::{Cycles, ShardedKernel};
 
 fn interweave_coherence_protocol_kind() -> ProtocolKind {
     ProtocolKind::Mesi
 }
 use crate::workloads::{
-    consume_accesses, fig7_mixes, handoff_lines, initialize_readonly, produce_accesses,
-    round_stream, Access, Layout, WorkloadMix,
+    fig7_mixes, handoff_range, initialize_readonly, round_stream_into, Access, Layout, WorkloadMix,
 };
 
 /// One benchmark's outcome under both policies.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7Row {
     /// Benchmark name.
     pub name: &'static str,
@@ -60,6 +74,63 @@ pub fn run_one_on_mesh(
     seed: u64,
     disaggregation: Option<(usize, u32)>,
 ) -> (u64, f64) {
+    run_one_sharded(mix, cores, mode, seed, disaggregation, 1)
+}
+
+/// One core's simulated activity in the sharded round loop. The payload
+/// names the core; its shard is fixed by the contiguous core→shard map.
+#[derive(Debug, Clone, Copy)]
+enum CohEvent {
+    /// Read the predecessor's hand-off buffer (rounds after the first) —
+    /// and, in selective mode, hand the region back for refilling.
+    Consume(usize),
+    /// The round's main access stream plus the produce phase.
+    Work(usize),
+    /// Round-boundary hand-off: this core's freshly produced buffer
+    /// reclassifies to its successor. Travels cross-shard through the
+    /// mailbox and is applied at the barrier, never enqueued.
+    Handoff(usize),
+}
+
+/// Round `r` on the sharded timeline. Three timestamps per round keep the
+/// phases in disjoint conservative windows: consume at `3r+1`, work at
+/// `3r+2`, and hand-off envelopes delivered at `3r+3` — one cycle after
+/// their `3r+2` send, satisfying the kernel's minimum lookahead.
+fn consume_at(round: usize) -> Cycles {
+    Cycles(3 * round as u64 + 1)
+}
+fn work_at(round: usize) -> Cycles {
+    Cycles(3 * round as u64 + 2)
+}
+
+/// [`run_one_on_mesh`] on `shards` event-queue shards. Bit-identical
+/// results at every shard count (see the module docs for the argument);
+/// `shards` is clamped to `[1, cores]`.
+pub fn run_one_sharded(
+    mix: &WorkloadMix,
+    cores: usize,
+    mode: CohMode,
+    seed: u64,
+    disaggregation: Option<(usize, u32)>,
+    shards: usize,
+) -> (u64, f64) {
+    run_one_inner(mix, cores, mode, seed, disaggregation, shards, None)
+}
+
+/// The engine behind [`run_one_sharded`]. `streams`, when given, holds the
+/// pre-generated access stream for `[round * cores + core]` — the streams
+/// depend only on `(mix, cores, seed)`, so [`fig7_impl`] generates them
+/// once and replays them for both coherence modes.
+fn run_one_inner(
+    mix: &WorkloadMix,
+    cores: usize,
+    mode: CohMode,
+    seed: u64,
+    disaggregation: Option<(usize, u32)>,
+    shards: usize,
+    streams: Option<&[Vec<Access>]>,
+) -> (u64, f64) {
+    let shards = shards.clamp(1, cores);
     let mut sys = System::new(SystemConfig {
         cores,
         l1_lines: 512,
@@ -71,9 +142,9 @@ pub fn run_one_on_mesh(
         sys.mesh = crate::noc::Mesh::disaggregated(cores, per_domain, penalty);
     }
     let layout = Layout::new(mix, cores);
-    // The footprint is known up front: pre-size the line-state table so
-    // the measured region never rehashes.
-    sys.reserve_lines(layout.total_lines(mix));
+    // The footprint is known up front and contiguous from the layout base:
+    // back it with dense storage so the measured region never hashes.
+    sys.reserve_dense(0x1000, layout.total_lines(mix));
     // Initialization phase (not measured, matching the paper's region-of-
     // interest methodology): build the read-only input, then classify.
     initialize_readonly(&mut sys, mix, &layout);
@@ -83,87 +154,168 @@ pub fn run_one_on_mesh(
     // Reset energy after init so the ROI is what we report.
     sys.energy = Default::default();
 
+    // Contiguous core→shard map: (shard asc, within-shard seq asc) equals
+    // ascending core order, which is what makes the window order — and the
+    // mailbox drain order — match the sequential reference exactly.
+    let shard_of = |core: usize| core * shards / cores;
+    let mut k: ShardedKernel<CohEvent> = ShardedKernel::new(shards);
+    if mix.rounds > 0 {
+        for core in 0..cores {
+            k.schedule(shard_of(core), work_at(0), CohEvent::Work(core));
+        }
+    }
+
     let mut makespan = 0u64;
     let mut per_core = vec![0u64; cores];
-    for round in 0..mix.rounds {
-        per_core.iter_mut().for_each(|t| *t = 0);
-
-        // Consume phase (rounds after the first): each core reads the
-        // buffer its predecessor produced, then hands ownership back so the
-        // predecessor can refill it this round. Under full MESI the same
-        // reads simply forward/downgrade through the protocol.
-        if round > 0 {
-            for (core, pc) in per_core.iter_mut().enumerate() {
-                let mut t = 0u64;
-                for acc in consume_accesses(mix, &layout, core, cores) {
-                    t += match acc {
-                        Access::Read(l) => sys.read(core, l),
-                        Access::Write(l) => sys.write(core, l),
-                    };
+    let mut stream = Vec::new();
+    let mut handoff = Vec::new();
+    while let Some((_, w)) = k.peek_next() {
+        // One conservative window per phase timestamp. Each shard fires
+        // its block of cores; shards only read/write their own queue plus
+        // their mailbox lane, so this loop is the parallel region.
+        for s in 0..shards {
+            while let Some((t, ev)) = k.shard_mut(s).pop_before(w) {
+                match ev {
+                    CohEvent::Consume(core) => {
+                        let mut tc = 0u64;
+                        let prev = (core + cores - 1) % cores;
+                        // The consumer reads its predecessor's buffer...
+                        for l in handoff_range(mix, &layout, prev) {
+                            tc += sys.read(core, l);
+                        }
+                        if mode == CohMode::Selective {
+                            // ...then hands the drained buffer back so
+                            // the predecessor can refill it this round.
+                            handoff.clear();
+                            handoff.extend(handoff_range(mix, &layout, prev));
+                            tc += sys.reclassify(&handoff, Class::Private(prev));
+                        }
+                        per_core[core] += tc;
+                    }
+                    CohEvent::Work(core) => {
+                        let round = ((t.get() - 2) / 3) as usize;
+                        let mut tc = 0u64;
+                        let accs = match streams {
+                            Some(s) => &s[round * cores + core][..],
+                            None => {
+                                round_stream_into(mix, &layout, core, round, seed, &mut stream);
+                                &stream[..]
+                            }
+                        };
+                        for &acc in accs {
+                            tc += match acc {
+                                Access::Read(l) => sys.read(core, l),
+                                Access::Write(l) => sys.write(core, l),
+                            };
+                        }
+                        // Produce phase: fill the hand-off buffer.
+                        for l in handoff_range(mix, &layout, core) {
+                            tc += sys.write(core, l);
+                        }
+                        per_core[core] += tc;
+                        if round + 1 < mix.rounds {
+                            k.schedule(s, consume_at(round + 1), CohEvent::Consume(core));
+                            k.schedule(s, work_at(round + 1), CohEvent::Work(core));
+                        }
+                        if mode == CohMode::Selective {
+                            let to = shard_of((core + 1) % cores);
+                            k.send(s, to, t + Cycles(1), CohEvent::Handoff(core));
+                        }
+                    }
+                    CohEvent::Handoff(_) => {
+                        unreachable!("hand-offs are barrier-applied, never enqueued")
+                    }
                 }
-                if mode == CohMode::Selective {
-                    let prev = (core + cores - 1) % cores;
-                    let lines = handoff_lines(mix, &layout, prev);
-                    t += sys.reclassify(&lines, Class::Private(prev));
-                }
-                *pc += t;
             }
         }
-
-        // Work phase: each core's stream runs on its own clock; protocol
-        // interactions serialize in core order within the round
-        // (deterministic; ordering effects are second-order for the
-        // aggregate metrics). The produce phase then fills the hand-off
-        // buffer.
-        for (core, pc) in per_core.iter_mut().enumerate() {
-            let mut t = 0u64;
-            for acc in round_stream(mix, &layout, core, round, seed)
-                .into_iter()
-                .chain(produce_accesses(mix, &layout, core))
-            {
-                t += match acc {
-                    Access::Read(l) => sys.read(core, l),
-                    Access::Write(l) => sys.write(core, l),
-                };
-            }
-            *pc += t;
-        }
-
-        // Round boundary barrier + hand-off of freshly produced buffers.
-        let mut round_max = *per_core.iter().max().expect("cores > 0");
-        if mode == CohMode::Selective {
+        // Work windows end the round: apply the hand-offs in canonical
+        // mailbox order (= ascending producer core under the contiguous
+        // map), close the barrier, and verify coherence.
+        if w.get() % 3 == 2 {
             let mut handoff_max = 0u64;
-            for core in 0..cores {
-                let lines = handoff_lines(mix, &layout, core);
+            for env in k.drain_sends() {
+                let CohEvent::Handoff(core) = env.payload else {
+                    unreachable!("only hand-offs cross shards")
+                };
+                handoff.clear();
+                handoff.extend(handoff_range(mix, &layout, core));
                 let new_owner = (core + 1) % cores;
-                let cost = sys.reclassify(&lines, Class::Private(new_owner));
+                let cost = sys.reclassify(&handoff, Class::Private(new_owner));
                 handoff_max = handoff_max.max(cost);
             }
-            round_max += handoff_max;
+            let round_max = per_core.iter().max().copied().unwrap_or(0) + handoff_max;
+            makespan += round_max;
+            per_core.iter_mut().for_each(|t| *t = 0);
+            sys.check_swmr();
         }
-        makespan += round_max;
-        sys.check_swmr();
     }
     (makespan, sys.energy.interconnect.get())
 }
 
 /// Produce all Fig. 7 rows at the given scale.
 pub fn fig7(cores: usize, seed: u64) -> Vec<Fig7Row> {
-    fig7_reduced(cores, seed, 1)
+    fig7_impl(cores, seed, 1, 1)
 }
 
 /// Fig. 7 with each benchmark's access volume divided by `div` — the same
 /// qualitative bands at a fraction of the simulation cost (used by tests;
 /// the bench binary runs `div = 1`).
 pub fn fig7_reduced(cores: usize, seed: u64, div: usize) -> Vec<Fig7Row> {
+    fig7_impl(cores, seed, div, 1)
+}
+
+/// Full-volume Fig. 7 on `shards` event-queue shards — same rows as
+/// [`fig7`] bit-for-bit at every shard count.
+pub fn fig7_sharded(cores: usize, seed: u64, shards: usize) -> Vec<Fig7Row> {
+    fig7_impl(cores, seed, 1, shards)
+}
+
+/// Reduced-volume Fig. 7 on `shards` event-queue shards (the scoreboard's
+/// variant) — same rows as [`fig7_reduced`] bit-for-bit at every count.
+pub fn fig7_reduced_sharded(cores: usize, seed: u64, div: usize, shards: usize) -> Vec<Fig7Row> {
+    fig7_impl(cores, seed, div, shards)
+}
+
+fn fig7_impl(cores: usize, seed: u64, div: usize, shards: usize) -> Vec<Fig7Row> {
     fig7_mixes()
         .iter()
         .map(|mix| {
             let mut mix = mix.clone();
             mix.accesses_per_round = (mix.accesses_per_round / div.max(1)).max(200);
-            let (full_cycles, full_noc_energy) = run_one(&mix, cores, CohMode::Full, seed);
-            let (selective_cycles, selective_noc_energy) =
-                run_one(&mix, cores, CohMode::Selective, seed);
+            // Both coherence modes replay the identical access streams:
+            // generate them once.
+            let layout = Layout::new(&mix, cores);
+            let mut streams = vec![Vec::new(); mix.rounds * cores];
+            for round in 0..mix.rounds {
+                for core in 0..cores {
+                    round_stream_into(
+                        &mix,
+                        &layout,
+                        core,
+                        round,
+                        seed,
+                        &mut streams[round * cores + core],
+                    );
+                }
+            }
+            let (full_cycles, full_noc_energy) = run_one_inner(
+                &mix,
+                cores,
+                CohMode::Full,
+                seed,
+                None,
+                shards,
+                Some(&streams),
+            );
+            let (selective_cycles, selective_noc_energy) = run_one_inner(
+                &mix,
+                cores,
+                CohMode::Selective,
+                seed,
+                None,
+                shards,
+                Some(&streams),
+            );
             Fig7Row {
                 name: mix.name,
                 full_cycles,
@@ -188,6 +340,135 @@ pub fn mean_energy_reduction(rows: &[Fig7Row]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workloads::{consume_accesses, handoff_lines, produce_accesses, round_stream};
+
+    /// The retired sequential round loop, verbatim — the model against
+    /// which the sharded engine is proven equal.
+    fn run_one_sequential(
+        mix: &WorkloadMix,
+        cores: usize,
+        mode: CohMode,
+        seed: u64,
+        disaggregation: Option<(usize, u32)>,
+    ) -> (u64, f64) {
+        let mut sys = System::new(SystemConfig {
+            cores,
+            l1_lines: 512,
+            mode,
+            protocol: interweave_coherence_protocol_kind(),
+            lat: Default::default(),
+        });
+        if let Some((per_domain, penalty)) = disaggregation {
+            sys.mesh = crate::noc::Mesh::disaggregated(cores, per_domain, penalty);
+        }
+        let layout = Layout::new(mix, cores);
+        sys.reserve_lines(layout.total_lines(mix));
+        initialize_readonly(&mut sys, mix, &layout);
+        if mode == CohMode::Selective {
+            layout.classify(&mut sys, mix);
+        }
+        sys.energy = Default::default();
+
+        let mut makespan = 0u64;
+        let mut per_core = vec![0u64; cores];
+        for round in 0..mix.rounds {
+            per_core.iter_mut().for_each(|t| *t = 0);
+            if round > 0 {
+                for (core, pc) in per_core.iter_mut().enumerate() {
+                    let mut t = 0u64;
+                    for acc in consume_accesses(mix, &layout, core, cores) {
+                        t += match acc {
+                            Access::Read(l) => sys.read(core, l),
+                            Access::Write(l) => sys.write(core, l),
+                        };
+                    }
+                    if mode == CohMode::Selective {
+                        let prev = (core + cores - 1) % cores;
+                        let lines = handoff_lines(mix, &layout, prev);
+                        t += sys.reclassify(&lines, Class::Private(prev));
+                    }
+                    *pc += t;
+                }
+            }
+            for (core, pc) in per_core.iter_mut().enumerate() {
+                let mut t = 0u64;
+                for acc in round_stream(mix, &layout, core, round, seed)
+                    .into_iter()
+                    .chain(produce_accesses(mix, &layout, core))
+                {
+                    t += match acc {
+                        Access::Read(l) => sys.read(core, l),
+                        Access::Write(l) => sys.write(core, l),
+                    };
+                }
+                *pc += t;
+            }
+            let mut round_max = *per_core.iter().max().expect("cores > 0");
+            if mode == CohMode::Selective {
+                let mut handoff_max = 0u64;
+                for core in 0..cores {
+                    let lines = handoff_lines(mix, &layout, core);
+                    let new_owner = (core + 1) % cores;
+                    let cost = sys.reclassify(&lines, Class::Private(new_owner));
+                    handoff_max = handoff_max.max(cost);
+                }
+                round_max += handoff_max;
+            }
+            makespan += round_max;
+            sys.check_swmr();
+        }
+        (makespan, sys.energy.interconnect.get())
+    }
+
+    #[test]
+    fn sharded_engine_matches_the_sequential_reference_bit_for_bit() {
+        let mut mix = fig7_mixes()[1].clone(); // bfs: heaviest shared traffic
+        mix.accesses_per_round /= 8;
+        for mode in [CohMode::Full, CohMode::Selective] {
+            let (seq_mk, seq_e) = run_one_sequential(&mix, 8, mode, 11, None);
+            for shards in [1, 2, 3, 4, 8] {
+                let (mk, e) = run_one_sharded(&mix, 8, mode, 11, None, shards);
+                assert_eq!(mk, seq_mk, "{mode:?} makespan diverged at {shards} shards");
+                assert_eq!(
+                    e.to_bits(),
+                    seq_e.to_bits(),
+                    "{mode:?} energy diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_on_a_disaggregated_mesh() {
+        let mut mix = fig7_mixes()[4].clone(); // nbody: widest private heaps
+        mix.accesses_per_round /= 8;
+        let disagg = Some((8, 16));
+        for mode in [CohMode::Full, CohMode::Selective] {
+            let (seq_mk, seq_e) = run_one_sequential(&mix, 16, mode, 7, disagg);
+            for shards in [2, 5, 16] {
+                let (mk, e) = run_one_sharded(&mix, 16, mode, 7, disagg, shards);
+                assert_eq!(mk, seq_mk, "{mode:?} makespan diverged at {shards} shards");
+                assert_eq!(e.to_bits(), seq_e.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_rows() {
+        let base = fig7_impl(8, 11, 8, 1);
+        for shards in [2, 4, 8] {
+            let rows = fig7_impl(8, 11, 8, shards);
+            for (a, b) in base.iter().zip(&rows) {
+                assert_eq!(a.full_cycles, b.full_cycles, "{}@{shards}", a.name);
+                assert_eq!(a.selective_cycles, b.selective_cycles);
+                assert_eq!(a.full_noc_energy.to_bits(), b.full_noc_energy.to_bits());
+                assert_eq!(
+                    a.selective_noc_energy.to_bits(),
+                    b.selective_noc_energy.to_bits()
+                );
+            }
+        }
+    }
 
     #[test]
     fn selective_wins_on_every_benchmark() {

@@ -24,6 +24,11 @@ pub struct Mesh {
     pub tiles_per_domain: usize,
     /// Extra hop-equivalents charged when a message crosses domains.
     pub cross_domain_hops: u32,
+    /// Pairwise hop distances (row-major over tiles), precomputed so the
+    /// per-message path avoids the coordinate divisions.
+    hops_tab: Vec<u32>,
+    /// ⌈2⁶⁴ / tiles⌉ — the fast-modulo magic behind [`Mesh::home`].
+    home_magic: u64,
 }
 
 impl Mesh {
@@ -32,7 +37,7 @@ impl Mesh {
         let mut w = (cores as f64).sqrt().ceil() as usize;
         w = w.max(1);
         let h = cores.div_ceil(w);
-        Mesh {
+        let mut m = Mesh {
             width: w,
             height: h,
             cycles_per_hop: 3,
@@ -40,7 +45,11 @@ impl Mesh {
             data_flits: 5,
             tiles_per_domain: 0,
             cross_domain_hops: 0,
-        }
+            hops_tab: Vec::new(),
+            home_magic: 0,
+        };
+        m.rebuild_tables();
+        m
     }
 
     /// A disaggregated variant: `tiles_per_domain` tiles per socket/drawer,
@@ -49,7 +58,29 @@ impl Mesh {
         let mut m = Mesh::for_cores(cores);
         m.tiles_per_domain = tiles_per_domain.max(1);
         m.cross_domain_hops = penalty;
+        m.rebuild_tables();
         m
+    }
+
+    fn rebuild_tables(&mut self) {
+        let n = self.width * self.height;
+        let mut tab = vec![0u32; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                let (ax, ay) = self.coords(a);
+                let (bx, by) = self.coords(b);
+                let base = (ax.abs_diff(bx) + ay.abs_diff(by)) as u32;
+                tab[a * n + b] = if self.domain(a) != self.domain(b) {
+                    base + self.cross_domain_hops
+                } else {
+                    base
+                };
+            }
+        }
+        self.hops_tab = tab;
+        // ⌈2⁶⁴ / n⌉; n = 1 wraps to 0, which the multiply in `home` maps
+        // to the correct answer (everything homes at tile 0).
+        self.home_magic = (u64::MAX / n as u64).wrapping_add(1);
     }
 
     fn domain(&self, tile: usize) -> usize {
@@ -62,27 +93,28 @@ impl Mesh {
 
     /// Manhattan hop distance between two tiles, plus the cross-domain
     /// penalty when they live in different coherence domains.
+    #[inline]
     pub fn hops(&self, a: usize, b: usize) -> u32 {
-        let (ax, ay) = self.coords(a);
-        let (bx, by) = self.coords(b);
-        let base = (ax.abs_diff(bx) + ay.abs_diff(by)) as u32;
-        if self.domain(a) != self.domain(b) {
-            base + self.cross_domain_hops
-        } else {
-            base
-        }
+        self.hops_tab[a * self.width * self.height + b]
     }
 
     /// Latency of a message over `hops` hops (zero-hop messages stay in the
     /// tile: one router traversal).
+    #[inline]
     pub fn latency(&self, hops: u32) -> u64 {
         self.cycles_per_hop * hops as u64 + 1
     }
 
     /// The home tile (L3 slice + directory bank) of a line address.
+    #[inline]
     pub fn home(&self, line: u64) -> usize {
-        // Spread lines across all tiles.
-        (line % (self.width * self.height) as u64) as usize
+        // Spread lines across all tiles: `line % tiles`, computed by
+        // Lemire's multiply-shift fast modulo (exact for operands < 2³²,
+        // which line addresses comfortably are).
+        debug_assert!(line < u32::MAX as u64);
+        let tiles = (self.width * self.height) as u64;
+        let low = self.home_magic.wrapping_mul(line);
+        ((low as u128 * tiles as u128) >> 64) as usize
     }
 
     /// Mean hop distance from `tile` to all tiles (reports).

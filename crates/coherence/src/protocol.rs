@@ -25,9 +25,9 @@
 //! instead of consulting four parallel maps.
 
 use crate::cache::{Cache, Entry, Mesi};
+use crate::linehash::LineMap;
 use crate::noc::Mesh;
 use interweave_core::energy::{EnergyLedger, EnergyModel};
-use std::collections::HashMap;
 
 /// Coherence policy under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,26 +139,178 @@ enum Dir {
 /// One record replaces what used to be four parallel maps (directory, L3
 /// residency, latest version, class), so the hot access paths pay one hash
 /// lookup and one write-back per miss instead of four lookups plus up to
-/// four inserts.
-#[derive(Debug, Clone, Copy)]
+/// four inserts. The record is packed to 24 bytes (the naive enum layout
+/// is 56): the table is the sweep's biggest randomly-accessed structure,
+/// and the miss paths are bound by real-CPU cache misses on it, so
+/// footprint is latency. Versions are `u32` internally — round-structured
+/// sweeps write any one line a few thousand times at most.
+#[derive(Debug, Clone, Copy, Default)]
 struct LineState {
-    /// Directory entry (meaningful for Shared-class lines).
-    dir: Dir,
-    /// L3 contents: resident version. `None` = only in DRAM (cold).
-    l3: Option<u64>,
+    /// Directory payload: owner for `Exclusive`, bitmask for `Sharers`.
+    dir_bits: u64,
     /// Ground-truth latest version.
-    latest: u64,
-    /// Region class, if the runtime classified this line.
-    class: Option<Class>,
+    latest32: u32,
+    /// L3 contents: resident version + 1; `0` = only in DRAM (cold).
+    l3p1: u32,
+    /// Directory tag: 0 = Uncached, 1 = Exclusive, 2 = Sharers.
+    dir_tag: u8,
+    /// Region class tag: 0 = unclassified, 1 = Private, 2 = ReadOnly,
+    /// 3 = Shared.
+    class_tag: u8,
+    /// Owner for a Private class.
+    class_owner: u8,
 }
 
-impl Default for LineState {
-    fn default() -> LineState {
-        LineState {
-            dir: Dir::Uncached,
-            l3: None,
-            latest: 0,
-            class: None,
+impl LineState {
+    /// Directory entry (meaningful for Shared-class lines).
+    #[inline]
+    fn dir(&self) -> Dir {
+        match self.dir_tag {
+            0 => Dir::Uncached,
+            1 => Dir::Exclusive(self.dir_bits as usize),
+            _ => Dir::Sharers(self.dir_bits),
+        }
+    }
+
+    #[inline]
+    fn set_dir(&mut self, d: Dir) {
+        match d {
+            Dir::Uncached => {
+                self.dir_tag = 0;
+                self.dir_bits = 0;
+            }
+            Dir::Exclusive(c) => {
+                self.dir_tag = 1;
+                self.dir_bits = c as u64;
+            }
+            Dir::Sharers(mask) => {
+                self.dir_tag = 2;
+                self.dir_bits = mask;
+            }
+        }
+    }
+
+    /// Ground-truth latest version.
+    #[inline]
+    fn latest(&self) -> u64 {
+        self.latest32 as u64
+    }
+
+    #[inline]
+    fn set_latest(&mut self, v: u64) {
+        debug_assert!(v <= u32::MAX as u64, "version overflow on a line");
+        self.latest32 = v as u32;
+    }
+
+    /// L3 contents: resident version. `None` = only in DRAM (cold).
+    #[inline]
+    fn l3(&self) -> Option<u64> {
+        self.l3p1.checked_sub(1).map(u64::from)
+    }
+
+    #[inline]
+    fn set_l3(&mut self, v: u64) {
+        debug_assert!(v < u32::MAX as u64, "version overflow on a line");
+        self.l3p1 = v as u32 + 1;
+    }
+
+    /// Region class, if the runtime classified this line.
+    #[inline]
+    fn class(&self) -> Option<Class> {
+        match self.class_tag {
+            0 => None,
+            1 => Some(Class::Private(self.class_owner as usize)),
+            2 => Some(Class::ReadOnly),
+            _ => Some(Class::Shared),
+        }
+    }
+
+    #[inline]
+    fn set_class(&mut self, class: Class) {
+        match class {
+            Class::Private(owner) => {
+                debug_assert!(
+                    owner <= u8::MAX as usize,
+                    "owner id overflows the class tag"
+                );
+                self.class_tag = 1;
+                self.class_owner = owner as u8;
+            }
+            Class::ReadOnly => self.class_tag = 2,
+            Class::Shared => self.class_tag = 3,
+        }
+    }
+}
+
+/// The unified line-state table: a dense array over the layout's
+/// contiguous line range (reserved up front by sweeps whose footprint is
+/// known), with a hash-map spill for addresses outside it. Absent
+/// entries read as the cold [`LineState`] either way, so dense and spill
+/// storage are observationally identical — the dense path just turns the
+/// two map operations on every access into two array indexes.
+#[derive(Debug, Default)]
+struct LineTable {
+    base: u64,
+    dense: Vec<LineState>,
+    spill: LineMap<LineState>,
+}
+
+impl LineTable {
+    /// Index into the dense range, if `line` falls inside it.
+    #[inline]
+    fn dense_idx(&self, line: u64) -> Option<usize> {
+        let off = line.wrapping_sub(self.base);
+        if off < self.dense.len() as u64 {
+            Some(off as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The line's state, defaulting cold.
+    #[inline]
+    fn get(&self, line: u64) -> LineState {
+        match self.dense_idx(line) {
+            Some(i) => self.dense[i],
+            None => self.spill.get(&line).copied().unwrap_or_default(),
+        }
+    }
+
+    /// Store the line's state.
+    #[inline]
+    fn set(&mut self, line: u64, st: LineState) {
+        match self.dense_idx(line) {
+            Some(i) => self.dense[i] = st,
+            None => {
+                self.spill.insert(line, st);
+            }
+        }
+    }
+
+    /// Mutable access, creating the cold default if absent.
+    #[inline]
+    fn state_mut(&mut self, line: u64) -> &mut LineState {
+        match self.dense_idx(line) {
+            Some(i) => &mut self.dense[i],
+            None => self.spill.entry(line).or_default(),
+        }
+    }
+
+    /// Advance the line's ground-truth version in place (write fast path:
+    /// no full-record copy) and return the new version.
+    #[inline]
+    fn bump_latest(&mut self, line: u64) -> u64 {
+        let st = self.state_mut(line);
+        st.latest32 += 1;
+        st.latest()
+    }
+
+    /// The line's class alone, without materializing the record.
+    #[inline]
+    fn class(&self, line: u64) -> Option<Class> {
+        match self.dense_idx(line) {
+            Some(i) => self.dense[i].class(),
+            None => self.spill.get(&line).and_then(|st| st.class()),
         }
     }
 }
@@ -222,7 +374,7 @@ pub struct System {
     pub mesh: Mesh,
     caches: Vec<Cache>,
     /// The unified line-state table: line address → all per-line state.
-    lines: HashMap<u64, LineState>,
+    lines: LineTable,
     emodel: EnergyModel,
     /// Energy accounting.
     pub energy: EnergyLedger,
@@ -237,7 +389,7 @@ impl System {
         System {
             caches: (0..cfg.cores).map(|_| Cache::new(cfg.l1_lines)).collect(),
             mesh,
-            lines: HashMap::new(),
+            lines: LineTable::default(),
             emodel: EnergyModel::default(),
             energy: EnergyLedger::new(),
             stats: CohStats::default(),
@@ -249,7 +401,33 @@ impl System {
     /// sweep whose footprint is known up front (layout sizes) never rehashes
     /// mid-run.
     pub fn reserve_lines(&mut self, n: usize) {
-        self.lines.reserve(n.saturating_sub(self.lines.len()));
+        self.lines
+            .spill
+            .reserve(n.saturating_sub(self.lines.spill.len()));
+    }
+
+    /// Back the line range `[base, base + n)` with dense storage — in the
+    /// line-state table and in every core's cache: every access to it
+    /// becomes an array index instead of a hash lookup. Observationally
+    /// identical to the spill map (sweeps with a known contiguous layout
+    /// call this instead of [`System::reserve_lines`]); any state the
+    /// range already accumulated migrates over.
+    pub fn reserve_dense(&mut self, base: u64, n: usize) {
+        for c in &mut self.caches {
+            c.reserve_dense(base, n);
+        }
+        let mut dense = vec![LineState::default(); n];
+        self.lines.spill.retain(|&line, st| {
+            let off = line.wrapping_sub(base);
+            if off < n as u64 {
+                dense[off as usize] = *st;
+                false
+            } else {
+                true
+            }
+        });
+        self.lines.base = base;
+        self.lines.dense = dense;
     }
 
     /// Publish this system's protocol statistics into `sink`'s registry as
@@ -277,14 +455,14 @@ impl System {
     /// paper's point.
     pub fn classify(&mut self, lines: impl Iterator<Item = u64>, class: Class) {
         for l in lines {
-            self.lines.entry(l).or_default().class = Some(class);
+            self.lines.state_mut(l).set_class(class);
         }
     }
 
     /// The line's full state, defaulting cold (uncached, DRAM-only, v0).
     #[inline]
     fn line_state(&self, line: u64) -> LineState {
-        self.lines.get(&line).copied().unwrap_or_default()
+        self.lines.get(line)
     }
 
     /// Resolve the effective class from an already-fetched state record.
@@ -292,7 +470,7 @@ impl System {
     fn resolve_class(&self, st: &LineState) -> Class {
         match self.cfg.mode {
             CohMode::Full => Class::Shared,
-            CohMode::Selective => st.class.unwrap_or(Class::Shared),
+            CohMode::Selective => st.class().unwrap_or(Class::Shared),
         }
     }
 
@@ -300,19 +478,23 @@ impl System {
         self.resolve_class(&self.line_state(line))
     }
 
+    #[inline]
     fn charge_msg(&mut self, hops: u32, flits: u32) {
         self.energy.charge_noc(&self.emodel, hops.max(1), flits);
     }
 
+    #[inline]
     fn charge_dir(&mut self) {
         self.stats.dir_lookups += 1;
         self.energy.directory += self.emodel.directory_access;
     }
 
+    #[inline]
     fn charge_l1(&mut self) {
         self.energy.caches += self.emodel.l1_access;
     }
 
+    #[inline]
     fn charge_l3(&mut self) {
         self.energy.caches += self.emodel.l3_access;
     }
@@ -322,13 +504,13 @@ impl System {
     /// record; a DRAM fetch fills the L3 in place.
     fn fetch_at_home(&mut self, st: &mut LineState) -> (u64, u64) {
         self.charge_l3();
-        match st.l3 {
+        match st.l3() {
             Some(v) => (self.cfg.lat.l3, v),
             None => {
                 self.stats.dram_fetches += 1;
                 self.energy.dram += self.emodel.dram_access;
-                let v = st.latest;
-                st.l3 = Some(v);
+                let v = st.latest();
+                st.set_l3(v);
                 (self.cfg.lat.l3 + self.cfg.lat.dram, v)
             }
         }
@@ -344,10 +526,10 @@ impl System {
                 if e.state == Mesi::M {
                     // Writeback to the local slice: zero hops.
                     self.stats.writebacks += 1;
-                    st.l3 = Some(e.version);
+                    st.set_l3(e.version);
                     self.charge_msg(0, self.mesh.data_flits);
                     self.charge_l3();
-                    self.lines.insert(line, st);
+                    self.lines.set(line, st);
                 }
             }
             Class::ReadOnly => {} // clean replicas drop silently
@@ -357,14 +539,14 @@ impl System {
                 self.charge_dir();
                 if e.state == Mesi::M {
                     self.stats.writebacks += 1;
-                    st.l3 = Some(e.version);
+                    st.set_l3(e.version);
                     self.charge_msg(hops, self.mesh.data_flits);
                     self.charge_l3();
-                    st.dir = Dir::Uncached;
+                    st.set_dir(Dir::Uncached);
                 } else {
                     // Eviction notice keeps the directory exact.
                     self.charge_msg(hops, self.mesh.control_flits);
-                    st.dir = match st.dir {
+                    st.set_dir(match st.dir() {
                         Dir::Exclusive(c) if c == core => Dir::Uncached,
                         Dir::Sharers(mask) => {
                             let m = mask & !(1 << core);
@@ -375,9 +557,9 @@ impl System {
                             }
                         }
                         other => other,
-                    };
+                    });
                 }
-                self.lines.insert(line, st);
+                self.lines.set(line, st);
             }
         }
     }
@@ -389,20 +571,32 @@ impl System {
     }
 
     /// Read one line from `core`; returns the access latency in cycles.
+    ///
+    /// The hit path is small enough to inline into the sweep loops; the
+    /// miss machinery stays outlined in [`System::read_miss`].
+    #[inline]
     pub fn read(&mut self, core: usize, line: u64) -> u64 {
         self.stats.reads += 1;
         self.charge_l1();
-        // One table lookup serves the whole access: class resolution,
-        // directory, L3 and version checks all come from `st`.
-        let mut st = self.line_state(line);
+        // Hits never touch the line table (the probe alone decides), so
+        // the table read is deferred to the miss path.
         if let Some(e) = self.caches[core].probe(line) {
             self.stats.l1_hits += 1;
             debug_assert_eq!(
-                e.version, st.latest,
+                e.version,
+                self.line_state(line).latest(),
                 "stale read of line {line:#x} at core {core}"
             );
+            let _ = e;
             return self.cfg.lat.l1_hit;
         }
+        self.read_miss(core, line)
+    }
+
+    fn read_miss(&mut self, core: usize, line: u64) -> u64 {
+        // One table lookup serves the whole miss: class resolution,
+        // directory, L3 and version checks all come from `st`.
+        let mut st = self.line_state(line);
 
         let lat = match self.resolve_class(&st) {
             Class::Private(owner) => {
@@ -428,20 +622,20 @@ impl System {
                 self.charge_msg(req_hops, self.mesh.control_flits);
                 self.charge_dir();
                 let mut lat = self.cfg.lat.l1_hit + self.mesh.latency(req_hops) + self.cfg.lat.dir;
-                match st.dir {
+                match st.dir() {
                     Dir::Uncached => {
                         let (fetch, v) = self.fetch_at_home(&mut st);
                         lat += fetch + self.mesh.latency(req_hops);
                         self.charge_msg(req_hops, self.mesh.data_flits);
                         match self.cfg.protocol {
                             ProtocolKind::Mesi => {
-                                st.dir = Dir::Exclusive(core);
+                                st.set_dir(Dir::Exclusive(core));
                                 self.insert_line(core, line, Mesi::E, v);
                             }
                             ProtocolKind::Msi => {
                                 // No E state: sole clean copies are plain
                                 // sharers, so the first write must upgrade.
-                                st.dir = Dir::Sharers(1 << core);
+                                st.set_dir(Dir::Sharers(1 << core));
                                 self.insert_line(core, line, Mesi::S, v);
                             }
                         }
@@ -450,7 +644,7 @@ impl System {
                         let (fetch, v) = self.fetch_at_home(&mut st);
                         lat += fetch + self.mesh.latency(req_hops);
                         self.charge_msg(req_hops, self.mesh.data_flits);
-                        st.dir = Dir::Sharers(mask | (1 << core));
+                        st.set_dir(Dir::Sharers(mask | (1 << core)));
                         self.insert_line(core, line, Mesi::S, v);
                     }
                     Dir::Exclusive(owner) if owner == core => {
@@ -471,28 +665,28 @@ impl System {
                         self.charge_msg(back, self.mesh.data_flits);
                         let oe = self.caches[owner]
                             .peek(line)
-                            .copied()
                             .expect("directory says owner holds the line");
                         let v = oe.version;
                         // Downgrade + writeback to home.
                         self.caches[owner].set_state(line, Mesi::S);
                         self.stats.writebacks += 1;
-                        st.l3 = Some(v);
+                        st.set_l3(v);
                         self.charge_msg(self.mesh.hops(owner, home), self.mesh.data_flits);
                         self.charge_l3();
                         lat +=
                             self.mesh.latency(fwd) + self.cfg.lat.l1_hit + self.mesh.latency(back);
-                        st.dir = Dir::Sharers((1 << owner) | (1 << core));
+                        st.set_dir(Dir::Sharers((1 << owner) | (1 << core)));
                         self.insert_line(core, line, Mesi::S, v);
                     }
                 }
                 lat
             }
         };
-        self.lines.insert(line, st);
+        self.lines.set(line, st);
         if let Some(e) = self.caches[core].peek(line) {
             debug_assert_eq!(
-                e.version, st.latest,
+                e.version,
+                st.latest(),
                 "read filled stale version for {line:#x}"
             );
         }
@@ -500,98 +694,117 @@ impl System {
     }
 
     /// Write one line from `core`; returns the access latency in cycles.
+    ///
+    /// Write *hits with write permission* (any state under a deactivated
+    /// private class; M or E under the full protocol) are the common case
+    /// and touch only the line's version counter — they bump it in place
+    /// rather than copying the whole state record out and back.
+    #[inline]
     pub fn write(&mut self, core: usize, line: u64) -> u64 {
         self.stats.writes += 1;
-        let mut st = self.line_state(line);
-        let v = st.latest + 1;
-        st.latest = v;
         self.charge_l1();
-
-        let lat = match self.resolve_class(&st) {
+        let class = match self.cfg.mode {
+            CohMode::Full => Class::Shared,
+            CohMode::Selective => self.lines.class(line).unwrap_or(Class::Shared),
+        };
+        match class {
             Class::Private(owner) => {
                 debug_assert_eq!(owner, core, "disentanglement violation on {line:#x}");
                 self.stats.deactivated += 1;
                 if self.caches[core].probe(line).is_some() {
                     self.stats.l1_hits += 1;
+                    let v = self.lines.bump_latest(line);
                     self.caches[core].write_hit(line, v);
                     self.cfg.lat.l1_hit
                 } else {
+                    let mut st = self.line_state(line);
+                    let v = st.latest() + 1;
+                    st.set_latest(v);
                     let (fetch, _) = self.fetch_at_home(&mut st);
                     self.charge_msg(0, self.mesh.data_flits);
+                    self.lines.set(line, st);
                     self.insert_line(core, line, Mesi::E, v);
                     self.caches[core].write_hit(line, v);
                     self.cfg.lat.l1_hit + fetch
                 }
             }
             Class::ReadOnly => panic!("write to read-only region: line {line:#x}"),
-            Class::Shared => {
-                let home = self.mesh.home(line);
-                let req_hops = self.mesh.hops(core, home);
-                match self.caches[core].probe(line) {
-                    Some(e) if e.state == Mesi::M => {
-                        self.stats.l1_hits += 1;
-                        self.caches[core].write_hit(line, v);
-                        self.cfg.lat.l1_hit
-                    }
-                    Some(e) if e.state == Mesi::E => {
-                        // Silent E→M upgrade.
-                        self.stats.l1_hits += 1;
-                        self.caches[core].write_hit(line, v);
-                        self.cfg.lat.l1_hit
-                    }
-                    Some(_) => {
-                        // S → upgrade: invalidate other sharers via home.
-                        self.stats.l1_hits += 1;
-                        self.charge_msg(req_hops, self.mesh.control_flits);
-                        self.charge_dir();
-                        let mut lat =
-                            self.cfg.lat.l1_hit + self.mesh.latency(req_hops) + self.cfg.lat.dir;
-                        lat += self.invalidate_others(&st, line, core, home);
-                        st.dir = Dir::Exclusive(core);
-                        self.caches[core].write_hit(line, v);
-                        lat
-                    }
-                    None => {
-                        // Write miss: RFO through the directory.
-                        self.charge_msg(req_hops, self.mesh.control_flits);
-                        self.charge_dir();
-                        let mut lat =
-                            self.cfg.lat.l1_hit + self.mesh.latency(req_hops) + self.cfg.lat.dir;
-                        match st.dir {
-                            Dir::Uncached => {
-                                let (fetch, _) = self.fetch_at_home(&mut st);
-                                lat += fetch + self.mesh.latency(req_hops);
-                                self.charge_msg(req_hops, self.mesh.data_flits);
-                            }
-                            Dir::Sharers(_) => {
-                                let (fetch, _) = self.fetch_at_home(&mut st);
-                                lat += fetch + self.mesh.latency(req_hops);
-                                self.charge_msg(req_hops, self.mesh.data_flits);
-                                lat += self.invalidate_others(&st, line, core, home);
-                            }
-                            Dir::Exclusive(owner) => {
-                                // Forward-invalidate: owner sends data
-                                // directly and drops its copy.
-                                self.stats.forwards += 1;
-                                let fwd = self.mesh.hops(home, owner);
-                                let back = self.mesh.hops(owner, core);
-                                self.charge_msg(fwd, self.mesh.control_flits);
-                                self.charge_msg(back, self.mesh.data_flits);
-                                self.stats.invalidations += 1;
-                                self.caches[owner].invalidate(line);
-                                lat += self.mesh.latency(fwd)
-                                    + self.cfg.lat.l1_hit
-                                    + self.mesh.latency(back);
-                            }
+            Class::Shared => match self.caches[core].probe(line) {
+                Some(e) if e.state == Mesi::M || e.state == Mesi::E => {
+                    // M hit, or silent E→M upgrade.
+                    self.stats.l1_hits += 1;
+                    let v = self.lines.bump_latest(line);
+                    self.caches[core].write_hit(line, v);
+                    self.cfg.lat.l1_hit
+                }
+                probed => self.write_shared_slow(core, line, probed),
+            },
+        }
+    }
+
+    /// The non-fast-path half of a Shared-class write: an S-state upgrade
+    /// or a full write miss (RFO through the directory). `probed` is the
+    /// already-taken cache probe result.
+    fn write_shared_slow(&mut self, core: usize, line: u64, probed: Option<Entry>) -> u64 {
+        let mut st = self.line_state(line);
+        let v = st.latest() + 1;
+        st.set_latest(v);
+        let lat = {
+            let home = self.mesh.home(line);
+            let req_hops = self.mesh.hops(core, home);
+            match probed {
+                Some(_) => {
+                    // S → upgrade: invalidate other sharers via home.
+                    self.stats.l1_hits += 1;
+                    self.charge_msg(req_hops, self.mesh.control_flits);
+                    self.charge_dir();
+                    let mut lat =
+                        self.cfg.lat.l1_hit + self.mesh.latency(req_hops) + self.cfg.lat.dir;
+                    lat += self.invalidate_others(&st, line, core, home);
+                    st.set_dir(Dir::Exclusive(core));
+                    self.caches[core].write_hit(line, v);
+                    lat
+                }
+                None => {
+                    // Write miss: RFO through the directory.
+                    self.charge_msg(req_hops, self.mesh.control_flits);
+                    self.charge_dir();
+                    let mut lat =
+                        self.cfg.lat.l1_hit + self.mesh.latency(req_hops) + self.cfg.lat.dir;
+                    match st.dir() {
+                        Dir::Uncached => {
+                            let (fetch, _) = self.fetch_at_home(&mut st);
+                            lat += fetch + self.mesh.latency(req_hops);
+                            self.charge_msg(req_hops, self.mesh.data_flits);
                         }
-                        st.dir = Dir::Exclusive(core);
-                        self.insert_line(core, line, Mesi::M, v);
-                        lat
+                        Dir::Sharers(_) => {
+                            let (fetch, _) = self.fetch_at_home(&mut st);
+                            lat += fetch + self.mesh.latency(req_hops);
+                            self.charge_msg(req_hops, self.mesh.data_flits);
+                            lat += self.invalidate_others(&st, line, core, home);
+                        }
+                        Dir::Exclusive(owner) => {
+                            // Forward-invalidate: owner sends data
+                            // directly and drops its copy.
+                            self.stats.forwards += 1;
+                            let fwd = self.mesh.hops(home, owner);
+                            let back = self.mesh.hops(owner, core);
+                            self.charge_msg(fwd, self.mesh.control_flits);
+                            self.charge_msg(back, self.mesh.data_flits);
+                            self.stats.invalidations += 1;
+                            self.caches[owner].invalidate(line);
+                            lat += self.mesh.latency(fwd)
+                                + self.cfg.lat.l1_hit
+                                + self.mesh.latency(back);
+                        }
                     }
+                    st.set_dir(Dir::Exclusive(core));
+                    self.insert_line(core, line, Mesi::M, v);
+                    lat
                 }
             }
         };
-        self.lines.insert(line, st);
+        self.lines.set(line, st);
         lat
     }
 
@@ -600,7 +813,7 @@ impl System {
     /// invalidation round trip through `home`).
     fn invalidate_others(&mut self, st: &LineState, line: u64, keep: usize, home: usize) -> u64 {
         let mut max_rtt = 0u64;
-        if let Dir::Sharers(mask) = st.dir {
+        if let Dir::Sharers(mask) = st.dir() {
             for c in 0..self.cfg.cores {
                 if c != keep && mask & (1 << c) != 0 {
                     self.stats.invalidations += 1;
@@ -615,32 +828,73 @@ impl System {
         max_rtt
     }
 
+    /// Flush one core's copy of `line` (if any) during reclassification,
+    /// charging the writeback when it was dirty. Returns the cycles added.
+    fn flush_for_reclassify(&mut self, line: u64, c: usize, old: Class, st: &mut LineState) -> u64 {
+        if let Some(e) = self.caches[c].invalidate(line) {
+            if e.state == Mesi::M {
+                self.stats.writebacks += 1;
+                st.set_l3(e.version);
+                let hops = match old {
+                    Class::Private(_) => 0,
+                    _ => self.mesh.hops(c, self.mesh.home(line)),
+                };
+                self.charge_msg(hops, self.mesh.data_flits);
+                self.charge_l3();
+                return self.mesh.latency(hops) + self.cfg.lat.l3;
+            }
+        }
+        0
+    }
+
     /// Selective-mode region hand-off: flush `lines` everywhere and assign
     /// a new class (e.g. a producer's private heap becoming the consumer's,
     /// or becoming read-only at a join). Returns the cycles charged.
+    ///
+    /// Only the caches that can actually hold a copy are touched: the
+    /// owner for a private line (disentanglement: nobody else ever
+    /// accessed it), the directory's holder set for a shared line
+    /// (eviction notices keep it exact), every core for read-only
+    /// replicas (unhomed, so untracked). The flush order is ascending
+    /// core id in every case — identical to a full scan.
     pub fn reclassify(&mut self, lines: &[u64], new_class: Class) -> u64 {
         let mut cost = 0u64;
         for &line in lines {
             let mut st = self.line_state(line);
             let old = self.resolve_class(&st);
-            for c in 0..self.cfg.cores {
-                if let Some(e) = self.caches[c].invalidate(line) {
-                    if e.state == Mesi::M {
-                        self.stats.writebacks += 1;
-                        st.l3 = Some(e.version);
-                        let hops = match old {
-                            Class::Private(_) => 0,
-                            _ => self.mesh.hops(c, self.mesh.home(line)),
-                        };
-                        self.charge_msg(hops, self.mesh.data_flits);
-                        self.charge_l3();
-                        cost += self.mesh.latency(hops) + self.cfg.lat.l3;
+            match old {
+                Class::Private(owner) => {
+                    #[cfg(debug_assertions)]
+                    for c in 0..self.cfg.cores {
+                        debug_assert!(
+                            c == owner || self.caches[c].peek(line).is_none(),
+                            "private line {line:#x} cached outside owner {owner}"
+                        );
+                    }
+                    cost += self.flush_for_reclassify(line, owner, old, &mut st);
+                }
+                Class::Shared => match st.dir() {
+                    Dir::Uncached => {}
+                    Dir::Exclusive(c) => {
+                        cost += self.flush_for_reclassify(line, c, old, &mut st);
+                    }
+                    Dir::Sharers(mask) => {
+                        for c in 0..self.cfg.cores {
+                            if mask & (1 << c) != 0 {
+                                cost += self.flush_for_reclassify(line, c, old, &mut st);
+                            }
+                        }
+                    }
+                },
+                Class::ReadOnly => {
+                    for c in 0..self.cfg.cores {
+                        cost += self.flush_for_reclassify(line, c, old, &mut st);
                     }
                 }
             }
-            st.dir = Dir::Uncached;
-            st.class = Some(new_class);
-            self.lines.insert(line, st);
+            st.set_dir(Dir::Uncached);
+            st.set_class(new_class);
+            self.lines.set(line, st);
         }
         cost
     }
@@ -648,30 +902,40 @@ impl System {
     /// Verify the single-writer/multiple-reader invariant and directory
     /// consistency for Shared-class lines. Panics on violation.
     pub fn check_swmr(&self) {
-        use std::collections::HashSet;
-        let mut lines: HashSet<u64> = HashSet::new();
-        for c in &self.caches {
-            lines.extend(c.resident());
+        // One sorted sweep over every resident (line, core, state) row,
+        // grouped by line. The per-line holder sets are identical to probing
+        // each cache per line, but the cost is one iteration plus a sort
+        // instead of residents × cores hash lookups.
+        let mut rows: Vec<(u64, usize, Mesi)> = Vec::new();
+        for (ci, c) in self.caches.iter().enumerate() {
+            rows.extend(c.entries().map(|(l, e)| (l, ci, e.state)));
         }
-        for line in lines {
+        rows.sort_unstable_by_key(|&(l, c, _)| (l, c));
+        let mut i = 0;
+        while i < rows.len() {
+            let line = rows[i].0;
+            let mut j = i;
+            while j < rows.len() && rows[j].0 == line {
+                j += 1;
+            }
+            let group = &rows[i..j];
+            i = j;
             if self.class_of(line) != Class::Shared {
                 continue;
             }
             let mut exclusive_holders = Vec::new();
             let mut shared_holders = Vec::new();
-            for (ci, c) in self.caches.iter().enumerate() {
-                if let Some(e) = c.peek(line) {
-                    match e.state {
-                        Mesi::M | Mesi::E => exclusive_holders.push(ci),
-                        Mesi::S => shared_holders.push(ci),
-                    }
+            for &(_, ci, state) in group {
+                match state {
+                    Mesi::M | Mesi::E => exclusive_holders.push(ci),
+                    Mesi::S => shared_holders.push(ci),
                 }
             }
             assert!(
                 exclusive_holders.len() <= 1,
                 "line {line:#x}: multiple exclusive holders {exclusive_holders:?}"
             );
-            let dir = self.line_state(line).dir;
+            let dir = self.line_state(line).dir();
             if let Some(&x) = exclusive_holders.first() {
                 assert!(
                     shared_holders.is_empty(),

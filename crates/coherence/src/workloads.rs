@@ -196,8 +196,24 @@ pub fn round_stream(
     round: usize,
     seed: u64,
 ) -> Vec<Access> {
+    let mut out = Vec::new();
+    round_stream_into(mix, layout, core, round, seed, &mut out);
+    out
+}
+
+/// [`round_stream`] into a caller-provided buffer (cleared first), so the
+/// hot loop reuses one allocation across every core and round.
+pub fn round_stream_into(
+    mix: &WorkloadMix,
+    layout: &Layout,
+    core: usize,
+    round: usize,
+    seed: u64,
+    out: &mut Vec<Access>,
+) {
     let mut rng = SplitMix64::new(seed ^ (core as u64) << 32 ^ (round as u64) << 16 ^ 0x9e37);
-    let mut out = Vec::with_capacity(mix.accesses_per_round);
+    out.clear();
+    out.reserve(mix.accesses_per_round);
     let pbase = layout.private_base[core];
     // The tail of the heap is the hand-off buffer, written only in the
     // produce phase; the stream stays in the stable portion.
@@ -229,15 +245,19 @@ pub fn round_stream(
             }
         }
     }
-    out
 }
 
-/// The lines core `c` hands to core `(c+1) % cores` at a round boundary:
-/// the tail of its private heap (the hand-off buffer).
-pub fn handoff_lines(mix: &WorkloadMix, layout: &Layout, core: usize) -> Vec<u64> {
+/// The line range core `c` hands to core `(c+1) % cores` at a round
+/// boundary: the tail of its private heap (the hand-off buffer).
+pub fn handoff_range(mix: &WorkloadMix, layout: &Layout, core: usize) -> std::ops::Range<u64> {
     let base = layout.private_base[core];
     let start = base + mix.private_lines - mix.handoff_lines.min(mix.private_lines);
-    (start..base + mix.private_lines).collect()
+    start..base + mix.private_lines
+}
+
+/// [`handoff_range`] collected (for callers that need a slice).
+pub fn handoff_lines(mix: &WorkloadMix, layout: &Layout, core: usize) -> Vec<u64> {
+    handoff_range(mix, layout, core).collect()
 }
 
 /// Producer phase: core `c` fills its hand-off buffer (writes).

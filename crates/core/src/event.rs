@@ -142,13 +142,17 @@ impl<E> EventQueue<E> {
     }
 
     /// Publish the queue's lifetime counters into `sink`'s registry as
-    /// gauges on shard 0, stamped with the queue's current time. Gauge
-    /// semantics make re-publishing idempotent.
-    pub fn publish_telemetry(&self, sink: &Sink) {
-        sink.gauge_at(&KEY_SCHEDULED, 0, self.stats.scheduled, self.now);
-        sink.gauge_at(&KEY_POPPED, 0, self.stats.popped, self.now);
-        sink.gauge_at(&KEY_CANCELLED, 0, self.stats.cancelled, self.now);
-        sink.gauge_at(&KEY_COMPACTIONS, 0, self.stats.compactions, self.now);
+    /// gauges under telemetry shard `shard`, stamped with the queue's
+    /// current time. A standalone queue publishes under shard 0; a queue
+    /// that is one shard of a [`crate::shard::ShardedKernel`] publishes
+    /// under its own shard index, so the registry's per-shard breakdown
+    /// mirrors the kernel's sharding. Gauge semantics make re-publishing
+    /// idempotent.
+    pub fn publish_telemetry(&self, sink: &Sink, shard: usize) {
+        sink.gauge_at(&KEY_SCHEDULED, shard, self.stats.scheduled, self.now);
+        sink.gauge_at(&KEY_POPPED, shard, self.stats.popped, self.now);
+        sink.gauge_at(&KEY_CANCELLED, shard, self.stats.cancelled, self.now);
+        sink.gauge_at(&KEY_COMPACTIONS, shard, self.stats.compactions, self.now);
     }
 
     /// The time of the most recently popped event (the simulator's "now").
@@ -501,8 +505,8 @@ mod tests {
         let st = q.stats();
         assert_eq!((st.scheduled, st.popped, st.cancelled), (3, 1, 1), "{st:?}");
         let sink = Sink::on(Level::Counters);
-        q.publish_telemetry(&sink);
-        q.publish_telemetry(&sink); // gauge semantics: idempotent
+        q.publish_telemetry(&sink, 0);
+        q.publish_telemetry(&sink, 0); // gauge semantics: idempotent
         assert_eq!(sink.counter("core.evq.scheduled"), 3);
         assert_eq!(sink.counter("core.evq.popped"), 1);
         assert_eq!(sink.counter("core.evq.cancelled"), 1);

@@ -30,6 +30,10 @@
 //! - [`faults`]: the seeded fault-injection plane ([`faults::FaultPlan`])
 //!   that higher layers consult to inject lost IPIs, allocation failures,
 //!   memory bit-flips, and virtine crashes — deterministically.
+//! - [`shard`]: the sharded discrete-event kernel — per-CPU [`EventQueue`]
+//!   shards advancing under conservative-lookahead synchronization, with a
+//!   deterministic cross-shard mailbox (merge order: time, shard, sequence)
+//!   so sharded runs are bit-identical to sequential ones.
 //! - [`telemetry`]: the cross-layer observability plane — a counter/gauge
 //!   registry, a cycle-attribution ledger whose categories must sum exactly
 //!   to the machine clock, and unified span tracing exported as
@@ -43,6 +47,7 @@ pub mod faults;
 pub mod interrupt;
 pub mod machine;
 pub mod rng;
+pub mod shard;
 pub mod stack;
 pub mod stats;
 pub mod telemetry;
@@ -53,6 +58,7 @@ pub use faults::{FaultClass, FaultConfig, FaultPlan, FaultRecord};
 pub use interrupt::DeliveryMode;
 pub use machine::{CostModel, MachineConfig, Platform};
 pub use rng::SplitMix64;
+pub use shard::{Envelope, Mailbox, ShardCtx, ShardedKernel};
 pub use stack::StackConfig;
 pub use telemetry::{Layer, Level, Sink, Span, SpanKind};
 pub use time::{Cycles, Freq, MicroSeconds};

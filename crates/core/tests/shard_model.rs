@@ -1,0 +1,202 @@
+//! Model-based property test for the sharded simulation kernel: a
+//! [`ShardedKernel`] driven through its merged driver must pop exactly the
+//! `(time, shard, seq)`-ordered event sequence of a reference model — a
+//! flat merged event list with per-shard sequence counters, the
+//! specification of what "one big sequential [`EventQueue`] partitioned by
+//! shard" means — under arbitrary interleavings of shard-local schedules,
+//! cancellable schedules and cancels, cross-shard sends, mailbox barriers,
+//! and pops. This is the determinism contract the sharded engines build
+//! on: partitioning is a scheduling decision, never an ordering one.
+
+use interweave_core::{Cycles, EventHandle, ShardedKernel};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule on shard `pick % n` at its local now + delta.
+    Schedule(usize, u64),
+    /// Same, keeping the cancellation handle.
+    ScheduleCancellable(usize, u64),
+    /// Cancel the i-th handle ever issued (mod count); stale handles must
+    /// be rejected identically by kernel and model.
+    Cancel(usize),
+    /// Cross-shard send `from % n → to % n` at the sender's lookahead
+    /// horizon + delta, parked in the mailbox until the next barrier.
+    Send(usize, usize, u64),
+    /// Mailbox barrier: deliver every pending envelope.
+    Flush,
+    /// Pop the globally earliest event through the merged driver.
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, 0u64..6).prop_map(|(s, d)| Op::Schedule(s, d)),
+        (0usize..8, 0u64..6).prop_map(|(s, d)| Op::ScheduleCancellable(s, d)),
+        (0usize..64).prop_map(Op::Cancel),
+        (0usize..8, 0usize..8, 0u64..5).prop_map(|(f, t, d)| Op::Send(f, t, d)),
+        Just(Op::Flush),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ]
+}
+
+/// One pending model event: `(time, shard, per-shard seq, payload)` —
+/// popped by minimum `(time, shard, seq)`, the kernel's total order.
+type Pending = (u64, usize, u64, u64);
+
+/// The reference: what a single merged sequential event queue would do,
+/// with shard ids as explicit tags and per-shard sequence counters.
+struct Model {
+    pending: Vec<Pending>,
+    /// Next schedule sequence number, per shard.
+    next_seq: Vec<u64>,
+    /// Per-shard queue clock (schedules clamp to it; pops advance it).
+    now: Vec<u64>,
+    /// Posted-but-undelivered envelopes: `(at, from, lane seq, to, payload)`.
+    outbox: Vec<(u64, usize, u64, usize, u64)>,
+    /// Next send sequence number, per sender lane.
+    lane_seq: Vec<u64>,
+}
+
+impl Model {
+    fn new(n: usize) -> Model {
+        Model {
+            pending: Vec::new(),
+            next_seq: vec![0; n],
+            now: vec![0; n],
+            outbox: Vec::new(),
+            lane_seq: vec![0; n],
+        }
+    }
+
+    fn schedule(&mut self, shard: usize, at: u64, payload: u64) -> u64 {
+        let seq = self.next_seq[shard];
+        self.next_seq[shard] += 1;
+        self.pending
+            .push((at.max(self.now[shard]), shard, seq, payload));
+        seq
+    }
+
+    fn cancel(&mut self, shard: usize, seq: u64) -> bool {
+        match self
+            .pending
+            .iter()
+            .position(|&(_, s, q, _)| s == shard && q == seq)
+        {
+            Some(i) => {
+                self.pending.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn send(&mut self, from: usize, to: usize, at: u64, payload: u64) {
+        let seq = self.lane_seq[from];
+        self.lane_seq[from] += 1;
+        self.outbox.push((at, from, seq, to, payload));
+    }
+
+    /// The barrier: deliver in the canonical `(at, from, lane seq)` order,
+    /// so target-shard sequence numbers are interleaving-independent.
+    fn flush(&mut self) {
+        let mut envs = std::mem::take(&mut self.outbox);
+        envs.sort_unstable_by_key(|&(at, from, seq, _, _)| (at, from, seq));
+        for (at, _, _, to, payload) in envs {
+            self.schedule(to, at, payload);
+        }
+    }
+
+    fn pop(&mut self) -> Option<(usize, u64, u64)> {
+        let i = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(t, s, q, _))| (t, s, q))
+            .map(|(i, _)| i)?;
+        let (t, s, _, p) = self.pending.remove(i);
+        self.now[s] = t;
+        Some((s, t, p))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn sharded_kernel_equals_the_merged_sequential_model(
+        shards in 1usize..8,
+        lookahead in 1u64..4,
+        ops in prop::collection::vec(op_strategy(), 1..140),
+    ) {
+        let mut k: ShardedKernel<u64> =
+            ShardedKernel::with_lookahead(shards, Cycles(lookahead));
+        let mut model = Model::new(shards);
+        // Handles issued so far: (shard, kernel handle, model seq).
+        let mut handles: Vec<(usize, EventHandle, u64)> = Vec::new();
+        let mut next_payload = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Schedule(pick, delta) => {
+                    let s = pick % shards;
+                    let payload = next_payload;
+                    next_payload += 1;
+                    let at = k.shard(s).now() + Cycles(delta);
+                    prop_assert_eq!(k.shard(s).now().get(), model.now[s]);
+                    k.schedule(s, at, payload);
+                    model.schedule(s, model.now[s] + delta, payload);
+                }
+                Op::ScheduleCancellable(pick, delta) => {
+                    let s = pick % shards;
+                    let payload = next_payload;
+                    next_payload += 1;
+                    let h = k.schedule_cancellable(s, k.shard(s).now() + Cycles(delta), payload);
+                    let seq = model.schedule(s, model.now[s] + delta, payload);
+                    handles.push((s, h, seq));
+                }
+                Op::Cancel(i) => {
+                    if !handles.is_empty() {
+                        let (s, h, seq) = handles[i % handles.len()];
+                        prop_assert_eq!(k.cancel(s, h), model.cancel(s, seq));
+                    }
+                }
+                Op::Send(f, t, delta) => {
+                    let (from, to) = (f % shards, t % shards);
+                    let payload = next_payload;
+                    next_payload += 1;
+                    // At or past the conservative horizon, as the lookahead
+                    // contract requires of senders.
+                    let at = k.shard(from).now() + Cycles(lookahead + delta);
+                    k.send(from, to, at, payload);
+                    model.send(from, to, model.now[from] + lookahead + delta, payload);
+                    prop_assert_eq!(k.pending_sends(), model.outbox.len());
+                }
+                Op::Flush => {
+                    let delivered = k.flush_mailbox();
+                    prop_assert_eq!(delivered, model.outbox.len());
+                    model.flush();
+                }
+                Op::Pop => {
+                    let got = k.pop_next().map(|(s, t, p)| (s, t.get(), p));
+                    prop_assert_eq!(got, model.pop());
+                }
+            }
+        }
+
+        // Drain to quiescence: one final barrier, then the full remaining
+        // sequence must match event for event.
+        k.flush_mailbox();
+        model.flush();
+        loop {
+            let got = k.pop_next().map(|(s, t, p)| (s, t.get(), p));
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert!(k.is_empty());
+    }
+}

@@ -17,7 +17,7 @@ use interweave_core::interrupt::{self, DeliveryOutcome, IrqClass};
 use interweave_core::machine::{CpuId, MachineConfig};
 use interweave_core::telemetry::{Key, Layer, Sink, Span, SpanKind, Unit};
 use interweave_core::time::Cycles;
-use interweave_core::{EventHandle, EventQueue, FaultPlan};
+use interweave_core::{EventHandle, FaultPlan, ShardedKernel};
 use std::collections::HashMap;
 
 const KEY_PREEMPTIONS: Key = Key::new("kernel.sched.preemptions", Layer::Kernel, Unit::Count);
@@ -129,7 +129,12 @@ pub struct Executor {
     cpus: Vec<Cpu>,
     waiters: HashMap<u64, Vec<TaskId>>,
     signalled: HashMap<u64, Cycles>,
-    events: EventQueue<ExecEvent>,
+    /// The sharded event kernel driving simulated time. One shard by
+    /// default (bit-identical to the historical single-queue executor);
+    /// [`Executor::set_shards`] splits it so each CPU group owns its own
+    /// event-queue shard, with the merged (time, shard, seq) driver
+    /// keeping runs deterministic at every shard count.
+    events: ShardedKernel<ExecEvent>,
     tracing: bool,
     /// Which OS's context-switch costs this kernel charges. `Nk` (the
     /// default) is the interwoven Nautilus-like kernel; `Linux` models the
@@ -176,7 +181,7 @@ impl Executor {
             cpus,
             waiters: HashMap::new(),
             signalled: HashMap::new(),
-            events: EventQueue::new(),
+            events: ShardedKernel::new(1),
             tracing: false,
             os: OsKind::Nk,
             faults: None,
@@ -186,6 +191,31 @@ impl Executor {
             trace: Vec::new(),
             stats: ExecutorStats::default(),
         }
+    }
+
+    /// Split the executor's event kernel into `n` shards, each owning the
+    /// dispatch events of a contiguous CPU block (CPU `c` lives on shard
+    /// `c·n / cores`). The merged driver pops in (time, shard, seq)
+    /// order, so a run is deterministic at every shard count, and one
+    /// shard (the default) is bit-identical to the historical
+    /// single-queue executor. Must be called before any task is spawned
+    /// or the watchdog is enabled.
+    pub fn set_shards(&mut self, n: usize) {
+        assert!(
+            self.tasks.is_empty() && self.events.is_empty(),
+            "set_shards must precede spawns and watchdog setup"
+        );
+        self.events = ShardedKernel::new(n.clamp(1, self.cpus.len()));
+    }
+
+    /// Number of event-queue shards the executor runs on.
+    pub fn shards(&self) -> usize {
+        self.events.shards()
+    }
+
+    /// The event-kernel shard owning `cpu`'s dispatch events.
+    fn shard_of(&self, cpu: CpuId) -> usize {
+        cpu * self.events.shards() / self.cpus.len()
     }
 
     /// Install a fault plan: from now on every kick IPI that actually goes
@@ -243,8 +273,10 @@ impl Executor {
     pub fn enable_watchdog(&mut self, period: Cycles) {
         assert!(period.get() > 0);
         if self.watchdog_period.is_none() {
+            // The watchdog is a global scan, not per-CPU work: it lives on
+            // shard 0.
             self.events
-                .schedule(self.events.now() + period, ExecEvent::Watchdog);
+                .schedule(0, self.events.now() + period, ExecEvent::Watchdog);
         }
         self.watchdog_period = Some(period);
     }
@@ -377,16 +409,19 @@ impl Executor {
             // arrive in nondecreasing event-time order today, so this arm
             // is a safety net; it keeps the invariant local to `kick`.)
             Some((_, handle)) => {
-                self.events.cancel(handle);
-                let handle = self
-                    .events
-                    .schedule_cancellable(t_eff, ExecEvent::Dispatch(cpu));
+                let shard = self.shard_of(cpu);
+                self.events.cancel(shard, handle);
+                let handle =
+                    self.events
+                        .schedule_cancellable(shard, t_eff, ExecEvent::Dispatch(cpu));
                 self.cpus[cpu].dispatch = Some((t_eff, handle));
             }
             None => {
-                let handle = self
-                    .events
-                    .schedule_cancellable(t_eff, ExecEvent::Dispatch(cpu));
+                let handle = self.events.schedule_cancellable(
+                    self.shard_of(cpu),
+                    t_eff,
+                    ExecEvent::Dispatch(cpu),
+                );
                 self.cpus[cpu].dispatch = Some((t_eff, handle));
             }
         }
@@ -408,7 +443,7 @@ impl Executor {
     /// Run to quiescence (all tasks done or irrecoverably blocked).
     /// Returns true if every task completed.
     pub fn run(&mut self) -> bool {
-        while let Some((at, ev)) = self.events.pop() {
+        while let Some((_shard, at, ev)) = self.events.pop_next() {
             match ev {
                 ExecEvent::Dispatch(cpu) => {
                     self.cpus[cpu].dispatch = None;
@@ -473,6 +508,8 @@ impl Executor {
                     makespan,
                 );
             }
+            // Each event-queue shard publishes under its own telemetry
+            // shard index (one shard → index 0, the historical behavior).
             self.events.publish_telemetry(&self.sink);
         }
         self.tasks
@@ -513,7 +550,7 @@ impl Executor {
             c.dispatch.is_some() || (!c.queue.is_empty() && c.rekicks < MAX_WATCHDOG_REKICKS)
         });
         if live {
-            self.events.schedule(at + period, ExecEvent::Watchdog);
+            self.events.schedule(0, at + period, ExecEvent::Watchdog);
         }
     }
 
@@ -988,5 +1025,61 @@ mod tests {
         };
         let speedup = solo.as_f64() / quad.as_f64();
         assert!(speedup > 3.5, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn sharded_executor_completes_with_identical_results() {
+        // Per-CPU pinned work at every shard count: the merged
+        // (time, shard, seq) driver must complete the same workload with
+        // the same makespan and per-task compute totals. (Workloads with
+        // cross-CPU ties may legally permute within a timestamp across
+        // shard counts; per-CPU work pins the comparison down exactly.)
+        let run = |shards: usize| {
+            let mut e = exec(4, 2_000);
+            e.set_shards(shards);
+            assert_eq!(e.shards(), shards.clamp(1, 4));
+            for c in 0..4 {
+                e.spawn(
+                    c,
+                    Box::new(LoopWork::new(2, Cycles(3_000 + 500 * c as u64))),
+                );
+                e.spawn(
+                    c,
+                    Box::new(LoopWork::new(3, Cycles(1_000 + 100 * c as u64))),
+                );
+            }
+            assert!(e.run());
+            (e.stats.makespan, e.stats.task_executed.clone())
+        };
+        let base = run(1);
+        for shards in [2, 3, 4, 16] {
+            assert_eq!(run(shards), base, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_executor_is_deterministic_under_faults() {
+        // With a fault plan the kick order feeds a shared RNG stream, so
+        // the merged pop order is load-bearing: two identical multi-shard
+        // runs must agree event for event.
+        let run = || {
+            let mut cfg = interweave_core::FaultConfig::quiet(77);
+            cfg.drop_ipi = 0.4;
+            let mut e = exec(4, 1_500);
+            e.set_shards(2);
+            e.set_fault_plan(interweave_core::FaultPlan::new(cfg));
+            e.enable_watchdog(Cycles(4_000));
+            for c in 0..4 {
+                e.spawn(c, Box::new(LoopWork::new(3, Cycles(2_000))));
+            }
+            e.run();
+            (
+                e.stats.makespan,
+                e.stats.lost_kicks,
+                e.stats.watchdog_rekicks,
+                e.stats.stall_cycles,
+            )
+        };
+        assert_eq!(run(), run());
     }
 }
