@@ -10,7 +10,9 @@
 //! every entry's composition is validated through the facade's
 //! `StackBuilder` before the section runs.
 
-use interweave_bench::harness::{section, section_sharded, BenchSummary, Cli, ExperimentSummary};
+use interweave_bench::harness::{
+    section, section_sharded, BenchSummary, Cli, ExperimentSummary, FaultBreakdownEntry,
+};
 use interweave_bench::{f, print_table, s};
 use interweave_core::machine::MachineConfig;
 use interweave_core::stack::{StackConfig, TimingSource};
@@ -239,6 +241,81 @@ fn main() {
         },
     );
 
+    let mut fault_breakdown: Vec<FaultBreakdownEntry> = Vec::new();
+    section_sharded(
+        &mut entries,
+        "serving",
+        "chaos serving: bounded tails, balanced fault ledger",
+        StackConfig::interwoven(),
+        xeon.clone(),
+        shards,
+        || {
+            use interweave_core::arrivals::ArrivalKind;
+            use interweave_core::time::Cycles;
+            use interweave_core::{FaultClass, FaultConfig};
+            use interweave_ir::programs;
+            use interweave_ir::types::Val;
+            use interweave_kernel::watchdog::WatchdogPolicy;
+            use interweave_virtines::extract::extract_one;
+            use interweave_virtines::serve::{
+                run_serve, PoolOptions, RetryPolicy, ServeConfig, ServiceProfile,
+            };
+            let prog = programs::fib(10);
+            let image = extract_one(&prog.module, prog.entry);
+            let args = [Val::I(10)];
+            let profile = ServiceProfile::calibrate(&image, &args, u64::MAX / 4);
+            let mc = MachineConfig::xeon_server_2s();
+            let cfg = ServeConfig {
+                arrival: ArrivalKind::Poisson,
+                mean_gap_us: 6.0,
+                duration_us: 30_000.0,
+                seed: 0x5EED_BEEF,
+                workers: 6,
+                queue_cap: 8,
+                deadline_slack_us: 400.0,
+                budget: profile.guest_cycles + profile.guest_cycles / 3 + 2,
+                pool: PoolOptions {
+                    cache_capacity: 32,
+                    prewarm: 2,
+                    retry: RetryPolicy {
+                        max_attempts: 4,
+                        base: Cycles(2_000),
+                        cap: Cycles(16_000),
+                        jitter_frac: 0.25,
+                    },
+                },
+                faults: FaultConfig {
+                    virtine_kill: 0.10,
+                    drop_ipi: 0.05,
+                    alloc_fail: 0.05,
+                    ..FaultConfig::quiet(0xC4A0)
+                },
+                watchdog: WatchdogPolicy::new(Cycles(100_000)),
+            };
+            let mut r = run_serve(&image, &args, &mc, &cfg, shards);
+            assert!(r.accounts_balanced(), "fault ledger must balance");
+            fault_breakdown = FaultClass::ALL
+                .iter()
+                .map(|&c| {
+                    let a = r.account(c);
+                    FaultBreakdownEntry {
+                        class: c.name().to_string(),
+                        injected: a.injected,
+                        recovered: a.recovered,
+                        shed: a.shed,
+                        absorbed: a.absorbed,
+                    }
+                })
+                .collect();
+            format!(
+                "{:.0}% goodput, p99 {:.0} µs, {} faults accounted",
+                100.0 * r.goodput(),
+                r.latency_us.p99(),
+                fault_breakdown.iter().map(|e| e.injected).sum::<u64>()
+            )
+        },
+    );
+
     let rows: Vec<Vec<String>> = entries
         .iter()
         .map(|e| vec![s(&e.experiment), s(&e.claim), s(&e.measured)])
@@ -253,11 +330,12 @@ fn main() {
         total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         experiments: entries,
         counters,
+        fault_breakdown,
     };
     let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
     std::fs::write("BENCH_summary.json", json).expect("writable BENCH_summary.json");
     println!("\n(machine-readable results written to BENCH_summary.json)");
     println!("\nFull-scale runs: fig3_heartbeat fig4_fibers fig6_openmp fig7_coherence");
     println!("                 tab_carat tab_primitives tab_virtines tab_pipeline tab_blend tab_ablations");
-    println!("                 tab_faults tab_profile");
+    println!("                 tab_faults tab_profile tab_serve");
 }

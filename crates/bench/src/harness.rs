@@ -15,6 +15,7 @@
 
 use crate::{parallel_map, print_table};
 use interweave::compose::ComposedStack;
+use interweave_core::arrivals::ArrivalKind;
 use interweave_core::machine::MachineConfig;
 use interweave_core::stack::StackConfig;
 use interweave_core::telemetry::CounterEntry;
@@ -27,8 +28,11 @@ use serde::Serialize;
 /// spans to export a Chrome/Perfetto trace; `--shards <n>` selects the
 /// simulation-kernel shard count for binaries whose hot loop runs on the
 /// sharded kernel (the result is bit-identical at every count — the CI
-/// determinism gate relies on exactly that). The golden CI runs pass no
-/// flags, so none affects pinned stdout.
+/// determinism gate relies on exactly that). Serving binaries additionally
+/// honor `--offered-load <x>` (load as a multiple of the calibrated
+/// saturation point), `--duration-ms <ms>`, and `--arrival <name>`
+/// (poisson | bursty | diurnal). The golden CI runs pass no flags, so none
+/// affects pinned stdout.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Path for the JSON results envelope, when requested.
@@ -37,6 +41,14 @@ pub struct Cli {
     pub trace_out: Option<String>,
     /// Simulation-kernel shard count (`--shards <n>`, default 1).
     pub shards: usize,
+    /// Offered load override for serving binaries, as a multiple of the
+    /// calibrated saturation capacity (`--offered-load <x>`, x > 0).
+    pub offered_load: Option<f64>,
+    /// Serving-run duration override in milliseconds
+    /// (`--duration-ms <ms>`, ms > 0).
+    pub duration_ms: Option<f64>,
+    /// Arrival-process override for serving binaries (`--arrival <name>`).
+    pub arrival: Option<ArrivalKind>,
 }
 
 impl Default for Cli {
@@ -45,6 +57,9 @@ impl Default for Cli {
             json: None,
             trace_out: None,
             shards: 1,
+            offered_load: None,
+            duration_ms: None,
+            arrival: None,
         }
     }
 }
@@ -73,10 +88,25 @@ impl Cli {
                 .unwrap_or_else(|| panic!("--shards takes a positive count, got {v:?}")),
             None => 1,
         };
+        let positive_f64 = |flag: &str| {
+            value_of(flag).map(|v| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .unwrap_or_else(|| panic!("{flag} takes a positive number, got {v:?}"))
+            })
+        };
+        let arrival = value_of("--arrival").map(|v| {
+            ArrivalKind::parse(&v)
+                .unwrap_or_else(|| panic!("--arrival takes poisson, bursty, or diurnal, got {v:?}"))
+        });
         Cli {
             json: value_of("--json"),
             trace_out: value_of("--trace-out"),
             shards,
+            offered_load: positive_f64("--offered-load"),
+            duration_ms: positive_f64("--duration-ms"),
+            arrival,
         }
     }
 }
@@ -203,6 +233,22 @@ impl Harness {
         self.cli.shards
     }
 
+    /// Offered-load override (`--offered-load`), as a multiple of the
+    /// binary's calibrated saturation capacity.
+    pub fn offered_load(&self) -> Option<f64> {
+        self.cli.offered_load
+    }
+
+    /// Serving-run duration override in milliseconds (`--duration-ms`).
+    pub fn duration_ms(&self) -> Option<f64> {
+        self.cli.duration_ms
+    }
+
+    /// Arrival-process override (`--arrival`).
+    pub fn arrival(&self) -> Option<ArrivalKind> {
+        self.cli.arrival
+    }
+
     /// Print one boxed table (title banner, aligned header and rows).
     pub fn table(&self, title: &str, header: &[&str], rows: &[Vec<String>]) {
         print_table(title, header, rows);
@@ -253,6 +299,24 @@ pub struct ExperimentSummary {
     pub shards: usize,
 }
 
+/// One fault class's robustness ledger from the serving-plane section, as
+/// written to `BENCH_summary.json`. The invariant bookkeeping scripts can
+/// check: `injected == recovered + shed + absorbed` — no fault vanishes.
+#[derive(Serialize)]
+pub struct FaultBreakdownEntry {
+    /// Fault class name (e.g. "virtine crash"), as `FaultClass::name`.
+    pub class: String,
+    /// Faults the chaos plan injected for this class.
+    pub injected: u64,
+    /// Recovered by a mechanism one layer up (restart, watchdog scan,
+    /// cold-start fallback) — the request still completed.
+    pub recovered: u64,
+    /// Turned into accounted load shedding (retry budget exhausted).
+    pub shed: u64,
+    /// Landed where they could do no harm (dead context, empty cache).
+    pub absorbed: u64,
+}
+
 /// The scoreboard file schema (`BENCH_summary.json`).
 #[derive(Serialize)]
 pub struct BenchSummary {
@@ -263,6 +327,9 @@ pub struct BenchSummary {
     /// Registry snapshot from the telemetry section's instrumented run, so
     /// bookkeeping scripts can diff counters without scraping stdout.
     pub counters: Vec<CounterEntry>,
+    /// Per-class fault ledger from the serving-plane section (empty when
+    /// the scoreboard ran without it).
+    pub fault_breakdown: Vec<FaultBreakdownEntry>,
 }
 
 /// Run one scoreboard section, timing it and recording the row. The
@@ -333,6 +400,49 @@ mod tests {
     #[should_panic(expected = "--shards takes a positive count")]
     fn cli_rejects_zero_shards() {
         Cli::from_args(args(&["bin", "--shards", "0"]));
+    }
+
+    #[test]
+    fn cli_parses_the_serving_flags() {
+        let cli = Cli::from_args(args(&[
+            "bin",
+            "--offered-load",
+            "1.5",
+            "--duration-ms",
+            "250",
+            "--arrival",
+            "bursty",
+        ]));
+        assert_eq!(cli.offered_load, Some(1.5));
+        assert_eq!(cli.duration_ms, Some(250.0));
+        assert_eq!(cli.arrival, Some(ArrivalKind::Bursty));
+        let none = Cli::from_args(args(&["bin"]));
+        assert!(none.offered_load.is_none() && none.duration_ms.is_none());
+        assert!(none.arrival.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "--offered-load takes a positive number")]
+    fn cli_rejects_zero_offered_load() {
+        Cli::from_args(args(&["bin", "--offered-load", "0"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--offered-load takes a positive number")]
+    fn cli_rejects_negative_offered_load() {
+        Cli::from_args(args(&["bin", "--offered-load", "-0.5"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--duration-ms takes a positive number")]
+    fn cli_rejects_nonpositive_duration() {
+        Cli::from_args(args(&["bin", "--duration-ms", "0"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--arrival takes poisson, bursty, or diurnal")]
+    fn cli_rejects_an_unknown_arrival() {
+        Cli::from_args(args(&["bin", "--arrival", "uniform"]));
     }
 
     #[test]

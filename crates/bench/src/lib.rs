@@ -15,6 +15,9 @@
 //! | `tab_virtines`    | §IV-D/§V-E — isolation start-up latency table |
 //! | `tab_pipeline`    | §V-D — pipeline-interrupt dispatch + ablation |
 //! | `tab_blend`       | §V-C — blended drivers + far-memory sweeps |
+//! | `tab_faults`      | extension — cross-layer fault injection + recovery costs |
+//! | `tab_profile`     | extension — cycle attribution, interwoven vs. layered |
+//! | `tab_serve`       | extension — open-loop serving under chaos: goodput + tail curves |
 //!
 //! Each binary accepts `--json <path>` to also dump machine-readable
 //! results, used by `EXPERIMENTS.md` bookkeeping. The [`harness`] module

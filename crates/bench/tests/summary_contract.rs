@@ -4,8 +4,9 @@
 //! to exactly the composition that was serialized — bookkeeping scripts
 //! key on it.
 
-use interweave_bench::harness::{BenchSummary, ExperimentSummary};
+use interweave_bench::harness::{BenchSummary, ExperimentSummary, FaultBreakdownEntry};
 use interweave_core::stack::StackConfig;
+use interweave_core::FaultClass;
 use serde::Deserialize;
 
 fn scoreboard() -> (BenchSummary, Vec<StackConfig>) {
@@ -29,11 +30,23 @@ fn scoreboard() -> (BenchSummary, Vec<StackConfig>) {
             shards: i + 1,
         })
         .collect();
+    let fault_breakdown = FaultClass::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &class)| FaultBreakdownEntry {
+            class: class.name().to_string(),
+            injected: 10 * (i as u64 + 1),
+            recovered: 7 * (i as u64 + 1),
+            shed: 2 * (i as u64 + 1),
+            absorbed: i as u64 + 1,
+        })
+        .collect();
     (
         BenchSummary {
             total_wall_ms: 1.5,
             experiments,
             counters: Vec::new(),
+            fault_breakdown,
         },
         stacks,
     )
@@ -64,6 +77,7 @@ fn summary_file_keeps_its_bookkeeping_fields() {
     let doc = serde::json::parse(&json).expect("valid JSON");
     assert!(doc.get("total_wall_ms").is_some());
     assert!(doc.get("counters").is_some());
+    assert!(doc.get("fault_breakdown").is_some());
     let exp = match doc.get("experiments") {
         Some(serde::json::JsonValue::Arr(a)) => &a[0],
         other => panic!("experiments must be an array, got {other:?}"),
@@ -98,4 +112,33 @@ fn shard_counts_round_trip_through_the_summary_file() {
         assert_eq!(got, i + 1, "shard count must round-trip exactly");
     }
     assert_eq!(experiments.len(), stacks.len());
+}
+
+#[test]
+fn fault_breakdown_round_trips_per_class_and_balances() {
+    let (summary, _) = scoreboard();
+    let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+    let doc = serde::json::parse(&json).expect("valid JSON");
+    let rows = match doc.get("fault_breakdown") {
+        Some(serde::json::JsonValue::Arr(a)) => a,
+        other => panic!("fault_breakdown must be an array, got {other:?}"),
+    };
+    assert_eq!(rows.len(), FaultClass::ALL.len());
+    let num = |row: &serde::json::JsonValue, field: &str| -> u64 {
+        match row.get(field) {
+            Some(serde::json::JsonValue::Num(n)) => n.parse().expect("integral count"),
+            other => panic!("{field} must be a number, got {other:?}"),
+        }
+    };
+    for (row, &class) in rows.iter().zip(FaultClass::ALL.iter()) {
+        match row.get("class") {
+            Some(serde::json::JsonValue::Str(s)) => assert_eq!(s, class.name()),
+            other => panic!("class must be a string, got {other:?}"),
+        }
+        let (injected, recovered) = (num(row, "injected"), num(row, "recovered"));
+        let (shed, absorbed) = (num(row, "shed"), num(row, "absorbed"));
+        // The robustness invariant the file exists to expose: no fault
+        // vanishes unaccounted.
+        assert_eq!(injected, recovered + shed + absorbed, "ledger must balance");
+    }
 }

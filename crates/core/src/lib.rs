@@ -27,6 +27,8 @@
 //!   report every figure and table.
 //! - [`energy`]: interconnect/cache energy accounting (Fig. 7).
 //! - [`rng`]: a small deterministic RNG so all experiments are reproducible.
+//! - [`arrivals`]: seeded open-loop arrival processes (Poisson, bursty
+//!   MMPP on/off, diurnal) driving the request-serving experiments.
 //! - [`faults`]: the seeded fault-injection plane ([`faults::FaultPlan`])
 //!   that higher layers consult to inject lost IPIs, allocation failures,
 //!   memory bit-flips, and virtine crashes — deterministically.
@@ -41,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod energy;
 pub mod event;
 pub mod faults;
@@ -53,6 +56,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 
+pub use arrivals::{ArrivalGen, ArrivalKind};
 pub use event::{EventHandle, EventQueue, EvqStats};
 pub use faults::{FaultClass, FaultConfig, FaultPlan, FaultRecord};
 pub use interrupt::DeliveryMode;

@@ -164,6 +164,126 @@ impl Histogram {
     }
 }
 
+/// An exact-quantile sample reservoir: stores every observation and answers
+/// arbitrary quantiles by nearest-rank on the sorted data.
+///
+/// [`Histogram`] answers percentile queries by bucket upper edge, which is
+/// fine for p50/p99 over wide distributions but useless for p999 — at tail
+/// ranks the bucket quantization error dominates the signal. Serving-plane
+/// reports need exact tails, and at small n the nearest-rank definition is
+/// the only one that is unambiguous (no interpolation choices), so `Samples`
+/// keeps the raw values. Memory is 8 bytes per observation; the serving
+/// sweeps record a few hundred thousand latencies per point, well within
+/// budget.
+///
+/// `PartialEq` compares the *observation multisets* (sorted), so two reports
+/// built from the same requests in different merge orders compare equal —
+/// the shard-invariance tests rely on this.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    xs: Vec<f64>,
+    /// Sorted-prefix watermark: `xs[..sorted]` is known sorted.
+    sorted: usize,
+}
+
+impl Samples {
+    /// An empty reservoir.
+    pub fn new() -> Samples {
+        Samples::default()
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.xs.push(x);
+    }
+
+    /// Absorb every observation of `other`.
+    pub fn merge(&mut self, other: &Samples) {
+        self.xs.extend_from_slice(&other.xs);
+        self.sorted = 0;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.sorted != self.xs.len() {
+            self.xs.sort_by(f64::total_cmp);
+            self.sorted = self.xs.len();
+        }
+    }
+
+    /// Exact `q`-quantile for `q` in `(0, 1]` by the nearest-rank method:
+    /// the smallest observation such that at least `⌈q·n⌉` observations are
+    /// ≤ it. Returns `None` when empty. `quantile(1.0)` is the maximum.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile requires 0 < q <= 1, got {q}");
+        if self.xs.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.xs.len();
+        let rank = (q * n as f64).ceil() as usize;
+        Some(self.xs[rank.clamp(1, n) - 1])
+    }
+
+    /// Median (`quantile(0.5)`); 0 when empty.
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.5).unwrap_or(0.0)
+    }
+
+    /// 99th percentile; 0 when empty.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99).unwrap_or(0.0)
+    }
+
+    /// 99.9th percentile; 0 when empty.
+    pub fn p999(&mut self) -> f64 {
+        self.quantile(0.999).unwrap_or(0.0)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.xs.is_empty() {
+            0.0
+        } else {
+            self.xs.iter().sum::<f64>() / self.xs.len() as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.xs.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.xs.last().copied().unwrap_or(0.0)
+    }
+}
+
+impl PartialEq for Samples {
+    fn eq(&self, other: &Samples) -> bool {
+        if self.xs.len() != other.xs.len() {
+            return false;
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.ensure_sorted();
+        b.ensure_sorted();
+        a.xs.iter().zip(&b.xs).all(|(x, y)| x.total_cmp(y).is_eq())
+    }
+}
+
 /// Geometric mean of strictly positive values. Returns 0.0 for an empty
 /// slice; ignores non-positive entries are a caller bug and panic in debug.
 pub fn geomean(xs: &[f64]) -> f64 {
@@ -247,6 +367,87 @@ mod tests {
     fn histogram_empty_percentile_is_none() {
         let h = Histogram::new(1.0, 4);
         assert!(h.percentile(50.0).is_none());
+    }
+
+    #[test]
+    fn samples_small_n_quantiles_are_exact_nearest_rank() {
+        let mut s = Samples::new();
+        for x in [15.0, 20.0, 35.0, 40.0, 50.0] {
+            s.add(x);
+        }
+        // Nearest-rank on n=5: rank = ceil(q*5).
+        assert_eq!(s.quantile(0.30), Some(20.0)); // rank 2
+        assert_eq!(s.quantile(0.40), Some(20.0)); // rank 2
+        assert_eq!(s.quantile(0.50), Some(35.0)); // rank 3
+        assert_eq!(s.quantile(1.00), Some(50.0)); // rank 5 = max
+        assert_eq!(s.p50(), 35.0);
+        // Tail quantiles at small n resolve to the max, never interpolate.
+        assert_eq!(s.p99(), 50.0);
+        assert_eq!(s.p999(), 50.0);
+    }
+
+    #[test]
+    fn samples_p999_picks_the_true_tail_at_large_n() {
+        let mut s = Samples::new();
+        // 0..10_000 in a scrambled insert order.
+        for i in 0..10_000u64 {
+            s.add((i.wrapping_mul(7919) % 10_000) as f64);
+        }
+        // rank = ceil(0.999 * 10_000) = 9990 → value 9989.
+        assert_eq!(s.p999(), 9989.0);
+        assert_eq!(s.p99(), 9899.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 9999.0);
+    }
+
+    #[test]
+    fn samples_quantiles_are_monotone_in_q() {
+        let mut s = Samples::new();
+        for i in 0..997u64 {
+            s.add((i.wrapping_mul(31) % 997) as f64);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for k in 1..=100 {
+            let v = s.quantile(k as f64 / 100.0).unwrap();
+            assert!(v >= prev, "quantile must be monotone: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn samples_merge_order_does_not_matter_for_equality() {
+        let (mut a, mut b) = (Samples::new(), Samples::new());
+        let (mut x, mut y) = (Samples::new(), Samples::new());
+        for v in [3.0, 1.0, 2.0] {
+            x.add(v);
+        }
+        for v in [9.0, 4.0] {
+            y.add(v);
+        }
+        a.merge(&x);
+        a.merge(&y);
+        b.merge(&y);
+        b.merge(&x);
+        assert_eq!(a, b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.quantile(1.0), b.quantile(1.0));
+    }
+
+    #[test]
+    fn samples_empty_is_none_or_zero() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p999(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires")]
+    fn samples_rejects_out_of_range_q() {
+        let mut s = Samples::new();
+        s.add(1.0);
+        s.quantile(0.0);
     }
 
     #[test]

@@ -29,16 +29,7 @@ const KEY_SWITCH_CYCLES: Key = Key::new("kernel.sched.switch_cycles", Layer::Ker
 const KEY_WD_CHECKS: Key = Key::new("kernel.watchdog.checks", Layer::Kernel, Unit::Count);
 const KEY_WD_REKICKS: Key = Key::new("kernel.watchdog.rekicks", Layer::Kernel, Unit::Count);
 
-/// Bound on the watchdog's exponential retry backoff, in heartbeat periods.
-/// A CPU whose re-kicks keep getting dropped is retried at 1, 2, 4, ... up
-/// to this many periods apart, never less often.
-pub const MAX_WATCHDOG_BACKOFF: u32 = 8;
-
-/// Consecutive failed re-kicks after which the watchdog abandons a CPU
-/// (declares it failed and stops retrying). Keeps a run with a 100 %
-/// drop rate terminating instead of retrying forever; the count resets on
-/// any successful dispatch.
-pub const MAX_WATCHDOG_REKICKS: u32 = 16;
+pub use crate::watchdog::{WatchdogPolicy, MAX_WATCHDOG_BACKOFF, MAX_WATCHDOG_REKICKS};
 
 enum TaskState {
     Ready,
@@ -144,8 +135,8 @@ pub struct Executor {
     /// and whenever a stack is allocated. `None` (the default) is the exact
     /// pre-fault-plane behavior.
     faults: Option<FaultPlan>,
-    /// Watchdog heartbeat period, when enabled.
-    watchdog_period: Option<Cycles>,
+    /// Watchdog policy (period + retry bounds), when enabled.
+    watchdog: Option<WatchdogPolicy>,
     /// Buddy allocator backing task stacks, when configured.
     stack_alloc: Option<NumaAllocator>,
     /// Telemetry sink: counters, cycle attribution, and spans all flow here
@@ -185,7 +176,7 @@ impl Executor {
             tracing: false,
             os: OsKind::Nk,
             faults: None,
-            watchdog_period: None,
+            watchdog: None,
             stack_alloc: None,
             sink: Sink::off(),
             trace: Vec::new(),
@@ -271,14 +262,20 @@ impl Executor {
     /// [`MAX_WATCHDOG_BACKOFF`] periods. The heartbeat self-terminates once
     /// no CPU has pending or rescuable work, so runs still quiesce.
     pub fn enable_watchdog(&mut self, period: Cycles) {
-        assert!(period.get() > 0);
-        if self.watchdog_period.is_none() {
+        if self.watchdog.is_none() {
             // The watchdog is a global scan, not per-CPU work: it lives on
             // shard 0.
             self.events
                 .schedule(0, self.events.now() + period, ExecEvent::Watchdog);
         }
-        self.watchdog_period = Some(period);
+        self.watchdog = Some(WatchdogPolicy::new(period));
+    }
+
+    /// The active watchdog policy, if [`Executor::enable_watchdog`] ran.
+    /// Higher layers (the serving plane) read it so their reclaim-latency
+    /// model is exactly the executor's recovery schedule.
+    pub fn watchdog_policy(&self) -> Option<WatchdogPolicy> {
+        self.watchdog
     }
 
     /// Back task stacks with a real buddy allocator: each spawn carves
@@ -520,7 +517,7 @@ impl Executor {
     /// One watchdog heartbeat: detect lost-kick stalls (runnable work, no
     /// pending dispatch) and re-kick under per-CPU exponential backoff.
     fn watchdog_tick(&mut self, at: Cycles) {
-        let period = self.watchdog_period.expect("watchdog event without period");
+        let wd = self.watchdog.expect("watchdog event without policy");
         self.stats.watchdog_checks += 1;
         self.sink.count_at(&KEY_WD_CHECKS, 0, 1, at);
         for cpu in 0..self.cpus.len() {
@@ -528,14 +525,13 @@ impl Executor {
             if c.dispatch.is_none()
                 && !c.queue.is_empty()
                 && at >= c.next_retry
-                && c.rekicks < MAX_WATCHDOG_REKICKS
+                && !wd.abandons(c.rekicks)
             {
                 self.stats.watchdog_rekicks += 1;
                 self.sink.count_at(&KEY_WD_REKICKS, cpu, 1, at);
                 let backoff = self.cpus[cpu].backoff;
-                self.cpus[cpu].next_retry =
-                    at + Cycles(period.get().saturating_mul(backoff as u64));
-                self.cpus[cpu].backoff = (backoff * 2).min(MAX_WATCHDOG_BACKOFF);
+                self.cpus[cpu].next_retry = at + wd.retry_backoff(backoff);
+                self.cpus[cpu].backoff = wd.escalate(backoff);
                 self.cpus[cpu].rekicks += 1;
                 // The re-kick goes through the fault plane like any other
                 // IPI — it too can be lost, hence the backoff above.
@@ -546,11 +542,12 @@ impl Executor {
         // rescuable work; abandoned CPUs (re-kick budget exhausted) no
         // longer count, so a run with a 100 % drop rate still terminates —
         // as does a plain deadlocked run, which reports incomplete.
-        let live = self.cpus.iter().any(|c| {
-            c.dispatch.is_some() || (!c.queue.is_empty() && c.rekicks < MAX_WATCHDOG_REKICKS)
-        });
+        let live = self
+            .cpus
+            .iter()
+            .any(|c| c.dispatch.is_some() || (!c.queue.is_empty() && !wd.abandons(c.rekicks)));
         if live {
-            self.events.schedule(0, at + period, ExecEvent::Watchdog);
+            self.events.schedule(0, at + wd.period, ExecEvent::Watchdog);
         }
     }
 

@@ -36,6 +36,9 @@
 //!   guarantee vs first-touch + migrations (§III's "most desirable zone").
 //! - [`timeline`]: per-CPU clocks and busy/idle accounting for building
 //!   multi-CPU simulations.
+//! - [`watchdog`]: the watchdog's retry arithmetic as data
+//!   ([`watchdog::WatchdogPolicy`]), shared by the executor's stalled-CPU
+//!   re-kick loop and the serving plane's stuck-virtine reclaim model.
 //! - [`paging`]: the TLB/paging model the commodity stack pays for address
 //!   translation (and that Nautilus's identity mapping avoids, §III).
 //! - [`microbench`]: the §III primitives table (thread management, event
@@ -53,6 +56,7 @@ pub mod sched;
 pub mod steering;
 pub mod threads;
 pub mod timeline;
+pub mod watchdog;
 pub mod work;
 
 pub use buddy::{AllocError, NumaAllocator};
@@ -60,4 +64,5 @@ pub use executor::Executor;
 pub use os::{LinuxModel, LinuxParams, NkModel, OsModel};
 pub use threads::{switch_cost, SwitchBreakdown, SwitchKind};
 pub use timeline::CpuTimeline;
+pub use watchdog::WatchdogPolicy;
 pub use work::{Work, WorkStep};

@@ -21,6 +21,11 @@
 //!   context must set up, and the cost model charges only those.
 //! - [`echo`]: a FaaS-style echo service under Poisson load — the latency
 //!   distributions an operator would provision against.
+//! - [`serve`]: the open-loop serving plane — a sharded request-serving
+//!   simulation over a calibrated pool model, with admission control,
+//!   bounded retry + backoff, watchdog reclaim of lost completion kicks,
+//!   and a per-class fault ledger (injected == recovered + shed +
+//!   absorbed).
 
 #![warn(missing_docs)]
 
@@ -28,8 +33,13 @@ pub mod bespoke;
 pub mod context;
 pub mod echo;
 pub mod extract;
+pub mod serve;
 pub mod wasp;
 
 pub use bespoke::BespokeSpec;
 pub use context::Virtine;
+pub use serve::{
+    run_serve, FaultAccount, PoolOptions, PoolStats, RetryPolicy, ServeConfig, ServeError,
+    ServeReport, Served, ServiceProfile, WaspPool,
+};
 pub use wasp::{LaunchPath, StartupBreakdown, Wasp};

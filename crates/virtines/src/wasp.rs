@@ -136,6 +136,16 @@ pub struct WaspStats {
 /// microseconds (unmap + re-map of a 4 KiB page).
 pub const RESTORE_US_PER_DIRTY_PAGE: f64 = 0.4;
 
+/// Start-up cost of restoring a pooled snapshot whose previous tenant
+/// dirtied `dirty` pages: the baseline snapshot re-map plus one CoW
+/// drop-and-remap per dirtied page. Shared by [`Wasp`] and the serving
+/// plane's pool model so the two charge byte-identical restore costs.
+pub fn snapshot_restore(dirty: u64) -> StartupBreakdown {
+    let mut b = startup(LaunchPath::VirtineSnapshot);
+    b.image_us += dirty as f64 * RESTORE_US_PER_DIRTY_PAGE;
+    b
+}
+
 /// The microhypervisor: owns a context pool per image.
 ///
 /// ```
@@ -208,9 +218,7 @@ impl Wasp {
                 self.sink.count_at(&KEY_REUSES, 0, 1, self.clock);
                 // Restore cost scales with what the previous tenant
                 // dirtied: each CoW'd page must be dropped and re-mapped.
-                let mut b = startup(LaunchPath::VirtineSnapshot);
-                b.image_us += dirty as f64 * RESTORE_US_PER_DIRTY_PAGE;
-                (v, b)
+                (v, snapshot_restore(dirty))
             }
             None => {
                 self.stats.cold_starts += 1;
