@@ -1125,6 +1125,58 @@ fn telemetry_overhead(c: &mut Criterion) {
     c.bench_function("telemetry/full_spans", |b| {
         b.iter(|| black_box(run(Sink::on(Level::Full))))
     });
+
+    // Streaming sinks: raw ingest cost of the bounded sketch vs the exact
+    // reservoir, and of windowed roll-ups vs no roll-up at all. The
+    // "samples_exact" arm is the baseline the serving plane pays today;
+    // "sketch" must stay in the same order of magnitude while holding
+    // memory flat, and the "off" arm (plain loop over the same values)
+    // shows the plane costs nothing when nothing records.
+    {
+        use interweave_core::stats::{Samples, Sketch};
+        use interweave_core::telemetry::TimeSeries;
+        let vals: Vec<f64> = (0..4096u64)
+            .map(|i| 1.0 + ((i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64))
+            .collect();
+        c.bench_function("streaming/off", |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for &v in &vals {
+                    acc += black_box(v);
+                }
+                black_box(acc)
+            })
+        });
+        c.bench_function("streaming/samples_exact", |b| {
+            b.iter(|| {
+                let mut s = Samples::new();
+                for &v in &vals {
+                    s.add(v);
+                }
+                black_box(s.count())
+            })
+        });
+        c.bench_function("streaming/sketch", |b| {
+            b.iter(|| {
+                let mut s = Sketch::for_latency_us();
+                for &v in &vals {
+                    s.add(v);
+                }
+                black_box(s.count())
+            })
+        });
+        c.bench_function("streaming/timeseries_windowed", |b| {
+            b.iter(|| {
+                let mut ts = TimeSeries::new(Cycles(10_000));
+                for (i, &v) in vals.iter().enumerate() {
+                    let at = Cycles(i as u64 * 97);
+                    ts.add(at, "completed", 1);
+                    ts.observe(at, "latency_us", v);
+                }
+                black_box(ts.len())
+            })
+        });
+    }
 }
 
 criterion_group!(

@@ -12,6 +12,7 @@
 
 use interweave_bench::harness::{
     section, section_sharded, BenchSummary, Cli, ExperimentSummary, FaultBreakdownEntry,
+    MetricsSeries, MetricsWindow,
 };
 use interweave_bench::{f, print_table, s};
 use interweave_core::machine::MachineConfig;
@@ -242,6 +243,7 @@ fn main() {
     );
 
     let mut fault_breakdown: Vec<FaultBreakdownEntry> = Vec::new();
+    let mut serve_timeseries: Vec<MetricsWindow> = Vec::new();
     section_sharded(
         &mut entries,
         "serving",
@@ -258,7 +260,7 @@ fn main() {
             use interweave_kernel::watchdog::WatchdogPolicy;
             use interweave_virtines::extract::extract_one;
             use interweave_virtines::serve::{
-                run_serve, PoolOptions, RetryPolicy, ServeConfig, ServiceProfile,
+                run_serve, MetricsPolicy, PoolOptions, RetryPolicy, ServeConfig, ServiceProfile,
             };
             let prog = programs::fib(10);
             let image = extract_one(&prog.module, prog.entry);
@@ -291,9 +293,18 @@ fn main() {
                     ..FaultConfig::quiet(0xC4A0)
                 },
                 watchdog: WatchdogPolicy::new(Cycles(100_000)),
+                // Streaming sinks on: the scoreboard exercises the bounded
+                // observability path and embeds the windowed trajectory.
+                metrics: MetricsPolicy::Windowed {
+                    window: Cycles(6_600_000),
+                },
+                blackbox: 32,
             };
             let mut r = run_serve(&image, &args, &mc, &cfg, shards);
             assert!(r.accounts_balanced(), "fault ledger must balance");
+            if let Some(ts) = &r.series {
+                serve_timeseries = MetricsSeries::from_series(ts).windows;
+            }
             fault_breakdown = FaultClass::ALL
                 .iter()
                 .map(|&c| {
@@ -331,6 +342,7 @@ fn main() {
         experiments: entries,
         counters,
         fault_breakdown,
+        serve_timeseries,
     };
     let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
     std::fs::write("BENCH_summary.json", json).expect("writable BENCH_summary.json");

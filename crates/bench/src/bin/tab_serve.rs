@@ -28,13 +28,24 @@
 //! Knobs (golden CI runs pass none): `--offered-load <x>` serves a single
 //! load point at `x`× the calibrated saturation capacity instead of the
 //! sweep; `--duration-ms <ms>` and `--arrival <poisson|bursty|diurnal>`
-//! override the run length and the arrival process.
+//! override the run length and the arrival process. `--metrics-out
+//! <path>` flips the serving plane onto its bounded streaming sinks —
+//! windowed quantile sketches instead of exact per-request sample
+//! vectors, so memory stays flat over million-invocation campaigns — and
+//! writes the windowed offered/completed/shed/p50/p99 trajectory as
+//! JSON; `--window-cycles <n>` overrides the roll-up width (default
+//! 6.6 M cycles = 2 ms of simulated time). With `--metrics-out` set,
+//! `--trace-out <path>` additionally exports the trajectory as Perfetto
+//! counter tracks.
 
 use interweave_bench::harness::{Harness, Scenario};
 use interweave_bench::{f, s};
 use interweave_core::arrivals::ArrivalKind;
 use interweave_core::machine::MachineConfig;
 use interweave_core::stack::StackConfig;
+use interweave_core::telemetry::{
+    chrome_trace_json_with_counters, CounterTrack, Layer, TimeSeries,
+};
 use interweave_core::time::Cycles;
 use interweave_core::{FaultClass, FaultConfig};
 use interweave_ir::programs;
@@ -42,7 +53,7 @@ use interweave_ir::types::Val;
 use interweave_kernel::watchdog::WatchdogPolicy;
 use interweave_virtines::extract::extract_one;
 use interweave_virtines::serve::{
-    run_serve, PoolOptions, RetryPolicy, ServeConfig, ServeReport, ServiceProfile,
+    run_serve, MetricsPolicy, PoolOptions, RetryPolicy, ServeConfig, ServeReport, ServiceProfile,
 };
 use interweave_virtines::wasp::snapshot_restore;
 use serde::Serialize;
@@ -68,6 +79,15 @@ const WORKERS: usize = 8;
 /// at 1.5×) but far below the seconds-long open-loop collapse that an
 /// uncontrolled queue produces at the same load.
 const P99_BOUND_US: f64 = 2_000.0;
+
+/// Default streaming roll-up window: 2 ms of simulated time at the
+/// 3.3 GHz server clock.
+const DEFAULT_WINDOW_CYCLES: u64 = 6_600_000;
+
+/// Per-worker flight-recorder ring capacity. The recorder is passive —
+/// it surfaces only in the blackbox dump attached to a fault-ledger
+/// panic — so keeping it armed costs nothing on pinned stdout.
+const BLACKBOX_EVENTS: usize = 64;
 
 #[derive(Serialize)]
 struct JsonRow {
@@ -151,6 +171,14 @@ fn main() {
         Some(x) => vec![x],
         None => SWEEP.to_vec(),
     };
+    // `--metrics-out` flips every run onto the bounded streaming sinks;
+    // golden runs pass no flags and keep the exact sample vectors.
+    let metrics = match h.metrics_out() {
+        Some(_) => MetricsPolicy::Windowed {
+            window: Cycles(h.window_cycles().unwrap_or(DEFAULT_WINDOW_CYCLES)),
+        },
+        None => MetricsPolicy::Exact,
+    };
     let cfg_at =
         |arrival: ArrivalKind, load_x: f64, cache_capacity: usize, prewarm: usize| ServeConfig {
             arrival,
@@ -168,6 +196,8 @@ fn main() {
             },
             faults: chaos(load_x),
             watchdog: WatchdogPolicy::new(Cycles(100_000)),
+            metrics,
+            blackbox: BLACKBOX_EVENTS,
         };
 
     let mut json = Vec::new();
@@ -176,9 +206,13 @@ fn main() {
     // layered cold-boot serving, chaos scaling with load. ──
     let mut rows = Vec::new();
     let mut knee: Option<ServeReport> = None;
+    let mut metrics_series: Option<TimeSeries> = None;
     for &load_x in &loads {
         let mut iw = run_serve(&image, &args, &mc, &cfg_at(arrival, load_x, 32, 2), shards);
         let mut ly = run_serve(&image, &args, &mc, &cfg_at(arrival, load_x, 0, 0), shards);
+        if let Some(ts) = &iw.series {
+            metrics_series = Some(ts.clone());
+        }
         for r in [&iw, &ly] {
             assert!(
                 r.accounts_balanced(),
@@ -304,5 +338,66 @@ fn main() {
         );
     }
 
+    // ── Streaming exports: the interwoven trajectory at the last swept
+    // load, as windowed JSON and (optionally) Perfetto counter tracks. ──
+    if let Some(ts) = &metrics_series {
+        h.finish_metrics(ts);
+        if let Some(path) = h.trace_out() {
+            let tracks = counter_tracks(ts);
+            let trace =
+                chrome_trace_json_with_counters(&[], &tracks, mc.freq.cycles_per_us(1.0).get());
+            std::fs::write(path, trace).expect("writable trace path");
+            println!("(trace written to {path})");
+        }
+    }
+
     h.finish(&json);
+}
+
+/// The windowed trajectory as Perfetto counter tracks, one point per
+/// window at its start stamp. Queue depth rides the kernel track (it is
+/// admission-queue state); the request counters and the tail ride the
+/// virtine track.
+fn counter_tracks(ts: &TimeSeries) -> Vec<CounterTrack> {
+    let width = ts.width().get();
+    let mut offered = Vec::new();
+    let mut completed = Vec::new();
+    let mut shed = Vec::new();
+    let mut depth = Vec::new();
+    let mut p99 = Vec::new();
+    for (idx, w) in ts.iter() {
+        let at = Cycles(idx * width);
+        offered.push((at, w.counter("offered") as f64));
+        completed.push((at, w.counter("completed") as f64));
+        shed.push((at, w.counter("shed") as f64));
+        depth.push((at, w.gauge_max("queue_depth").unwrap_or(0) as f64));
+        p99.push((at, w.sketch("latency_us").map_or(0.0, |s| s.p99())));
+    }
+    vec![
+        CounterTrack {
+            name: "serve.offered",
+            layer: Layer::Virtine,
+            points: offered,
+        },
+        CounterTrack {
+            name: "serve.completed",
+            layer: Layer::Virtine,
+            points: completed,
+        },
+        CounterTrack {
+            name: "serve.shed",
+            layer: Layer::Virtine,
+            points: shed,
+        },
+        CounterTrack {
+            name: "serve.queue_depth_max",
+            layer: Layer::Kernel,
+            points: depth,
+        },
+        CounterTrack {
+            name: "serve.p99_us",
+            layer: Layer::Virtine,
+            points: p99,
+        },
+    ]
 }

@@ -104,11 +104,22 @@ fn main() {
         ServeMode::VirtinePooled,
     ] {
         let r = run_echo(&echo_img, &mc, &cfg, mode);
+        // A clamped p99 is only a lower bound (the rank overflowed the
+        // histogram range) — print it as one, with the overflow share.
+        let p99 = if r.p99_clamped {
+            format!(
+                ">={} ({}% over range)",
+                f(r.p99_us, 1),
+                f(100.0 * r.tail_overflow, 1)
+            )
+        } else {
+            f(r.p99_us, 1)
+        };
         rows.push(vec![
             s(mode.name()),
             s(r.served),
             f(r.latency_us.mean(), 1),
-            f(r.p99_us, 1),
+            p99,
             s(r.cold_starts),
         ]);
     }

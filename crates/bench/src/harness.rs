@@ -18,7 +18,7 @@ use interweave::compose::ComposedStack;
 use interweave_core::arrivals::ArrivalKind;
 use interweave_core::machine::MachineConfig;
 use interweave_core::stack::StackConfig;
-use interweave_core::telemetry::CounterEntry;
+use interweave_core::telemetry::{CounterEntry, TimeSeries};
 use serde::Serialize;
 
 /// The command-line contract shared by every figure/table binary.
@@ -31,8 +31,11 @@ use serde::Serialize;
 /// determinism gate relies on exactly that). Serving binaries additionally
 /// honor `--offered-load <x>` (load as a multiple of the calibrated
 /// saturation point), `--duration-ms <ms>`, and `--arrival <name>`
-/// (poisson | bursty | diurnal). The golden CI runs pass no flags, so none
-/// affects pinned stdout.
+/// (poisson | bursty | diurnal). `--metrics-out <path>` asks serving
+/// binaries to run with bounded streaming sinks and export the windowed
+/// time series as JSON; `--window-cycles <n>` overrides the roll-up
+/// window width. The golden CI runs pass no flags, so none affects
+/// pinned stdout.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Path for the JSON results envelope, when requested.
@@ -49,6 +52,12 @@ pub struct Cli {
     pub duration_ms: Option<f64>,
     /// Arrival-process override for serving binaries (`--arrival <name>`).
     pub arrival: Option<ArrivalKind>,
+    /// Path for the windowed-metrics JSON export, when requested
+    /// (`--metrics-out <path>`).
+    pub metrics_out: Option<String>,
+    /// Roll-up window width override in simulated cycles
+    /// (`--window-cycles <n>`, n > 0).
+    pub window_cycles: Option<u64>,
 }
 
 impl Default for Cli {
@@ -60,6 +69,8 @@ impl Default for Cli {
             offered_load: None,
             duration_ms: None,
             arrival: None,
+            metrics_out: None,
+            window_cycles: None,
         }
     }
 }
@@ -100,6 +111,14 @@ impl Cli {
             ArrivalKind::parse(&v)
                 .unwrap_or_else(|| panic!("--arrival takes poisson, bursty, or diurnal, got {v:?}"))
         });
+        let window_cycles = value_of("--window-cycles").map(|v| {
+            v.parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    panic!("--window-cycles takes a positive cycle count, got {v:?}")
+                })
+        });
         Cli {
             json: value_of("--json"),
             trace_out: value_of("--trace-out"),
@@ -107,6 +126,8 @@ impl Cli {
             offered_load: positive_f64("--offered-load"),
             duration_ms: positive_f64("--duration-ms"),
             arrival,
+            metrics_out: value_of("--metrics-out"),
+            window_cycles,
         }
     }
 }
@@ -249,6 +270,16 @@ impl Harness {
         self.cli.arrival
     }
 
+    /// The windowed-metrics export path, when `--metrics-out` was passed.
+    pub fn metrics_out(&self) -> Option<&str> {
+        self.cli.metrics_out.as_deref()
+    }
+
+    /// Roll-up window width override (`--window-cycles`).
+    pub fn window_cycles(&self) -> Option<u64> {
+        self.cli.window_cycles
+    }
+
     /// Print one boxed table (title banner, aligned header and rows).
     pub fn table(&self, title: &str, header: &[&str], rows: &[Vec<String>]) {
         print_table(title, header, rows);
@@ -277,6 +308,81 @@ impl Harness {
         if let Some(path) = &self.cli.json {
             std::fs::write(path, self.summary_json(rows)).expect("writable json path");
             println!("(json written to {path})");
+        }
+    }
+
+    /// Finish the streaming-metrics export: when `--metrics-out <path>`
+    /// was passed, write the windowed series as JSON and acknowledge on
+    /// stdout (flag runs only — golden runs pass none). The file is a
+    /// pure function of the simulated run, so CI can byte-compare it
+    /// across shard counts and repeated runs.
+    pub fn finish_metrics(&self, series: &TimeSeries) {
+        if let Some(path) = &self.cli.metrics_out {
+            let json = serde_json::to_string_pretty(&MetricsSeries::from_series(series))
+                .expect("serializable metrics");
+            std::fs::write(path, json).expect("writable metrics path");
+            println!("(metrics written to {path})");
+        }
+    }
+}
+
+/// One fixed-width window of the serving plane's streaming telemetry, as
+/// written by `--metrics-out` and embedded in `BENCH_summary.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsWindow {
+    /// Absolute window index (`cycle / window_cycles`).
+    pub window: u64,
+    /// First simulated cycle the window covers.
+    pub start_cycles: u64,
+    /// Requests that arrived in the window.
+    pub offered: u64,
+    /// Requests completed (attributed to their arrival window).
+    pub completed: u64,
+    /// Requests shed (queue bound, deadline, or retry budget).
+    pub shed: u64,
+    /// Deepest admission queue observed in the window.
+    pub queue_depth_max: u64,
+    /// Median end-to-end latency from the window's sketch, in µs
+    /// (0 when the window completed nothing).
+    pub p50_us: f64,
+    /// 99th-percentile end-to-end latency from the window's sketch, in µs
+    /// (0 when the window completed nothing).
+    pub p99_us: f64,
+}
+
+/// The `--metrics-out` file schema: the window width plus one row per
+/// populated window, in ascending window order.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSeries {
+    /// Roll-up window width in simulated cycles.
+    pub window_cycles: u64,
+    /// Populated windows, ascending by index.
+    pub windows: Vec<MetricsWindow>,
+}
+
+impl MetricsSeries {
+    /// Roll a [`TimeSeries`] from the serving plane into the export rows.
+    pub fn from_series(series: &TimeSeries) -> MetricsSeries {
+        let width = series.width().0;
+        let windows = series
+            .iter()
+            .map(|(idx, w)| {
+                let lat = w.sketch("latency_us");
+                MetricsWindow {
+                    window: idx,
+                    start_cycles: idx * width,
+                    offered: w.counter("offered"),
+                    completed: w.counter("completed"),
+                    shed: w.counter("shed"),
+                    queue_depth_max: w.gauge_max("queue_depth").unwrap_or(0),
+                    p50_us: lat.map_or(0.0, |s| s.p50()),
+                    p99_us: lat.map_or(0.0, |s| s.p99()),
+                }
+            })
+            .collect();
+        MetricsSeries {
+            window_cycles: width,
+            windows,
         }
     }
 }
@@ -330,6 +436,10 @@ pub struct BenchSummary {
     /// Per-class fault ledger from the serving-plane section (empty when
     /// the scoreboard ran without it).
     pub fault_breakdown: Vec<FaultBreakdownEntry>,
+    /// Windowed serving-plane trajectory from the scoreboard's serving
+    /// section — the same rows `--metrics-out` exports (empty when the
+    /// scoreboard ran without the serving section).
+    pub serve_timeseries: Vec<MetricsWindow>,
 }
 
 /// Run one scoreboard section, timing it and recording the row. The
@@ -449,6 +559,56 @@ mod tests {
     #[should_panic(expected = "--json takes a path")]
     fn cli_rejects_a_dangling_flag() {
         Cli::from_args(args(&["bin", "--json"]));
+    }
+
+    #[test]
+    fn cli_parses_the_metrics_flags() {
+        let cli = Cli::from_args(args(&[
+            "bin",
+            "--metrics-out",
+            "m.json",
+            "--window-cycles",
+            "5000",
+        ]));
+        assert_eq!(cli.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(cli.window_cycles, Some(5000));
+        let none = Cli::from_args(args(&["bin"]));
+        assert!(none.metrics_out.is_none() && none.window_cycles.is_none());
+        assert!(Cli::default().metrics_out.is_none() && Cli::default().window_cycles.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "--window-cycles takes a positive cycle count")]
+    fn cli_rejects_zero_window_cycles() {
+        Cli::from_args(args(&["bin", "--window-cycles", "0"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--metrics-out takes a path")]
+    fn cli_rejects_a_dangling_metrics_out() {
+        Cli::from_args(args(&["bin", "--metrics-out"]));
+    }
+
+    #[test]
+    fn metrics_series_rolls_windows_up_in_order() {
+        use interweave_core::time::Cycles;
+        let mut ts = TimeSeries::new(Cycles(100));
+        ts.add(Cycles(10), "offered", 3);
+        ts.add(Cycles(10), "completed", 2);
+        ts.add(Cycles(150), "shed", 1);
+        ts.gauge_max(Cycles(20), "queue_depth", 7);
+        ts.observe(Cycles(30), "latency_us", 12.0);
+        let ms = MetricsSeries::from_series(&ts);
+        assert_eq!(ms.window_cycles, 100);
+        assert_eq!(ms.windows.len(), 2);
+        let w0 = &ms.windows[0];
+        assert_eq!((w0.window, w0.start_cycles), (0, 0));
+        assert_eq!((w0.offered, w0.completed, w0.shed), (3, 2, 0));
+        assert_eq!(w0.queue_depth_max, 7);
+        assert!(w0.p99_us >= 12.0 && w0.p99_us <= 12.0 * (1.0 + 1.0 / 128.0));
+        let w1 = &ms.windows[1];
+        assert_eq!((w1.window, w1.start_cycles, w1.shed), (1, 100, 1));
+        assert_eq!((w1.p50_us, w1.p99_us), (0.0, 0.0));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! to exactly the composition that was serialized — bookkeeping scripts
 //! key on it.
 
-use interweave_bench::harness::{BenchSummary, ExperimentSummary, FaultBreakdownEntry};
+use interweave_bench::harness::{
+    BenchSummary, ExperimentSummary, FaultBreakdownEntry, MetricsWindow,
+};
 use interweave_core::stack::StackConfig;
 use interweave_core::FaultClass;
 use serde::Deserialize;
@@ -41,12 +43,25 @@ fn scoreboard() -> (BenchSummary, Vec<StackConfig>) {
             absorbed: i as u64 + 1,
         })
         .collect();
+    let serve_timeseries = (0..3)
+        .map(|i| MetricsWindow {
+            window: i,
+            start_cycles: i * 1_000,
+            offered: 10 + i,
+            completed: 8 + i,
+            shed: 2,
+            queue_depth_max: 4,
+            p50_us: 15.0 + i as f64,
+            p99_us: 120.0 + i as f64,
+        })
+        .collect();
     (
         BenchSummary {
             total_wall_ms: 1.5,
             experiments,
             counters: Vec::new(),
             fault_breakdown,
+            serve_timeseries,
         },
         stacks,
     )
@@ -112,6 +127,33 @@ fn shard_counts_round_trip_through_the_summary_file() {
         assert_eq!(got, i + 1, "shard count must round-trip exactly");
     }
     assert_eq!(experiments.len(), stacks.len());
+}
+
+#[test]
+fn serve_timeseries_round_trips_window_by_window() {
+    let (summary, _) = scoreboard();
+    let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+    let doc = serde::json::parse(&json).expect("valid JSON");
+    let rows = match doc.get("serve_timeseries") {
+        Some(serde::json::JsonValue::Arr(a)) => a,
+        other => panic!("serve_timeseries must be an array, got {other:?}"),
+    };
+    assert_eq!(rows.len(), summary.serve_timeseries.len());
+    for (row, want) in rows.iter().zip(&summary.serve_timeseries) {
+        let num = |field: &str| -> u64 {
+            match row.get(field) {
+                Some(serde::json::JsonValue::Num(n)) => n.parse().expect("integral count"),
+                other => panic!("{field} must be a number, got {other:?}"),
+            }
+        };
+        assert_eq!(num("window"), want.window);
+        assert_eq!(num("start_cycles"), want.start_cycles);
+        assert_eq!(num("offered"), want.offered);
+        assert_eq!(num("completed"), want.completed);
+        assert_eq!(num("shed"), want.shed);
+        assert_eq!(num("queue_depth_max"), want.queue_depth_max);
+        assert!(row.get("p50_us").is_some() && row.get("p99_us").is_some());
+    }
 }
 
 #[test]

@@ -39,7 +39,11 @@
 //! - [`telemetry`]: the cross-layer observability plane — a counter/gauge
 //!   registry, a cycle-attribution ledger whose categories must sum exactly
 //!   to the machine clock, and unified span tracing exported as
-//!   Chrome/Perfetto JSON with one track per layer. Zero-cost when off.
+//!   Chrome/Perfetto JSON with one track per layer (plus counter tracks).
+//!   Zero-cost when off. Streaming additions: windowed
+//!   [`telemetry::TimeSeries`] roll-ups over simulated cycles and the
+//!   bounded [`telemetry::FlightRecorder`] blackbox, both mergeable
+//!   bit-identically across shards.
 
 #![warn(missing_docs)]
 
@@ -64,5 +68,5 @@ pub use machine::{CostModel, MachineConfig, Platform};
 pub use rng::SplitMix64;
 pub use shard::{Envelope, Mailbox, ShardCtx, ShardedKernel};
 pub use stack::StackConfig;
-pub use telemetry::{Layer, Level, Sink, Span, SpanKind};
+pub use telemetry::{FlightRecorder, Layer, Level, Sink, Span, SpanKind, TimeSeries};
 pub use time::{Cycles, Freq, MicroSeconds};

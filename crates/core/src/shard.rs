@@ -32,7 +32,7 @@
 //! coherence engine's round phases).
 
 use crate::event::{EventHandle, EventQueue, EvqStats};
-use crate::telemetry::Sink;
+use crate::telemetry::{FlightRecorder, Sink};
 use crate::time::Cycles;
 
 /// One cross-shard message in flight: posted by `from` with its
@@ -155,6 +155,8 @@ pub struct ShardedKernel<E> {
     mailbox: Mailbox<E>,
     lookahead: Cycles,
     now: Cycles,
+    /// Per-shard blackboxes, `None` (zero-cost) unless enabled.
+    recorders: Option<Vec<FlightRecorder>>,
 }
 
 impl<E> ShardedKernel<E> {
@@ -175,7 +177,38 @@ impl<E> ShardedKernel<E> {
             mailbox: Mailbox::new(n),
             lookahead,
             now: Cycles::ZERO,
+            recorders: None,
         }
+    }
+
+    /// Turn on the per-shard flight recorders, each keeping the most
+    /// recent `cap` events (cross-shard sends and deliveries). Off by
+    /// default: a disabled kernel records nothing and pays one `None`
+    /// check per hop.
+    pub fn enable_flight_recorder(&mut self, cap: usize) {
+        self.recorders = Some(
+            (0..self.shards.len())
+                .map(|_| FlightRecorder::new(cap))
+                .collect(),
+        );
+    }
+
+    /// Shard `s`'s blackbox, if recording is enabled.
+    pub fn flight_recorder(&self, s: usize) -> Option<&FlightRecorder> {
+        self.recorders.as_ref().map(|r| &r[s])
+    }
+
+    /// Deterministic dump of every shard's blackbox (shard order), for
+    /// attachment to an invariant-failure report. Empty when disabled.
+    pub fn blackbox(&self, header: &str) -> String {
+        let Some(recs) = &self.recorders else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for (s, r) in recs.iter().enumerate() {
+            out.push_str(&r.dump(&format!("{header} / shard {s}")));
+        }
+        out
     }
 
     /// Number of shards.
@@ -230,7 +263,11 @@ impl<E> ShardedKernel<E> {
             at >= horizon,
             "cross-shard send violates lookahead: at={at}, sender now+lookahead={horizon}"
         );
-        self.mailbox.post(from, to, at.max(horizon), payload);
+        let at = at.max(horizon);
+        if let Some(recs) = &mut self.recorders {
+            recs[from].record(self.shards[from].now(), from, "mbox-send", to as u64, at.0);
+        }
+        self.mailbox.post(from, to, at, payload);
     }
 
     /// Cross-shard envelopes posted but not yet delivered.
@@ -251,6 +288,9 @@ impl<E> ShardedKernel<E> {
             // receives the event at its local now; the canonical drain
             // order still fixes the tie-break deterministically.
             let at = env.at.max(self.shards[env.to].now());
+            if let Some(recs) = &mut self.recorders {
+                recs[env.to].record(at, env.to, "mbox-deliver", env.from as u64, env.at.0);
+            }
             self.shards[env.to].schedule(at, env.payload);
         }
         n
@@ -487,6 +527,41 @@ mod tests {
         assert_eq!(k.flush_mailbox(), 2);
         assert_eq!(k.pop_next(), Some((0, Cycles(4), "from0")));
         assert_eq!(k.pop_next(), Some((0, Cycles(4), "from1")));
+    }
+
+    #[test]
+    fn flight_recorder_captures_cross_shard_hops() {
+        let mut k = ShardedKernel::new(2);
+        k.enable_flight_recorder(8);
+        k.send(0, 1, Cycles(4), "hop");
+        k.flush_mailbox();
+        let sender = k.flight_recorder(0).unwrap();
+        assert_eq!(sender.len(), 1);
+        let e = sender.events().next().unwrap();
+        assert_eq!((e.what, e.a, e.b), ("mbox-send", 1, 4));
+        let receiver = k.flight_recorder(1).unwrap();
+        assert_eq!(receiver.events().next().unwrap().what, "mbox-deliver");
+        let bb = k.blackbox("test");
+        assert!(bb.contains("shard 0") && bb.contains("shard 1"));
+        assert!(bb.contains("mbox-send") && bb.contains("mbox-deliver"));
+    }
+
+    #[test]
+    fn flight_recorder_off_by_default_and_identical_runs_dump_identically() {
+        let k: ShardedKernel<u32> = ShardedKernel::new(2);
+        assert!(k.flight_recorder(0).is_none());
+        assert_eq!(k.blackbox("x"), "");
+        let run = || {
+            let mut k = ShardedKernel::new(3);
+            k.enable_flight_recorder(4);
+            for i in 0..10u64 {
+                k.send((i % 3) as usize, ((i + 1) % 3) as usize, Cycles(i + 1), i);
+                k.flush_mailbox();
+                while k.pop_next().is_some() {}
+            }
+            k.blackbox("replay")
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! 22 % gain), rate stability (Fig. 3's "consistent, stable rate"), and
 //! cycle-cost distributions (Fig. 4). This module provides the corresponding
 //! estimators: Welford online mean/variance, fixed-bucket histograms with
-//! percentile queries, and geometric-mean helpers.
+//! percentile queries, exact sample reservoirs, a fixed-memory mergeable
+//! quantile [`Sketch`] for million-invocation campaigns, and geometric-mean
+//! helpers.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Online mean/variance accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -138,7 +141,21 @@ impl Histogram {
 
     /// Approximate `p`-th percentile (0 < p ≤ 100) by bucket upper edge.
     /// Returns `None` when empty.
+    ///
+    /// When the requested rank lands in the overflow bucket the answer is
+    /// *clamped* to the last finite bucket edge — the true value is at least
+    /// that, but the histogram cannot say how much more. Callers printing a
+    /// percentile should use [`Histogram::percentile_clamped`] and surface
+    /// [`Histogram::overflow_fraction`] when the flag is set, instead of
+    /// silently reporting an in-range value.
     pub fn percentile(&self, p: f64) -> Option<f64> {
+        self.percentile_clamped(p).map(|(v, _)| v)
+    }
+
+    /// [`Histogram::percentile`] plus a clamp flag: `true` means the rank
+    /// landed in the overflow bucket and the returned value is only a lower
+    /// bound (the last finite bucket edge), not an in-range estimate.
+    pub fn percentile_clamped(&self, p: f64) -> Option<(f64, bool)> {
         if self.total == 0 {
             return None;
         }
@@ -147,11 +164,12 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some((i as f64 + 1.0) * self.bucket_width);
+                return Some(((i as f64 + 1.0) * self.bucket_width, false));
             }
         }
-        // Landed in the overflow bucket; report the histogram's upper bound.
-        Some(self.bucket_width * self.counts.len() as f64)
+        // Landed in the overflow bucket: clamp to the last finite edge and
+        // say so — the caller must not present this as an in-range value.
+        Some((self.bucket_width * self.counts.len() as f64, true))
     }
 
     /// Fraction of observations that overflowed the tracked range.
@@ -211,6 +229,13 @@ impl Samples {
     /// True when no observations have been recorded.
     pub fn is_empty(&self) -> bool {
         self.xs.is_empty()
+    }
+
+    /// Heap bytes held by the reservoir — grows without bound with the
+    /// observation count, which is exactly why long campaigns swap this
+    /// sink for a [`Sketch`].
+    pub fn bytes(&self) -> usize {
+        std::mem::size_of::<Samples>() + self.xs.capacity() * std::mem::size_of::<f64>()
     }
 
     fn ensure_sorted(&mut self) {
@@ -281,6 +306,233 @@ impl PartialEq for Samples {
         a.ensure_sorted();
         b.ensure_sorted();
         a.xs.iter().zip(&b.xs).all(|(x, y)| x.total_cmp(y).is_eq())
+    }
+}
+
+/// A deterministic, fixed-memory, log-bucketed quantile sketch (HDR-style).
+///
+/// Buckets are defined purely by IEEE-754 bit structure: a positive finite
+/// `f64` with unbiased exponent `e` and mantissa top bits `s` (the top
+/// `sub_bits` bits) lands in bucket `(e, s)`, i.e. the value range
+/// `[2^e·(1 + s/S), 2^e·(1 + (s+1)/S))` with `S = 2^sub_bits`. No
+/// transcendental math is involved, so bucketing is bit-exact on every
+/// platform, and a bucket's width over its lower edge is at most
+/// `2^-sub_bits` — the documented **relative error bound**: for any
+/// quantile `q`, `exact ≤ sketch(q) ≤ exact · (1 + 2^-sub_bits)`
+/// (values below `2^lo_exp` are reported at `2^lo_exp`; ranks landing in
+/// the overflow bucket are clamped to `2^(hi_exp+1)` — see
+/// [`Sketch::quantile_clamped`] and [`Sketch::overflow_fraction`]).
+///
+/// Counts are pure integers, so [`Sketch::merge`] (bucket-wise `u64` add)
+/// is exactly order-insensitive: any merge tree over the same observations
+/// yields a bit-identical sketch, which makes sharded reports bit-identical
+/// at every shard count. Memory is hard-capped at
+/// [`Sketch::max_buckets`] entries regardless of observation count; the
+/// backing map is sparse, so a workload touching few distinct magnitudes
+/// pays only for the buckets it hits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch {
+    /// Mantissa bits per octave: each power of two splits into
+    /// `2^sub_bits` sub-buckets.
+    sub_bits: u32,
+    /// Smallest tracked unbiased exponent (values below go to `under`).
+    lo_exp: i32,
+    /// Largest tracked unbiased exponent (values at or above
+    /// `2^(hi_exp+1)` go to `over`).
+    hi_exp: i32,
+    /// Observations that were zero, negative, or NaN.
+    zero: u64,
+    /// Positive observations below `2^lo_exp` (incl. subnormals).
+    under: u64,
+    /// Observations at or above `2^(hi_exp+1)` (incl. +inf).
+    over: u64,
+    /// Sparse bucket counts, keyed by `(exp - lo_exp) << sub_bits | sub`.
+    buckets: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Sketch {
+    /// A sketch tracking `[2^lo_exp, 2^(hi_exp+1))` with `2^sub_bits`
+    /// sub-buckets per octave.
+    pub fn new(lo_exp: i32, hi_exp: i32, sub_bits: u32) -> Sketch {
+        assert!(lo_exp <= hi_exp, "empty exponent range");
+        assert!(
+            (-1022..=1022).contains(&lo_exp) && (-1022..=1022).contains(&hi_exp),
+            "exponent range must stay in normal f64 territory"
+        );
+        assert!(sub_bits <= 12, "sub_bits > 12 buys no useful precision");
+        Sketch {
+            sub_bits,
+            lo_exp,
+            hi_exp,
+            zero: 0,
+            under: 0,
+            over: 0,
+            buckets: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// The geometry every latency sink in the serving plane uses:
+    /// `[2^-10, 2^31)` µs ≈ 1 ns to 35 min, 128 sub-buckets per octave
+    /// (relative error ≤ 2^-7 ≈ 0.79 %), ≤ 5248 buckets ≈ 42 KiB dense.
+    pub fn for_latency_us() -> Sketch {
+        Sketch::new(-10, 30, 7)
+    }
+
+    /// Record one observation. Zero/negative/NaN count toward the zero
+    /// bucket (reported as 0.0); magnitudes outside the tracked range fall
+    /// into under/over buckets rather than being dropped, so
+    /// [`Sketch::count`] always equals the number of `add` calls.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x.is_nan() || x <= 0.0 {
+            self.zero += 1;
+            return;
+        }
+        let bits = x.to_bits();
+        let exp = ((bits >> 52) & 0x7FF) as i32 - 1023;
+        if exp < self.lo_exp {
+            self.under += 1;
+        } else if exp > self.hi_exp {
+            self.over += 1;
+        } else {
+            let sub = ((bits >> (52 - self.sub_bits)) & ((1 << self.sub_bits) - 1)) as u32;
+            let idx = (((exp - self.lo_exp) as u32) << self.sub_bits) | sub;
+            *self.buckets.entry(idx).or_insert(0) += 1;
+        }
+    }
+
+    /// Absorb every observation of `other`. Panics if the two sketches
+    /// were built with different geometry — mixed-resolution merges would
+    /// silently degrade the error bound.
+    pub fn merge(&mut self, other: &Sketch) {
+        assert!(
+            self.sub_bits == other.sub_bits
+                && self.lo_exp == other.lo_exp
+                && self.hi_exp == other.hi_exp,
+            "sketch geometry mismatch: ({}, {}, {}) vs ({}, {}, {})",
+            self.lo_exp,
+            self.hi_exp,
+            self.sub_bits,
+            other.lo_exp,
+            other.hi_exp,
+            other.sub_bits
+        );
+        self.zero += other.zero;
+        self.under += other.under;
+        self.over += other.over;
+        self.total += other.total;
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact power of two `2^e` for `e` in normal-f64 range, built from
+    /// bits so no libm rounding is involved.
+    fn exp2_exact(e: i32) -> f64 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    }
+
+    /// Upper edge of bucket `idx` — the reported quantile value for ranks
+    /// landing there.
+    fn bucket_upper_edge(&self, idx: u32) -> f64 {
+        let subs = (1u32 << self.sub_bits) as f64;
+        let exp = self.lo_exp + (idx >> self.sub_bits) as i32;
+        let sub = idx & ((1 << self.sub_bits) - 1);
+        Sketch::exp2_exact(exp) * (1.0 + (sub + 1) as f64 / subs)
+    }
+
+    /// `q`-quantile for `q` in `(0, 1]` by the same nearest-rank rule as
+    /// [`Samples::quantile`], reported at the containing bucket's upper
+    /// edge. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantile_clamped(q).map(|(v, _)| v)
+    }
+
+    /// [`Sketch::quantile`] plus a clamp flag: `true` means the rank
+    /// landed in the overflow bucket, so the returned value
+    /// (`2^(hi_exp+1)`, the top of the tracked range) is only a lower
+    /// bound on the true quantile.
+    pub fn quantile_clamped(&self, q: f64) -> Option<(f64, bool)> {
+        assert!(q > 0.0 && q <= 1.0, "quantile requires 0 < q <= 1, got {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = self.zero;
+        if seen >= rank {
+            return Some((0.0, false));
+        }
+        seen += self.under;
+        if seen >= rank {
+            // Below the tracked range: report its floor.
+            return Some((Sketch::exp2_exact(self.lo_exp), false));
+        }
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some((self.bucket_upper_edge(idx), false));
+            }
+        }
+        // Landed in the overflow bucket: clamp to the range ceiling.
+        Some((Sketch::exp2_exact(self.hi_exp + 1), true))
+    }
+
+    /// Median; 0 when empty.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5).unwrap_or(0.0)
+    }
+
+    /// 99th percentile; 0 when empty.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99).unwrap_or(0.0)
+    }
+
+    /// 99.9th percentile; 0 when empty.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999).unwrap_or(0.0)
+    }
+
+    /// The documented relative-error bound: any in-range quantile `v`
+    /// satisfies `exact ≤ v ≤ exact · (1 + relative_error())`.
+    pub fn relative_error(&self) -> f64 {
+        1.0 / (1u64 << self.sub_bits) as f64
+    }
+
+    /// Fraction of observations above the tracked range. Any table
+    /// printing a clamped quantile should surface this.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.over as f64 / self.total as f64
+        }
+    }
+
+    /// Hard cap on distinct buckets, fixed by the geometry: the sketch can
+    /// never hold more entries than this no matter how many observations
+    /// arrive.
+    pub fn max_buckets(&self) -> usize {
+        ((self.hi_exp - self.lo_exp + 1) as usize) << self.sub_bits
+    }
+
+    /// Approximate heap bytes held — bounded by
+    /// `max_buckets() × per-entry cost`, independent of observation count.
+    pub fn bytes(&self) -> usize {
+        // BTreeMap per-entry overhead is node-dependent; 32 B per entry is
+        // a conservative flat estimate (12 B payload + node bookkeeping).
+        std::mem::size_of::<Sketch>() + self.buckets.len() * 32
     }
 }
 
@@ -361,6 +613,22 @@ mod tests {
         h.add(0.5);
         h.add(100.0);
         assert_eq!(h.overflow_fraction(), 0.5);
+    }
+
+    #[test]
+    fn histogram_percentile_in_overflow_clamps_and_flags() {
+        let mut h = Histogram::new(1.0, 4);
+        h.add(0.5);
+        for _ in 0..9 {
+            h.add(100.0); // 90% of mass beyond the tracked range
+        }
+        // p50 sits in the overflow bucket: clamped to the last finite edge
+        // (4.0) with the flag raised, never an invented in-range value.
+        assert_eq!(h.percentile_clamped(50.0), Some((4.0, true)));
+        assert_eq!(h.percentile(50.0), Some(4.0));
+        // A rank inside the finite range stays unflagged.
+        assert_eq!(h.percentile_clamped(10.0), Some((1.0, false)));
+        assert_eq!(h.overflow_fraction(), 0.9);
     }
 
     #[test]
@@ -448,6 +716,102 @@ mod tests {
         let mut s = Samples::new();
         s.add(1.0);
         s.quantile(0.0);
+    }
+
+    #[test]
+    fn sketch_quantiles_agree_with_exact_within_documented_bound() {
+        let mut sk = Sketch::for_latency_us();
+        let mut exact = Samples::new();
+        // A scrambled heavy-tailed-ish workload spanning several octaves.
+        for i in 0..50_000u64 {
+            let r = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+            let x = 1.0 + (r as f64) / 64.0; // [1, ~262145)
+            sk.add(x);
+            exact.add(x);
+        }
+        let eps = sk.relative_error();
+        assert_eq!(eps, 1.0 / 128.0);
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let e = exact.quantile(q).unwrap();
+            let v = sk.quantile(q).unwrap();
+            assert!(
+                e <= v && v <= e * (1.0 + eps) * (1.0 + 1e-12),
+                "q={q}: exact {e}, sketch {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_merge_is_exactly_order_insensitive() {
+        let mk = |vals: &[f64]| {
+            let mut s = Sketch::for_latency_us();
+            for &v in vals {
+                s.add(v);
+            }
+            s
+        };
+        let parts = [
+            mk(&[1.5, 900.0, 0.002]),
+            mk(&[7.25, 7.25, 1e9]),
+            mk(&[0.0, 33.0]),
+        ];
+        let mut ab = parts[0].clone();
+        ab.merge(&parts[1]);
+        ab.merge(&parts[2]);
+        let mut ba = parts[2].clone();
+        ba.merge(&parts[0]);
+        ba.merge(&parts[1]);
+        // Bit-identical, not just quantile-close: PartialEq is exact.
+        assert_eq!(ab, ba);
+        let bulk = mk(&[1.5, 900.0, 0.002, 7.25, 7.25, 1e9, 0.0, 33.0]);
+        assert_eq!(ab, bulk);
+        assert_eq!(ab.count(), 8);
+    }
+
+    #[test]
+    fn sketch_routes_zero_under_and_overflow() {
+        let mut s = Sketch::new(0, 3, 2); // tracks [1, 16)
+        s.add(0.0);
+        s.add(-4.0);
+        s.add(f64::NAN);
+        s.add(0.25); // under
+        s.add(2.0); // in range
+        s.add(1e6); // over
+        assert_eq!(s.count(), 6);
+        // Ranks: 3 zero-ish, 1 under, 1 in-range, 1 over.
+        assert_eq!(s.quantile_clamped(0.5), Some((0.0, false)));
+        assert_eq!(s.quantile_clamped(4.0 / 6.0), Some((1.0, false))); // 2^lo_exp
+        assert_eq!(s.quantile_clamped(1.0), Some((16.0, true))); // clamped
+        assert!((s.overflow_fraction() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketch_memory_is_hard_capped() {
+        let mut s = Sketch::for_latency_us();
+        assert_eq!(s.max_buckets(), 41 * 128);
+        for i in 0..1_000_000u64 {
+            s.add((i % 100_000) as f64 / 7.0 + 0.001);
+        }
+        assert_eq!(s.count(), 1_000_000);
+        assert!(s.buckets.len() <= s.max_buckets());
+        assert!(s.bytes() <= std::mem::size_of::<Sketch>() + s.max_buckets() * 32);
+    }
+
+    #[test]
+    fn sketch_empty_is_none_or_zero() {
+        let s = Sketch::for_latency_us();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p999(), 0.0);
+        assert_eq!(s.overflow_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn sketch_merge_rejects_mismatched_geometry() {
+        let mut a = Sketch::new(-10, 30, 7);
+        let b = Sketch::new(-10, 30, 6);
+        a.merge(&b);
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //! - **unified [`Span`] tracing** generalizing the kernel-only scheduler
 //!   timeline into cross-layer intervals (interrupt delivery, fault
 //!   recovery, virtine invocations, coherence epochs) exported as
-//!   Chrome/Perfetto trace-event JSON with one process track per layer.
+//!   Chrome/Perfetto trace-event JSON with one process track per layer;
+//! - **windowed [`TimeSeries`]** roll-ups (see [`timeseries`]) turning
+//!   counters/gauges/quantile sketches into per-window trajectories over
+//!   simulated cycles, mergeable bit-identically across shards;
+//! - a bounded **[`FlightRecorder`]** blackbox (see [`recorder`]) that
+//!   keeps the last N events per shard and dumps deterministically when an
+//!   invariant trips.
 //!
 //! Everything hangs off a [`Sink`]: a cheaply clonable handle that is
 //! either *off* (the default — every publish call is a single branch on a
@@ -29,6 +35,12 @@
 //! snapshots iterate in name order; spans append in simulation order; no
 //! wall-clock or host state is ever read. Two runs of the same seed produce
 //! byte-identical snapshots and traces.
+
+pub mod recorder;
+pub mod timeseries;
+
+pub use recorder::{FlightEvent, FlightRecorder};
+pub use timeseries::TimeSeries;
 
 use crate::time::Cycles;
 use serde::Serialize;
@@ -474,10 +486,40 @@ pub fn well_bracketed(spans: &[Span]) -> Option<(Span, Span)> {
 /// cycles). The output is deterministic: metadata events in layer order,
 /// then spans in input order.
 pub fn chrome_trace_json(spans: &[Span], cycles_per_us: u64) -> String {
+    chrome_trace_json_with_counters(spans, &[], cycles_per_us)
+}
+
+/// A named counter trajectory rendered as a Perfetto counter track
+/// (`ph:"C"` events): sampled values over simulated time, displayed as a
+/// stepped area chart under the owning layer's process track. The serving
+/// harness emits goodput / queue-depth / p99 trajectories this way so the
+/// knee is *visible* on the same timeline as the spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrack {
+    /// Counter name (one Perfetto track per name).
+    pub name: &'static str,
+    /// The layer whose process track hosts the counter.
+    pub layer: Layer,
+    /// `(stamp, value)` samples in ascending stamp order.
+    pub points: Vec<(Cycles, f64)>,
+}
+
+/// [`chrome_trace_json`] plus counter tracks. With `counters` empty the
+/// output is byte-identical to the spans-only form — the existing trace
+/// goldens rely on that. Counter events follow the spans, grouped per
+/// track in input order; sample order within a track is preserved.
+pub fn chrome_trace_json_with_counters(
+    spans: &[Span],
+    counters: &[CounterTrack],
+    cycles_per_us: u64,
+) -> String {
     let scale = cycles_per_us.max(1) as f64;
     let mut present = [false; Layer::ALL.len()];
     for s in spans {
         present[s.layer.index()] = true;
+    }
+    for c in counters {
+        present[c.layer.index()] = true;
     }
     let mut out = String::from("[\n");
     let mut first = true;
@@ -516,6 +558,22 @@ pub fn chrome_trace_json(spans: &[Span], cycles_per_us: u64) -> String {
             s.track
         );
         emit(line, &mut out, &mut first);
+    }
+    for c in counters {
+        for &(at, v) in &c.points {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "  {{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"{}\":{:.3}}}}}",
+                c.name,
+                at.as_f64() / scale,
+                c.layer.index(),
+                c.name,
+                v
+            );
+            emit(line, &mut out, &mut first);
+        }
     }
     out.push_str("\n]");
     out
@@ -857,6 +915,38 @@ mod tests {
         let json = chrome_trace_json(&spans, 1400);
         assert!(json.contains("\"ts\":1.000"));
         assert!(json.contains("\"dur\":1.000"));
+    }
+
+    #[test]
+    fn counter_tracks_emit_perfetto_counter_events() {
+        let spans = [sp(Layer::Kernel, 0, 0, 100)];
+        let tracks = [CounterTrack {
+            name: "goodput",
+            layer: Layer::Virtine,
+            points: vec![(Cycles(0), 12.0), (Cycles(50), 7.5)],
+        }];
+        let json = chrome_trace_json_with_counters(&spans, &tracks, 1);
+        // Counter-only layers still get their process metadata.
+        assert!(json.contains("\"args\":{\"name\":\"virtine\"}"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"goodput\":7.500}"));
+        let v = serde::json::parse(&json).expect("valid JSON");
+        let serde_json::Value::Arr(arr) = &v else {
+            panic!("trace is an array");
+        };
+        assert_eq!(arr.len(), 5, "2 metadata + 1 span + 2 counter samples");
+    }
+
+    #[test]
+    fn empty_counter_tracks_keep_the_trace_byte_identical() {
+        let spans = [
+            sp(Layer::Kernel, 0, 100, 300),
+            sp(Layer::Virtine, 4, 50, 250),
+        ];
+        assert_eq!(
+            chrome_trace_json(&spans, 1400),
+            chrome_trace_json_with_counters(&spans, &[], 1400)
+        );
     }
 
     #[test]

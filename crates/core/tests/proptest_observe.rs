@@ -1,0 +1,107 @@
+//! Property tests for the streaming observability plane: the bounded
+//! quantile [`Sketch`] must merge order- and shard-insensitively and track
+//! the exact [`Samples`] reservoir within its documented relative-error
+//! bound, and windowed [`TimeSeries`] roll-ups must concatenate across
+//! arbitrary time splits exactly as if the whole range ran once.
+
+use interweave_core::stats::{Samples, Sketch};
+use interweave_core::telemetry::TimeSeries;
+use interweave_core::Cycles;
+use proptest::prelude::*;
+
+/// Positive observations spanning the sketch's tracked latency range
+/// (`for_latency_us` covers `[2^-10, 2^31)` µs — these stay inside it so
+/// the in-range error bound applies; routing outside the range has its
+/// own unit tests).
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((1.0f64..1e9, 0u8..3), 1..400).prop_map(|raw| {
+        raw.into_iter()
+            // Mix magnitudes so values cross many exponent buckets.
+            .map(|(x, scale)| x / 10f64.powi(scale as i32))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting the observations into any number of per-shard sketches
+    /// and merging them back — in any order — is bit-identical to feeding
+    /// one sketch directly. Counts are pure integers, so this is exact
+    /// equality, not approximate.
+    #[test]
+    fn sketch_merge_is_shard_and_order_invariant(
+        xs in observations(),
+        shards in 1usize..8,
+        reverse in any::<bool>(),
+    ) {
+        let mut whole = Sketch::for_latency_us();
+        let mut parts: Vec<Sketch> = (0..shards).map(|_| Sketch::for_latency_us()).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.add(x);
+            parts[i % shards].add(x);
+        }
+        let mut merged = Sketch::for_latency_us();
+        if reverse {
+            for p in parts.iter().rev() {
+                merged.merge(p);
+            }
+        } else {
+            for p in &parts {
+                merged.merge(p);
+            }
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.count(), xs.len() as u64);
+    }
+
+    /// Every sketch quantile brackets the exact nearest-rank quantile from
+    /// a full [`Samples`] reservoir within the documented one-sided bound:
+    /// `exact <= sketch <= exact * (1 + relative_error())`.
+    #[test]
+    fn sketch_quantiles_track_exact_samples_within_the_bound(xs in observations()) {
+        let mut sk = Sketch::for_latency_us();
+        let mut exact = Samples::new();
+        for &x in &xs {
+            sk.add(x);
+            exact.add(x);
+        }
+        let eps = sk.relative_error();
+        for &q in &[0.1, 0.5, 0.9, 0.99, 1.0] {
+            let want = exact.quantile(q).expect("non-empty");
+            let got = sk.quantile(q).expect("non-empty");
+            prop_assert!(
+                want <= got && got <= want * (1.0 + eps) * (1.0 + 1e-12),
+                "q={q}: exact {want} vs sketch {got} (eps {eps})"
+            );
+        }
+    }
+
+    /// A run split at an arbitrary (not necessarily window-aligned) time
+    /// point into two series, merged, equals the whole-range series —
+    /// counters, gauges, and per-window sketches alike.
+    #[test]
+    fn windowed_series_concatenates_exactly_across_any_split(
+        stamps in prop::collection::vec(0u64..50_000, 1..300),
+        width in 1u64..5_000,
+        split in 0u64..50_000,
+    ) {
+        let mut whole = TimeSeries::new(Cycles(width));
+        let mut lo = TimeSeries::new(Cycles(width));
+        let mut hi = TimeSeries::new(Cycles(width));
+        for &t in &stamps {
+            let lat = (t % 977) as f64 + 0.25;
+            whole.add(Cycles(t), "offered", 1);
+            whole.gauge_max(Cycles(t), "depth", t % 13);
+            whole.observe(Cycles(t), "latency_us", lat);
+            let part = if t < split { &mut lo } else { &mut hi };
+            part.add(Cycles(t), "offered", 1);
+            part.gauge_max(Cycles(t), "depth", t % 13);
+            part.observe(Cycles(t), "latency_us", lat);
+        }
+        lo.merge(&hi);
+        prop_assert_eq!(&lo, &whole);
+        let total: u64 = whole.iter().map(|(_, w)| w.counter("offered")).sum();
+        prop_assert_eq!(total, stamps.len() as u64);
+    }
+}

@@ -15,7 +15,7 @@ use crate::threads::{home_zone_for, switch_cost, OsKind, SwitchKind, DEFAULT_STA
 use crate::work::{Work, WorkStep};
 use interweave_core::interrupt::{self, DeliveryOutcome, IrqClass};
 use interweave_core::machine::{CpuId, MachineConfig};
-use interweave_core::telemetry::{Key, Layer, Sink, Span, SpanKind, Unit};
+use interweave_core::telemetry::{FlightRecorder, Key, Layer, Sink, Span, SpanKind, Unit};
 use interweave_core::time::Cycles;
 use interweave_core::{EventHandle, FaultPlan, ShardedKernel};
 use std::collections::HashMap;
@@ -78,6 +78,9 @@ struct Cpu {
     next_retry: Cycles,
     /// Consecutive watchdog re-kicks without a successful dispatch.
     rekicks: u32,
+    /// The watchdog already logged this CPU's abandon (log-once latch;
+    /// cleared when a dispatch succeeds).
+    abandon_logged: bool,
 }
 
 /// Execution statistics for one run.
@@ -142,6 +145,9 @@ pub struct Executor {
     /// Telemetry sink: counters, cycle attribution, and spans all flow here
     /// when enabled. Off by default — publishing is then a no-op branch.
     sink: Sink,
+    /// Bounded blackbox of recent watchdog/fault events, `None` (zero-cost)
+    /// unless [`Executor::enable_flight_recorder`] ran.
+    recorder: Option<FlightRecorder>,
     /// Recorded intervals (when tracing is enabled).
     pub trace: Vec<Span>,
     /// Statistics (populated by [`Executor::run`]).
@@ -163,6 +169,7 @@ impl Executor {
                 backoff: 1,
                 next_retry: Cycles::ZERO,
                 rekicks: 0,
+                abandon_logged: false,
             })
             .collect();
         Executor {
@@ -179,6 +186,7 @@ impl Executor {
             watchdog: None,
             stack_alloc: None,
             sink: Sink::off(),
+            recorder: None,
             trace: Vec::new(),
             stats: ExecutorStats::default(),
         }
@@ -299,6 +307,26 @@ impl Executor {
         self.tracing = true;
     }
 
+    /// Keep a bounded blackbox of the most recent watchdog/fault events
+    /// (lost kicks, re-kicks, abandons), `cap` events deep. Off by
+    /// default; when a watchdog abandons a CPU the story of how it got
+    /// there is in [`Executor::flight_recorder`].
+    pub fn enable_flight_recorder(&mut self, cap: usize) {
+        self.recorder = Some(FlightRecorder::new(cap));
+    }
+
+    /// The executor's blackbox, if recording is enabled.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// One blackbox entry, skipped entirely when recording is off.
+    fn blackbox(&mut self, at: Cycles, cpu: CpuId, what: &'static str, a: u64, b: u64) {
+        if let Some(r) = &mut self.recorder {
+            r.record(at, cpu, what, a, b);
+        }
+    }
+
     fn record(&mut self, cpu: CpuId, task: u64, start: Cycles, end: Cycles, kind: SpanKind) {
         if end <= start {
             return;
@@ -392,6 +420,8 @@ impl Executor {
                     if c.dispatch.is_none() && c.stalled_since.is_none() {
                         c.stalled_since = Some(t);
                     }
+                    let queued = c.queue.len() as u64;
+                    self.blackbox(t, cpu, "lost-kick", queued, 0);
                     return;
                 }
             },
@@ -478,6 +508,7 @@ impl Executor {
                     self.cpus[cpu].backoff = 1;
                     self.cpus[cpu].next_retry = Cycles::ZERO;
                     self.cpus[cpu].rekicks = 0;
+                    self.cpus[cpu].abandon_logged = false;
                     self.dispatch(cpu, at);
                 }
                 ExecEvent::Watchdog => self.watchdog_tick(at),
@@ -522,20 +553,38 @@ impl Executor {
         self.sink.count_at(&KEY_WD_CHECKS, 0, 1, at);
         for cpu in 0..self.cpus.len() {
             let c = &self.cpus[cpu];
-            if c.dispatch.is_none()
-                && !c.queue.is_empty()
-                && at >= c.next_retry
-                && !wd.abandons(c.rekicks)
-            {
-                self.stats.watchdog_rekicks += 1;
-                self.sink.count_at(&KEY_WD_REKICKS, cpu, 1, at);
-                let backoff = self.cpus[cpu].backoff;
-                self.cpus[cpu].next_retry = at + wd.retry_backoff(backoff);
-                self.cpus[cpu].backoff = wd.escalate(backoff);
-                self.cpus[cpu].rekicks += 1;
-                // The re-kick goes through the fault plane like any other
-                // IPI — it too can be lost, hence the backoff above.
-                self.kick(cpu, at);
+            if c.dispatch.is_none() && !c.queue.is_empty() {
+                if wd.abandons(c.rekicks) {
+                    // Re-kick budget exhausted: log the give-up into the
+                    // blackbox exactly once per stall episode.
+                    if !c.abandon_logged {
+                        let rekicks = c.rekicks as u64;
+                        let queued = c.queue.len() as u64;
+                        self.cpus[cpu].abandon_logged = true;
+                        self.blackbox(at, cpu, "wd-abandon", rekicks, queued);
+                    }
+                } else if at >= c.next_retry {
+                    self.stats.watchdog_rekicks += 1;
+                    self.sink.count_at(&KEY_WD_REKICKS, cpu, 1, at);
+                    let backoff = self.cpus[cpu].backoff;
+                    self.cpus[cpu].next_retry = at + wd.retry_backoff(backoff);
+                    self.cpus[cpu].backoff = wd.escalate(backoff);
+                    self.cpus[cpu].rekicks += 1;
+                    self.blackbox(at, cpu, "wd-rekick", self.cpus[cpu].rekicks as u64, 0);
+                    // The re-kick goes through the fault plane like any other
+                    // IPI — it too can be lost, hence the backoff above.
+                    self.kick(cpu, at);
+                    // If that was the last budgeted re-kick and it too was
+                    // lost, the give-up happens *now* (the heartbeat may
+                    // stop this very tick) — log it before it does.
+                    let c = &self.cpus[cpu];
+                    if c.dispatch.is_none() && wd.abandons(c.rekicks) && !c.abandon_logged {
+                        let rekicks = c.rekicks as u64;
+                        let queued = c.queue.len() as u64;
+                        self.cpus[cpu].abandon_logged = true;
+                        self.blackbox(at, cpu, "wd-abandon", rekicks, queued);
+                    }
+                }
             }
         }
         // Keep the heartbeat alive only while some CPU has pending or
@@ -942,6 +991,52 @@ mod tests {
         assert!(e.stats.watchdog_rekicks > 0);
         assert!(e.stats.recovered_stalls > 0);
         assert!(e.stats.stall_cycles.get() > 0);
+    }
+
+    #[test]
+    fn flight_recorder_tells_the_abandon_story_deterministically() {
+        use interweave_core::{FaultConfig, FaultPlan};
+        // Every kick drops: the watchdog re-kicks until the budget runs
+        // out, then abandons — and the blackbox holds the whole story.
+        let run = || {
+            let mut cfg = FaultConfig::quiet(42);
+            cfg.drop_ipi = 1.0;
+            let mut e = exec(1, 10_000);
+            e.enable_flight_recorder(64);
+            e.set_fault_plan(FaultPlan::new(cfg));
+            e.enable_watchdog(Cycles(5_000));
+            e.spawn(0, Box::new(LoopWork::new(1, Cycles(2_000))));
+            assert!(!e.run(), "p=1 drop can never complete");
+            let r = e.flight_recorder().unwrap().clone();
+            let kinds: Vec<&str> = r.events().map(|ev| ev.what).collect();
+            assert!(kinds.contains(&"lost-kick"));
+            assert!(kinds.contains(&"wd-rekick"));
+            // Abandon is logged exactly once per stall episode.
+            assert_eq!(kinds.iter().filter(|k| **k == "wd-abandon").count(), 1);
+            r.dump("abandon")
+        };
+        assert_eq!(run(), run(), "blackbox dump must be deterministic");
+    }
+
+    #[test]
+    fn flight_recorder_off_records_nothing_and_changes_nothing() {
+        use interweave_core::{FaultConfig, FaultPlan};
+        let run = |blackbox: bool| {
+            let mut cfg = FaultConfig::quiet(33);
+            cfg.drop_ipi = 0.4;
+            let mut e = exec(2, 1_500);
+            if blackbox {
+                e.enable_flight_recorder(32);
+            }
+            e.set_fault_plan(FaultPlan::new(cfg));
+            e.enable_watchdog(Cycles(4_000));
+            e.spawn(0, Box::new(LoopWork::new(3, Cycles(2_500))));
+            e.spawn(1, Box::new(LoopWork::new(3, Cycles(2_500))));
+            e.run();
+            assert_eq!(e.flight_recorder().is_some(), blackbox);
+            (e.stats.makespan, e.stats.lost_kicks, e.stats.stall_cycles)
+        };
+        assert_eq!(run(false), run(true), "recorder must not perturb the run");
     }
 
     #[test]

@@ -71,8 +71,15 @@ pub struct EchoReport {
     pub served: usize,
     /// End-to-end latency distribution in µs (arrival → response).
     pub latency_us: Summary,
-    /// Approximate p99 latency in µs.
+    /// Approximate p99 latency in µs. When `p99_clamped` is set this is
+    /// only a lower bound: the rank landed past the histogram's tracked
+    /// range and the value is the last finite bucket edge.
     pub p99_us: f64,
+    /// True when the p99 rank overflowed the histogram range; tables must
+    /// then print the value as a bound and surface `tail_overflow`.
+    pub p99_clamped: bool,
+    /// Fraction of requests whose latency overflowed the tracked range.
+    pub tail_overflow: f64,
     /// Cold starts performed.
     pub cold_starts: u64,
 }
@@ -129,10 +136,13 @@ pub fn run_echo(
         hist.add(lat_us);
     }
 
+    let (p99_us, p99_clamped) = hist.percentile_clamped(99.0).unwrap_or((0.0, false));
     EchoReport {
         mode,
         served: cfg.requests,
-        p99_us: hist.percentile(99.0).unwrap_or(0.0),
+        p99_us,
+        p99_clamped,
+        tail_overflow: hist.overflow_fraction(),
         latency_us: latency,
         cold_starts: match mode {
             ServeMode::VirtinePooled => wasp.stats.cold_starts,
@@ -197,6 +207,23 @@ mod tests {
             proc.p99_us,
             pooled.p99_us
         );
+    }
+
+    #[test]
+    fn p99_within_the_histogram_range_is_not_clamped() {
+        // The echo histogram tracks 400 ms; every strategy's tail sits in
+        // the low milliseconds, so the report must never claim a clamp —
+        // the golden tables print the plain value.
+        let (img, mc, cfg) = setup();
+        for mode in [
+            ServeMode::ProcessPerRequest,
+            ServeMode::VirtineCold,
+            ServeMode::VirtinePooled,
+        ] {
+            let r = run_echo(&img, &mc, &cfg, mode);
+            assert!(!r.p99_clamped, "{}: p99 claimed a clamp", mode.name());
+            assert_eq!(r.tail_overflow, 0.0);
+        }
     }
 
     #[test]

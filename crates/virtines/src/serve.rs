@@ -51,7 +51,8 @@ use crate::wasp::{snapshot_restore, startup, LaunchPath};
 use interweave_core::arrivals::{ArrivalGen, ArrivalKind};
 use interweave_core::machine::MachineConfig;
 use interweave_core::rng::SplitMix64;
-use interweave_core::stats::Samples;
+use interweave_core::stats::{Samples, Sketch};
+use interweave_core::telemetry::{FlightRecorder, TimeSeries};
 use interweave_core::time::Cycles;
 use interweave_core::{FaultClass, FaultConfig, FaultPlan};
 use interweave_ir::types::Val;
@@ -363,6 +364,112 @@ impl WaspPool {
     }
 }
 
+/// How a serving run stores its latency distribution — the capacity policy
+/// the million-invocation regime requires.
+///
+/// [`Samples`] keeps every observation (8 bytes each), so a 10⁶-invocation
+/// campaign holds tens of megabytes just for tails; [`Sketch`] is
+/// fixed-memory (≤ ~42 KiB per sink) at a documented ≤ 2⁻⁷ relative error.
+/// `Windowed` additionally rolls per-window trajectories (goodput, queue
+/// depth, latency quantiles) into a [`TimeSeries`], so the report shows
+/// *when* the knee happened, not just that it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsPolicy {
+    /// Exact quantiles, unbounded memory — the historical default; keeps
+    /// every pinned golden byte-identical.
+    #[default]
+    Exact,
+    /// Fixed-memory quantile sketch, no trajectory.
+    Sketched,
+    /// Fixed-memory sketch plus a windowed [`TimeSeries`] with windows of
+    /// `window` simulated cycles.
+    Windowed {
+        /// Roll-up window width in simulated cycles.
+        window: Cycles,
+    },
+}
+
+/// The latency sink a [`ServeReport`] aggregates into: exact reservoir or
+/// bounded sketch, chosen by [`MetricsPolicy`]. Merging two reports
+/// requires the same variant — mixing an exact run into a sketched one
+/// would silently change quantile semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencySink {
+    /// Every observation retained ([`Samples`]).
+    Exact(Samples),
+    /// Fixed-memory log-bucketed sketch ([`Sketch`]).
+    Sketched(Sketch),
+}
+
+impl LatencySink {
+    fn for_policy(metrics: MetricsPolicy) -> LatencySink {
+        match metrics {
+            MetricsPolicy::Exact => LatencySink::Exact(Samples::new()),
+            MetricsPolicy::Sketched | MetricsPolicy::Windowed { .. } => {
+                LatencySink::Sketched(Sketch::for_latency_us())
+            }
+        }
+    }
+
+    /// Record one latency observation, µs.
+    pub fn add(&mut self, x: f64) {
+        match self {
+            LatencySink::Exact(s) => s.add(x),
+            LatencySink::Sketched(s) => s.add(x),
+        }
+    }
+
+    /// Absorb another sink. Panics on variant mismatch.
+    pub fn merge(&mut self, other: &LatencySink) {
+        match (self, other) {
+            (LatencySink::Exact(a), LatencySink::Exact(b)) => a.merge(b),
+            (LatencySink::Sketched(a), LatencySink::Sketched(b)) => a.merge(b),
+            _ => panic!("cannot merge exact and sketched latency sinks"),
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        match self {
+            LatencySink::Exact(s) => s.count(),
+            LatencySink::Sketched(s) => s.count() as usize,
+        }
+    }
+
+    /// Median; 0 when empty.
+    pub fn p50(&mut self) -> f64 {
+        match self {
+            LatencySink::Exact(s) => s.p50(),
+            LatencySink::Sketched(s) => s.p50(),
+        }
+    }
+
+    /// 99th percentile; 0 when empty.
+    pub fn p99(&mut self) -> f64 {
+        match self {
+            LatencySink::Exact(s) => s.p99(),
+            LatencySink::Sketched(s) => s.p99(),
+        }
+    }
+
+    /// 99.9th percentile; 0 when empty.
+    pub fn p999(&mut self) -> f64 {
+        match self {
+            LatencySink::Exact(s) => s.p999(),
+            LatencySink::Sketched(s) => s.p999(),
+        }
+    }
+
+    /// Heap bytes held: unbounded for `Exact`, hard-capped for
+    /// `Sketched` — the EXPERIMENTS.md memory table reads this.
+    pub fn bytes(&self) -> usize {
+        match self {
+            LatencySink::Exact(s) => s.bytes(),
+            LatencySink::Sketched(s) => s.bytes(),
+        }
+    }
+}
+
 /// Per-class fault ledger: where every injected fault of one class landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultAccount {
@@ -415,6 +522,13 @@ pub struct ServeConfig {
     pub faults: FaultConfig,
     /// Watchdog schedule reclaiming lost completion kicks.
     pub watchdog: WatchdogPolicy,
+    /// Latency-sink capacity policy (exact reservoir, bounded sketch, or
+    /// sketch + windowed time series).
+    pub metrics: MetricsPolicy,
+    /// Per-worker flight-recorder depth: 0 (default) disables the
+    /// blackbox; N keeps each worker's last N events for the ledger
+    /// assertion's failure dump.
+    pub blackbox: usize,
 }
 
 /// The merged result of a serving run. `PartialEq` holds bit-exactly, so
@@ -436,8 +550,13 @@ pub struct ServeReport {
     /// Completions whose kick was lost and reclaimed by a watchdog scan.
     pub wd_reclaims: u64,
     /// End-to-end latency (arrival → observed completion) of successfully
-    /// served requests, µs.
-    pub latency_us: Samples,
+    /// served requests, µs — exact or sketched per [`MetricsPolicy`].
+    pub latency_us: LatencySink,
+    /// Windowed trajectories (offered/completed/shed counters, queue-depth
+    /// gauge, latency sketch per window), present under
+    /// [`MetricsPolicy::Windowed`]. Merged window-by-window in canonical
+    /// worker order, so it is bit-identical at every shard count.
+    pub series: Option<TimeSeries>,
     /// Per-class fault ledger, in [`FaultClass::ALL`] order.
     pub faults: Vec<FaultAccount>,
     /// Aggregated pool counters.
@@ -482,6 +601,9 @@ impl ServeReport {
         self.shed_retry += o.shed_retry;
         self.wd_reclaims += o.wd_reclaims;
         self.latency_us.merge(&o.latency_us);
+        if let (Some(mine), Some(theirs)) = (self.series.as_mut(), o.series.as_ref()) {
+            mine.merge(theirs);
+        }
         for (a, b) in self.faults.iter_mut().zip(&o.faults) {
             a.injected += b.injected;
             a.recovered += b.recovered;
@@ -491,7 +613,7 @@ impl ServeReport {
         self.pool.absorb(&o.pool);
     }
 
-    fn empty() -> ServeReport {
+    fn empty(metrics: MetricsPolicy) -> ServeReport {
         ServeReport {
             offered: 0,
             admitted: 0,
@@ -500,7 +622,11 @@ impl ServeReport {
             shed_deadline: 0,
             shed_retry: 0,
             wd_reclaims: 0,
-            latency_us: Samples::new(),
+            latency_us: LatencySink::for_policy(metrics),
+            series: match metrics {
+                MetricsPolicy::Windowed { window } => Some(TimeSeries::new(window)),
+                _ => None,
+            },
             faults: FaultClass::ALL
                 .iter()
                 .map(|&class| FaultAccount {
@@ -533,7 +659,10 @@ fn simulate_worker(
     cfg: &ServeConfig,
 ) -> ServeReport {
     let freq = mc.freq;
-    let mut r = ServeReport::empty();
+    let mut r = ServeReport::empty(cfg.metrics);
+    // The worker's blackbox: last `cfg.blackbox` admission/shed/reclaim
+    // events, dumped if the ledger assertion below ever fires.
+    let mut bb = (cfg.blackbox > 0).then(|| FlightRecorder::new(cfg.blackbox));
     let mut pool = WaspPool::new(
         profile,
         mc.clone(),
@@ -567,15 +696,31 @@ fn simulate_worker(
         while fifo.front().is_some_and(|&f| f <= t) {
             fifo.pop_front();
         }
+        if let Some(s) = r.series.as_mut() {
+            s.add(t, "offered", 1);
+            s.gauge_max(t, "queue_depth", fifo.len() as u64);
+        }
         // Admission control, two gates: bound the queue, then bound the
         // wait. Both shed *before* any service cost is spent.
         if fifo.len() >= cfg.queue_cap {
             r.shed_queue += 1;
+            if let Some(s) = r.series.as_mut() {
+                s.add(t, "shed", 1);
+            }
+            if let Some(b) = bb.as_mut() {
+                b.record(t, w, "shed-queue", fifo.len() as u64, 0);
+            }
             continue;
         }
         let start = fifo.back().copied().unwrap_or(Cycles::ZERO).max(t);
         if start - t > deadline {
             r.shed_deadline += 1;
+            if let Some(s) = r.series.as_mut() {
+                s.add(t, "shed", 1);
+            }
+            if let Some(b) = bb.as_mut() {
+                b.record(t, w, "shed-deadline", (start - t).get(), deadline.get());
+            }
             continue;
         }
         r.admitted += 1;
@@ -589,13 +734,22 @@ fn simulate_worker(
                 let observed = if faults.drop_kick() {
                     r.wd_reclaims += 1;
                     r.faults[li].recovered += 1;
-                    cfg.watchdog.next_scan_after(finish)
+                    let reclaimed = cfg.watchdog.next_scan_after(finish);
+                    if let Some(b) = bb.as_mut() {
+                        b.record(t, w, "wd-reclaim", finish.get(), reclaimed.get());
+                    }
+                    reclaimed
                 } else {
                     finish
                 };
                 fifo.push_back(finish);
                 r.completed += 1;
-                r.latency_us.add(freq.us(observed - t).get());
+                let lat_us = freq.us(observed - t).get();
+                r.latency_us.add(lat_us);
+                if let Some(s) = r.series.as_mut() {
+                    s.add(t, "completed", 1);
+                    s.observe(t, "latency_us", lat_us);
+                }
                 r.faults[vk].recovered += served.kills as u64;
                 r.faults[vk].absorbed += served.absorbed as u64;
             }
@@ -604,6 +758,12 @@ fn simulate_worker(
                 // stays busy for everything the attempts burned.
                 fifo.push_back(start + spent);
                 r.shed_retry += 1;
+                if let Some(s) = r.series.as_mut() {
+                    s.add(t, "shed", 1);
+                }
+                if let Some(b) = bb.as_mut() {
+                    b.record(t, w, "shed-retry", kills as u64, spent.get());
+                }
                 r.faults[vk].shed += kills as u64;
             }
         }
@@ -614,11 +774,18 @@ fn simulate_worker(
     r.faults[af].recovered = pool.stats.oom_evictions;
     r.faults[af].absorbed = pool.stats.oom_misses;
     r.pool = pool.stats;
-    debug_assert!(
-        r.accounts_balanced(),
-        "worker {w} fault ledger out of balance: {:?}",
-        r.faults
-    );
+    if !r.accounts_balanced() {
+        // The flight-recorder payoff: the panic carries the worker's last
+        // N events, deterministically, instead of "re-run and pray".
+        let dump = bb
+            .as_ref()
+            .map(|b| b.dump(&format!("worker {w} ledger imbalance")))
+            .unwrap_or_default();
+        panic!(
+            "worker {w} fault ledger out of balance: {:?}\n{dump}",
+            r.faults
+        );
+    }
     r
 }
 
@@ -673,7 +840,7 @@ pub fn run_serve(
         }
     });
 
-    let mut merged = ServeReport::empty();
+    let mut merged = ServeReport::empty(cfg.metrics);
     for rep in reports.into_iter().flatten() {
         merged.absorb(&rep);
     }
@@ -749,6 +916,8 @@ mod tests {
             pool: pool_opts(64),
             faults,
             watchdog: WatchdogPolicy::new(Cycles(100_000)),
+            metrics: MetricsPolicy::Exact,
+            blackbox: 0,
         }
     }
 
@@ -1001,6 +1170,71 @@ mod tests {
         );
         assert!(slam.goodput() < 0.95, "overload cannot serve everything");
         assert!(calm.goodput() > 0.95, "calm load serves nearly everything");
+    }
+
+    #[test]
+    fn sketched_sink_tracks_exact_within_the_documented_bound() {
+        let image = fib_image();
+        let args = [Val::I(10)];
+        let mc = MachineConfig::xeon_server_2s();
+        let mut cfg = serve_cfg(&image, 40.0, chaotic(0xBEEF));
+        let mut exact = run_serve(&image, &args, &mc, &cfg, 2);
+        cfg.metrics = MetricsPolicy::Sketched;
+        let mut sk = run_serve(&image, &args, &mc, &cfg, 2);
+        // Same simulation either way: only the sink representation moves.
+        assert_eq!(exact.completed, sk.completed);
+        assert_eq!(exact.latency_us.count(), sk.latency_us.count());
+        assert!(
+            sk.latency_us.bytes() < exact.latency_us.bytes(),
+            "sketch must be smaller: {} vs {}",
+            sk.latency_us.bytes(),
+            exact.latency_us.bytes()
+        );
+        let eps = 1.0 / 128.0; // Sketch::for_latency_us relative error
+        for (e, v) in [
+            (exact.latency_us.p50(), sk.latency_us.p50()),
+            (exact.latency_us.p99(), sk.latency_us.p99()),
+            (exact.latency_us.p999(), sk.latency_us.p999()),
+        ] {
+            assert!(
+                e <= v && v <= e * (1.0 + eps) * (1.0 + 1e-12),
+                "sketch quantile out of bound: exact {e}, sketch {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_series_is_shard_invariant_and_consistent_with_totals() {
+        let image = fib_image();
+        let args = [Val::I(10)];
+        let mc = MachineConfig::xeon_server_2s();
+        let mut cfg = serve_cfg(&image, 40.0, chaotic(0xC0FFEE));
+        // ~10 windows over the 60 ms run at 3.3 GHz.
+        cfg.metrics = MetricsPolicy::Windowed {
+            window: Cycles(20_000_000),
+        };
+        cfg.blackbox = 32;
+        let one = run_serve(&image, &args, &mc, &cfg, 1);
+        let six = run_serve(&image, &args, &mc, &cfg, 6);
+        assert_eq!(one, six, "windowed report must be shard-invariant");
+        let series = one.series.as_ref().expect("windowed policy fills series");
+        assert!(series.len() > 3, "the run must span several windows");
+        let sum = |name: &str| -> u64 { series.iter().map(|(_, w)| w.counter(name)).sum() };
+        assert_eq!(sum("offered"), one.offered, "windows partition arrivals");
+        assert_eq!(sum("completed"), one.completed);
+        assert_eq!(sum("shed"), one.shed());
+        // Per-window latency sketches merge to the run-level sink.
+        let mut merged = interweave_core::stats::Sketch::for_latency_us();
+        for (_, w) in series.iter() {
+            if let Some(s) = w.sketch("latency_us") {
+                merged.merge(s);
+            }
+        }
+        assert_eq!(
+            LatencySink::Sketched(merged),
+            one.latency_us,
+            "window sketches must merge to the total"
+        );
     }
 
     #[test]

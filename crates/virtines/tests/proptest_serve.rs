@@ -12,7 +12,7 @@ use interweave_ir::types::Val;
 use interweave_kernel::watchdog::WatchdogPolicy;
 use interweave_virtines::extract::extract_one;
 use interweave_virtines::serve::{
-    run_serve, PoolOptions, RetryPolicy, ServeConfig, ServiceProfile,
+    run_serve, MetricsPolicy, PoolOptions, RetryPolicy, ServeConfig, ServiceProfile,
 };
 use proptest::prelude::*;
 
@@ -23,6 +23,7 @@ fn cfg(
     workers: usize,
     chaos: (f64, f64, f64),
     budget: u64,
+    metrics: MetricsPolicy,
 ) -> ServeConfig {
     let (kill, drop_ipi, alloc_fail) = chaos;
     ServeConfig {
@@ -51,15 +52,18 @@ fn cfg(
             ..FaultConfig::quiet(seed ^ 0xFA)
         },
         watchdog: WatchdogPolicy::new(Cycles(50_000)),
+        metrics,
+        blackbox: 16,
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Any configuration yields a report that is bit-identical across
-    /// shard counts and across repeated runs, conserves requests, and
-    /// keeps every fault class's ledger balanced.
+    /// Any configuration — under any latency-sink policy (exact,
+    /// sketched, windowed) — yields a report that is bit-identical
+    /// across shard counts and across repeated runs, conserves requests,
+    /// and keeps every fault class's ledger balanced.
     #[test]
     fn serve_is_shard_invariant_conserving_and_balanced(
         arrival_sel in 0usize..3,
@@ -67,11 +71,17 @@ proptest! {
         workers in 1usize..7,
         shards in 1usize..5,
         kill_sel in 0usize..3,
+        metrics_sel in 0usize..3,
         seed in 0u64..1_000,
     ) {
         let arrival = ArrivalKind::ALL[arrival_sel];
         let mean_gap_us = [3.0, 12.0, 60.0][gap_sel];
         let kill = [0.0, 0.15, 0.5][kill_sel];
+        let metrics = [
+            MetricsPolicy::Exact,
+            MetricsPolicy::Sketched,
+            MetricsPolicy::Windowed { window: Cycles(40_000) },
+        ][metrics_sel];
 
         let prog = programs::fib(9);
         let image = extract_one(&prog.module, prog.entry);
@@ -79,7 +89,7 @@ proptest! {
         let profile = ServiceProfile::calibrate(&image, &args, u64::MAX / 4);
         let budget = profile.guest_cycles + profile.guest_cycles / 3 + 2;
         let mc = MachineConfig::test(2);
-        let c = cfg(arrival, mean_gap_us, seed, workers, (kill, 0.04, 0.04), budget);
+        let c = cfg(arrival, mean_gap_us, seed, workers, (kill, 0.04, 0.04), budget, metrics);
 
         let base = run_serve(&image, &args, &mc, &c, 1);
         let sharded = run_serve(&image, &args, &mc, &c, shards);
