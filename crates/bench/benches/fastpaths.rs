@@ -1179,6 +1179,32 @@ fn telemetry_overhead(c: &mut Criterion) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// OS-axis model evaluation: the cost of materializing each OS model and
+// probing the full §III primitive suite through the `OsModel` vtable. The
+// figure binaries do this inside sweeps (once per scenario per point), so
+// the three arms bound what the axis refactor added to the hot path; they
+// also keep the three models honest relative to each other — all arms run
+// the identical probe set, so a cost-table edit that accidentally changes
+// the *shape* of a model (e.g. making a probe non-constant) shows up here.
+
+fn os_models(c: &mut Criterion) {
+    use interweave_core::machine::MachineConfig;
+    use interweave_core::stack::OsPoint;
+    use interweave_kernel::microbench::primitive_table;
+    use interweave_kernel::os::model_for;
+
+    for os in OsPoint::ALL {
+        c.bench_function(&format!("os_models/{}_primitives", os.name()), |b| {
+            b.iter(|| {
+                let m = model_for(black_box(os), MachineConfig::xeon_server_2s());
+                let rows = primitive_table(&[(os.name(), m.as_ref())]);
+                black_box(rows.iter().map(|r| r.costs[0].get()).sum::<u64>())
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     queue_cancel_seed,
@@ -1192,5 +1218,6 @@ criterion_group!(
     interp_allocchurn,
     interp_fib,
     telemetry_overhead,
+    os_models,
 );
 criterion_main!(benches);

@@ -6,18 +6,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_heartbeat(c: &mut Criterion) {
+    use interweave_core::stack::OsPoint;
     use interweave_core::Cycles;
-    use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
-    let mut cfg = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1000));
-    cfg.duration_us = 5_000.0;
-    c.bench_function("heartbeat nk 20us 5ms", |b| {
-        b.iter(|| black_box(run_heartbeat(&cfg)))
-    });
-    let mut lcfg = HeartbeatConfig::fig3(SignalKind::LinuxSignals, 20.0, Cycles(1000));
-    lcfg.duration_us = 5_000.0;
-    c.bench_function("heartbeat linux 20us 5ms", |b| {
-        b.iter(|| black_box(run_heartbeat(&lcfg)))
-    });
+    use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig};
+    for (label, os) in [
+        ("heartbeat nk 20us 5ms", OsPoint::NkLike),
+        ("heartbeat aster 20us 5ms", OsPoint::AsterLike),
+        ("heartbeat linux 20us 5ms", OsPoint::LinuxLike),
+    ] {
+        let mut cfg = HeartbeatConfig::fig3(os, 20.0, Cycles(1000));
+        cfg.duration_us = 5_000.0;
+        c.bench_function(label, |b| b.iter(|| black_box(run_heartbeat(&cfg))));
+    }
 }
 
 fn bench_omp(c: &mut Criterion) {

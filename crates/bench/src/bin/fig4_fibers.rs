@@ -27,6 +27,7 @@ fn main() {
     let knl = MachineConfig::phi_knl();
     let h = Harness::new(vec![
         Scenario::new("linux", StackConfig::commodity(), knl.clone()),
+        Scenario::new("aster", StackConfig::framekernel(), knl.clone()),
         Scenario::new("nautilus", StackConfig::nautilus(), knl.clone()),
         // The compiler-timed fiber rows: the timing axis moves into the
         // toolchain, everything else stays raw Nautilus.
@@ -40,9 +41,10 @@ fn main() {
         ),
     ]);
     let mc = &h.scenario("nautilus").machine;
-    let linux = h.stack("linux").os_kind();
-    let nk = h.stack("nautilus").os_kind();
-    let comptime = h.stack("nautilus+comptime").os_kind();
+    let linux = h.stack("linux").config.os;
+    let aster = h.stack("aster").config.os;
+    let nk = h.stack("nautilus").config.os;
+    let comptime = h.stack("nautilus+comptime").config.os;
 
     // The figure's bars: cost decomposition per configuration.
     let rows_data = analytic_rows(mc);
@@ -88,6 +90,7 @@ fn main() {
 
     // Headline ratios the figure calls out.
     let linux_fp = floor_cycles(mc, SwitchKind::ThreadInterrupt, linux, true);
+    let aster_fp = floor_cycles(mc, SwitchKind::ThreadInterrupt, aster, true);
     let nk_fp = floor_cycles(mc, SwitchKind::ThreadInterrupt, nk, true);
     let fib_fp = floor_cycles(mc, SwitchKind::FiberCompilerTimed, comptime, true);
     let fib_nofp = floor_cycles(mc, SwitchKind::FiberCompilerTimed, comptime, false);
@@ -96,6 +99,10 @@ fn main() {
         &["quantity", "value"],
         &[
             vec![s("Linux non-RT FP switch (paper ≈5000 cyc)"), s(linux_fp)],
+            vec![
+                s("Aster thread FP switch (framekernel mid-point)"),
+                s(aster_fp),
+            ],
             vec![s("NK thread FP switch (paper: ≈half of Linux)"), s(nk_fp)],
             vec![
                 s("CompTime fiber FP switch (paper: 2.3× below threads)"),

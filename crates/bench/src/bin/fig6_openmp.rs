@@ -1,8 +1,9 @@
 //! Fig. 6: kernel-OpenMP performance relative to Linux as a function of
 //! CPUs — NAS BT and SP on the Phi KNL preset, plus the 8-socket/192-core
-//! repetition and the EPCC overhead table. The RTK/PIK/CCK kernels are
-//! declared as stack compositions; their OpenMP modes (and the table
-//! columns) derive from the composed stacks.
+//! repetition and the EPCC overhead table. The Aster/RTK/PIK/CCK designs
+//! are declared as stack compositions; their OpenMP modes (and the table
+//! columns) derive from the composed stacks, so the OS axis's framekernel
+//! mid-point appears as its own column.
 
 use interweave_bench::harness::{Harness, Scenario};
 use interweave_bench::{f, s};
@@ -26,6 +27,7 @@ fn main() {
     let knl = MachineConfig::phi_knl();
     let h = Harness::new(vec![
         Scenario::new("linux", StackConfig::commodity(), knl.clone()),
+        Scenario::new("aster", StackConfig::framekernel(), knl.clone()),
         Scenario::new("rtk", StackConfig::rtk(), knl.clone()),
         Scenario::new("pik", StackConfig::pik(), knl.clone()),
         Scenario::new("cck", StackConfig::cck(), knl.clone()),

@@ -12,7 +12,7 @@
 
 use interweave_bench::harness::{
     section, section_sharded, BenchSummary, Cli, ExperimentSummary, FaultBreakdownEntry,
-    MetricsSeries, MetricsWindow,
+    MetricsSeries, MetricsWindow, PrimitiveEntry,
 };
 use interweave_bench::{f, print_table, s};
 use interweave_core::machine::MachineConfig;
@@ -30,21 +30,45 @@ fn main() {
     section(
         &mut entries,
         "Fig 3",
-        "NK sustains ♥=20µs; Linux cannot",
+        "NK and Aster sustain ♥=20µs; Linux cannot",
         StackConfig::nautilus(),
         xeon.clone().with_cores(16),
         || {
-            use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
-            let mut nk = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1000));
-            nk.duration_us = 10_000.0;
-            let mut lx = HeartbeatConfig::fig3(SignalKind::LinuxSignals, 20.0, Cycles(1000));
-            lx.duration_us = 10_000.0;
-            let (nk, lx) = (run_heartbeat(&nk), run_heartbeat(&lx));
+            use interweave_core::stack::OsPoint;
+            use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig};
+            let frac = |os| {
+                let mut cfg = HeartbeatConfig::fig3(os, 20.0, Cycles(1000));
+                cfg.duration_us = 10_000.0;
+                100.0 * run_heartbeat(&cfg).fraction_of_target()
+            };
             format!(
-                "NK {:.0}% of target, Linux {:.0}%",
-                100.0 * nk.fraction_of_target(),
-                100.0 * lx.fraction_of_target()
+                "NK {:.0}%, Aster {:.0}%, Linux {:.0}% of target",
+                frac(OsPoint::NkLike),
+                frac(OsPoint::AsterLike),
+                frac(OsPoint::LinuxLike)
             )
+        },
+    );
+
+    section(
+        &mut entries,
+        "framekernel",
+        "Aster mid-point: between the endpoints on 9 of 10 primitives",
+        StackConfig::framekernel(),
+        xeon.clone(),
+        || {
+            use interweave_kernel::microbench::primitive_table;
+            use interweave_kernel::os::{AsterModel, LinuxModel, NkModel};
+            let mc = MachineConfig::xeon_server_2s();
+            let lx = LinuxModel::new(mc.clone());
+            let fk = AsterModel::new(mc.clone());
+            let nk = NkModel::new(mc);
+            let t = primitive_table(&[("Linux", &lx), ("Aster", &fk), ("Nautilus", &nk)]);
+            let between = t
+                .iter()
+                .filter(|r| r.costs[2] <= r.costs[1] && r.costs[1] <= r.costs[0])
+                .count();
+            format!("{between} of {} primitives between", t.len())
         },
     );
 
@@ -58,11 +82,12 @@ fn main() {
         },
         MachineConfig::phi_knl(),
         || {
-            use interweave_kernel::threads::{switch_cost, OsKind, SwitchKind};
+            use interweave_core::stack::OsPoint;
+            use interweave_kernel::threads::{switch_cost, SwitchKind};
             let knl = MachineConfig::phi_knl();
             let fiber = switch_cost(
                 &knl,
-                OsKind::Nk,
+                OsPoint::NkLike,
                 SwitchKind::FiberCompilerTimed,
                 false,
                 false,
@@ -206,11 +231,14 @@ fn main() {
         xeon.clone(),
         || {
             use interweave_kernel::microbench::primitive_table;
-            use interweave_kernel::os::{LinuxModel, NkModel};
+            use interweave_kernel::os::{AsterModel, LinuxModel, NkModel};
             let mc = MachineConfig::xeon_server_2s();
-            let t = primitive_table(&LinuxModel::new(mc.clone()), &NkModel::new(mc));
+            let lx = LinuxModel::new(mc.clone());
+            let fk = AsterModel::new(mc.clone());
+            let nk = NkModel::new(mc);
+            let t = primitive_table(&[("Linux", &lx), ("Aster", &fk), ("Nautilus", &nk)]);
             let create = t.iter().find(|r| r.name == "thread create").expect("row");
-            format!("thread create {}x", f(create.speedup(), 0))
+            format!("thread create {}x", f(create.speedup(0, 2), 0))
         },
     );
 
@@ -337,12 +365,33 @@ fn main() {
         &rows,
     );
 
+    // The machine-readable TAB-NK: every §III primitive priced on all
+    // three points of the OS axis.
+    let primitives: Vec<PrimitiveEntry> = {
+        use interweave_kernel::microbench::primitive_table;
+        use interweave_kernel::os::{AsterModel, LinuxModel, NkModel};
+        let mc = MachineConfig::xeon_server_2s();
+        let lx = LinuxModel::new(mc.clone());
+        let fk = AsterModel::new(mc.clone());
+        let nk = NkModel::new(mc);
+        primitive_table(&[("Linux", &lx), ("Aster", &fk), ("Nautilus", &nk)])
+            .into_iter()
+            .map(|r| PrimitiveEntry {
+                name: r.name.to_string(),
+                linux_cycles: r.costs[0].get(),
+                aster_cycles: r.costs[1].get(),
+                nautilus_cycles: r.costs[2].get(),
+            })
+            .collect()
+    };
+
     let summary = BenchSummary {
         total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         experiments: entries,
         counters,
         fault_breakdown,
         serve_timeseries,
+        primitives,
     };
     let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
     std::fs::write("BENCH_summary.json", json).expect("writable BENCH_summary.json");

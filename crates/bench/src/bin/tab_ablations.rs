@@ -90,15 +90,35 @@ fn disaggregation_sweep() {
 }
 
 fn riscv_vs_x64_fig4() {
-    use interweave_kernel::threads::{switch_cost, OsKind, SwitchKind};
+    use interweave_core::stack::OsPoint;
+    use interweave_kernel::threads::{switch_cost, SwitchKind};
     let machines = [MachineConfig::phi_knl(), MachineConfig::riscv_openpiton()];
     let mut rows = Vec::new();
     for mc in &machines {
-        let thread =
-            switch_cost(mc, OsKind::Linux, SwitchKind::ThreadInterrupt, false, true).total();
-        let nk = switch_cost(mc, OsKind::Nk, SwitchKind::ThreadInterrupt, false, true).total();
-        let fiber =
-            switch_cost(mc, OsKind::Nk, SwitchKind::FiberCompilerTimed, false, true).total();
+        let thread = switch_cost(
+            mc,
+            OsPoint::LinuxLike,
+            SwitchKind::ThreadInterrupt,
+            false,
+            true,
+        )
+        .total();
+        let nk = switch_cost(
+            mc,
+            OsPoint::NkLike,
+            SwitchKind::ThreadInterrupt,
+            false,
+            true,
+        )
+        .total();
+        let fiber = switch_cost(
+            mc,
+            OsPoint::NkLike,
+            SwitchKind::FiberCompilerTimed,
+            false,
+            true,
+        )
+        .total();
         rows.push(vec![
             s(&mc.name),
             s(thread.get()),

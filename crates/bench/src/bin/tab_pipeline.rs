@@ -5,9 +5,10 @@
 
 use interweave_bench::{f, print_table, s};
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::OsPoint;
 use interweave_core::Cycles;
-use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
-use interweave_kernel::threads::{switch_cost, OsKind, SwitchKind};
+use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig};
+use interweave_kernel::threads::{switch_cost, SwitchKind};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -41,21 +42,29 @@ fn main() {
         ),
         push(
             "NK thread switch, no-FP (cycles)",
-            switch_cost(&idt, OsKind::Nk, SwitchKind::ThreadInterrupt, false, false)
-                .total()
-                .as_f64(),
-            switch_cost(&pipe, OsKind::Nk, SwitchKind::ThreadInterrupt, false, false)
-                .total()
-                .as_f64(),
+            switch_cost(
+                &idt,
+                OsPoint::NkLike,
+                SwitchKind::ThreadInterrupt,
+                false,
+                false,
+            )
+            .total()
+            .as_f64(),
+            switch_cost(
+                &pipe,
+                OsPoint::NkLike,
+                SwitchKind::ThreadInterrupt,
+                false,
+                false,
+            )
+            .total()
+            .as_f64(),
             &mut json,
         ),
         {
-            let h_idt = run_heartbeat(&HeartbeatConfig::fig3(
-                SignalKind::NkIpi,
-                20.0,
-                Cycles(1000),
-            ));
-            let mut cfg = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1000));
+            let h_idt = run_heartbeat(&HeartbeatConfig::fig3(OsPoint::NkLike, 20.0, Cycles(1000)));
+            let mut cfg = HeartbeatConfig::fig3(OsPoint::NkLike, 20.0, Cycles(1000));
             cfg.machine = cfg.machine.with_pipeline_interrupts();
             let h_pipe = run_heartbeat(&cfg);
             push(

@@ -2,14 +2,15 @@
 //!
 //! One mixed scheduler workload (compute loops, a cooperative yielder, a
 //! fork/join pair, lost/late kick IPIs rescued by the watchdog, and
-//! injected stack-allocation OOMs shed by the scheduler) runs twice on the
-//! same machine: once charged at the interwoven kernel's switch costs
-//! ([`OsKind::Nk`]) and once at the layered commodity stack's
-//! ([`OsKind::Linux`]). Each run attaches a telemetry [`Sink`] and the
-//! attribution ledger charges **every** simulated cycle to a
+//! injected stack-allocation OOMs shed by the scheduler) runs three times
+//! on the same machine — once per point of the OS axis: charged at the
+//! interwoven kernel's switch costs (`OsPoint::NkLike`), at the Aster-like
+//! framekernel's (`OsPoint::AsterLike`), and at the layered commodity
+//! stack's (`OsPoint::LinuxLike`). Each run attaches a telemetry [`Sink`]
+//! and the attribution ledger charges **every** simulated cycle to a
 //! `(layer, mechanism)` category — the table below is exhaustive by
 //! construction, enforced by [`Sink::verify_attribution`]: the rows sum
-//! exactly to makespan × CPUs for both runs.
+//! exactly to makespan × CPUs for all three runs.
 //!
 //! The interwoven run's sink is then shared with the other layers —
 //! coherence protocol, CARAT runtime, heartbeat delivery, virtine pool —
@@ -49,6 +50,9 @@ const SEED: u64 = 0x0050_F11E;
 struct ProfileJson {
     /// Full registry + attribution snapshot of the interwoven run.
     interwoven: Snapshot,
+    /// Attribution table of the framekernel run (same workload, Aster
+    /// costs).
+    framekernel: Vec<AttributionRow>,
     /// Attribution table of the layered run (same workload, Linux costs).
     layered: Vec<AttributionRow>,
 }
@@ -59,7 +63,7 @@ struct ProfileJson {
 fn profile(stack: &ComposedStack) -> (Sink, Executor) {
     let mc = stack.machine();
     let mut e = Executor::new(mc.clone(), Cycles(10_000));
-    e.set_os(stack.os_kind());
+    e.set_os(stack.config.os);
     let sink = Sink::on(Level::Full);
     e.set_telemetry(sink.clone());
     e.set_stack_allocator(NumaAllocator::new(mc.sockets, 14, 4));
@@ -148,10 +152,11 @@ fn cross_layer_publishers(sink: &Sink, mc: &MachineConfig) {
     assert!(corruptions.is_empty(), "no faults injected here");
     p.runtime.publish_telemetry(sink);
 
-    // Heartbeat: a short NK-IPI run at the paper's 20 µs target.
+    // Heartbeat: a short NK broadcast run at the paper's 20 µs target.
     {
-        use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
-        let mut cfg = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1_000));
+        use interweave_core::stack::OsPoint;
+        use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig};
+        let mut cfg = HeartbeatConfig::fig3(OsPoint::NkLike, 20.0, Cycles(1_000));
         cfg.duration_us = 5_000.0;
         run_heartbeat(&cfg).publish_telemetry(sink);
     }
@@ -188,9 +193,11 @@ fn main() {
     let mc = MachineConfig::xeon_server_2s().with_cores(8);
     let h = Harness::new(vec![
         Scenario::new("interwoven", StackConfig::nautilus(), mc.clone()),
+        Scenario::new("framekernel", StackConfig::framekernel(), mc.clone()),
         Scenario::new("layered", StackConfig::commodity(), mc.clone()),
     ]);
     let (nk_sink, nk) = profile(&h.stack("interwoven"));
+    let (fk_sink, fk) = profile(&h.stack("framekernel"));
     let (lx_sink, lx) = profile(&h.stack("layered"));
     cross_layer_publishers(&nk_sink, &mc);
     // The publishers above count and gauge but never charge the ledger, so
@@ -199,15 +206,17 @@ fn main() {
         .verify_attribution(nk.attribution_clock())
         .expect("publishers must not perturb the ledger");
 
-    // Attribution table: union of categories from both runs, in the
+    // Attribution table: union of categories from all three runs, in the
     // ledger's deterministic (layer, mechanism) order.
     let nk_rows = nk_sink.attribution_rows();
+    let fk_rows = fk_sink.attribution_rows();
     let lx_rows = lx_sink.attribution_rows();
     let nk_clock = nk.attribution_clock().get() as f64;
+    let fk_clock = fk.attribution_clock().get() as f64;
     let lx_clock = lx.attribution_clock().get() as f64;
     let mut cats: Vec<(&'static str, &'static str)> =
         nk_rows.iter().map(|r| (r.layer, r.mechanism)).collect();
-    for r in &lx_rows {
+    for r in fk_rows.iter().chain(lx_rows.iter()) {
         if !cats.contains(&(r.layer, r.mechanism)) {
             cats.push((r.layer, r.mechanism));
         }
@@ -222,23 +231,28 @@ fn main() {
         .iter()
         .map(|&cat| {
             let a = lookup(&nk_rows, cat);
+            let m = lookup(&fk_rows, cat);
             let b = lookup(&lx_rows, cat);
             vec![
                 s(cat.0),
                 s(cat.1),
                 s(a),
                 f(100.0 * a as f64 / nk_clock, 1) + "%",
+                s(m),
+                f(100.0 * m as f64 / fk_clock, 1) + "%",
                 s(b),
                 f(100.0 * b as f64 / lx_clock, 1) + "%",
             ]
         })
         .collect();
     h.table(
-        &format!("TAB-PROFILE — cycle attribution, interwoven vs layered (seed {SEED:#x})"),
+        &format!("TAB-PROFILE — cycle attribution across the OS axis (seed {SEED:#x})"),
         &[
             "layer",
             "mechanism",
             "interwoven (cyc)",
+            "share",
+            "framekernel (cyc)",
             "share",
             "layered (cyc)",
             "share",
@@ -246,10 +260,12 @@ fn main() {
         &rows,
     );
     println!(
-        "both ledgers sum exactly to makespan × {} CPUs: interwoven {} over {}, layered {} over {}",
+        "all three ledgers sum exactly to makespan × {} CPUs: interwoven {} over {}, framekernel {} over {}, layered {} over {}",
         mc.cores,
         nk_sink.attributed(),
         nk.stats.makespan,
+        fk_sink.attributed(),
+        fk.stats.makespan,
         lx_sink.attributed(),
         lx.stats.makespan,
     );
@@ -311,6 +327,7 @@ fn main() {
 
     h.finish(&ProfileJson {
         interwoven: snap,
+        framekernel: fk_rows,
         layered: lx_rows,
     });
 }

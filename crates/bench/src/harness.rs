@@ -17,7 +17,7 @@ use crate::{parallel_map, print_table};
 use interweave::compose::ComposedStack;
 use interweave_core::arrivals::ArrivalKind;
 use interweave_core::machine::MachineConfig;
-use interweave_core::stack::StackConfig;
+use interweave_core::stack::{OsPoint, StackConfig};
 use interweave_core::telemetry::{CounterEntry, TimeSeries};
 use serde::Serialize;
 
@@ -34,8 +34,9 @@ use serde::Serialize;
 /// (poisson | bursty | diurnal). `--metrics-out <path>` asks serving
 /// binaries to run with bounded streaming sinks and export the windowed
 /// time series as JSON; `--window-cycles <n>` overrides the roll-up
-/// window width. The golden CI runs pass no flags, so none affects
-/// pinned stdout.
+/// window width. `--os <name>` (nk | nautilus | aster | linux) restricts
+/// an OS-axis binary to the scenarios on that point of the axis. The
+/// golden CI runs pass no flags, so none affects pinned stdout.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Path for the JSON results envelope, when requested.
@@ -58,6 +59,9 @@ pub struct Cli {
     /// Roll-up window width override in simulated cycles
     /// (`--window-cycles <n>`, n > 0).
     pub window_cycles: Option<u64>,
+    /// OS-axis restriction for binaries that sweep the axis
+    /// (`--os <name>`, nk | nautilus | aster | linux).
+    pub os: Option<OsPoint>,
 }
 
 impl Default for Cli {
@@ -71,6 +75,7 @@ impl Default for Cli {
             arrival: None,
             metrics_out: None,
             window_cycles: None,
+            os: None,
         }
     }
 }
@@ -111,6 +116,10 @@ impl Cli {
             ArrivalKind::parse(&v)
                 .unwrap_or_else(|| panic!("--arrival takes poisson, bursty, or diurnal, got {v:?}"))
         });
+        let os = value_of("--os").map(|v| {
+            OsPoint::parse(&v)
+                .unwrap_or_else(|| panic!("--os takes nk, nautilus, aster, or linux, got {v:?}"))
+        });
         let window_cycles = value_of("--window-cycles").map(|v| {
             v.parse::<u64>()
                 .ok()
@@ -128,6 +137,7 @@ impl Cli {
             arrival,
             metrics_out: value_of("--metrics-out"),
             window_cycles,
+            os,
         }
     }
 }
@@ -280,6 +290,12 @@ impl Harness {
         self.cli.window_cycles
     }
 
+    /// OS-axis restriction (`--os`): when set, OS-axis binaries run only
+    /// the scenarios whose composition sits on this point.
+    pub fn os(&self) -> Option<OsPoint> {
+        self.cli.os
+    }
+
     /// Print one boxed table (title banner, aligned header and rows).
     pub fn table(&self, title: &str, header: &[&str], rows: &[Vec<String>]) {
         print_table(title, header, rows);
@@ -396,6 +412,10 @@ pub struct ExperimentSummary {
     pub claim: String,
     /// The stack composition the headline measures.
     pub stack: StackConfig,
+    /// The OS-axis point of that composition, by display name ("Linux",
+    /// "Aster", "Nautilus") — denormalized so bookkeeping scripts can
+    /// group the scoreboard by OS without decoding the stack.
+    pub os: String,
     /// The measured headline, formatted as in the table.
     pub measured: String,
     /// Wall-clock time to regenerate this entry, in milliseconds.
@@ -423,6 +443,20 @@ pub struct FaultBreakdownEntry {
     pub absorbed: u64,
 }
 
+/// One §III primitive priced on every point of the OS axis, as written to
+/// `BENCH_summary.json` (the machine-readable TAB-NK).
+#[derive(Serialize)]
+pub struct PrimitiveEntry {
+    /// Primitive name, as in the printed table.
+    pub name: String,
+    /// Cost on the Linux-like kernel, in cycles.
+    pub linux_cycles: u64,
+    /// Cost on the Aster-like framekernel, in cycles.
+    pub aster_cycles: u64,
+    /// Cost on the Nautilus-like kernel, in cycles.
+    pub nautilus_cycles: u64,
+}
+
 /// The scoreboard file schema (`BENCH_summary.json`).
 #[derive(Serialize)]
 pub struct BenchSummary {
@@ -440,6 +474,9 @@ pub struct BenchSummary {
     /// section — the same rows `--metrics-out` exports (empty when the
     /// scoreboard ran without the serving section).
     pub serve_timeseries: Vec<MetricsWindow>,
+    /// The §III primitives priced on all three OS-axis points (the
+    /// machine-readable TAB-NK).
+    pub primitives: Vec<PrimitiveEntry>,
 }
 
 /// Run one scoreboard section, timing it and recording the row. The
@@ -474,6 +511,7 @@ pub fn section_sharded(
         experiment: experiment.to_string(),
         claim: claim.to_string(),
         stack,
+        os: stack.os.name().to_string(),
         measured,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         shards,
@@ -575,6 +613,27 @@ mod tests {
         let none = Cli::from_args(args(&["bin"]));
         assert!(none.metrics_out.is_none() && none.window_cycles.is_none());
         assert!(Cli::default().metrics_out.is_none() && Cli::default().window_cycles.is_none());
+    }
+
+    #[test]
+    fn cli_parses_the_os_flag() {
+        for (spelling, want) in [
+            ("nk", OsPoint::NkLike),
+            ("nautilus", OsPoint::NkLike),
+            ("aster", OsPoint::AsterLike),
+            ("linux", OsPoint::LinuxLike),
+        ] {
+            let cli = Cli::from_args(args(&["bin", "--os", spelling]));
+            assert_eq!(cli.os, Some(want), "{spelling}");
+        }
+        assert!(Cli::from_args(args(&["bin"])).os.is_none());
+        assert!(Cli::default().os.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "--os takes nk, nautilus, aster, or linux")]
+    fn cli_rejects_an_unknown_os() {
+        Cli::from_args(args(&["bin", "--os", "plan9"]));
     }
 
     #[test]

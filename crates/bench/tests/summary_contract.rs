@@ -5,7 +5,7 @@
 //! key on it.
 
 use interweave_bench::harness::{
-    BenchSummary, ExperimentSummary, FaultBreakdownEntry, MetricsWindow,
+    BenchSummary, ExperimentSummary, FaultBreakdownEntry, MetricsWindow, PrimitiveEntry,
 };
 use interweave_core::stack::StackConfig;
 use interweave_core::FaultClass;
@@ -27,6 +27,7 @@ fn scoreboard() -> (BenchSummary, Vec<StackConfig>) {
             experiment: format!("exp-{i}"),
             claim: "stays standing".into(),
             stack,
+            os: stack.os.name().to_string(),
             measured: "1.0x".into(),
             wall_ms: 0.25,
             shards: i + 1,
@@ -62,6 +63,12 @@ fn scoreboard() -> (BenchSummary, Vec<StackConfig>) {
             counters: Vec::new(),
             fault_breakdown,
             serve_timeseries,
+            primitives: vec![PrimitiveEntry {
+                name: "thread create".into(),
+                linux_cycles: 42_000,
+                aster_cycles: 3_200,
+                nautilus_cycles: 900,
+            }],
         },
         stacks,
     )
@@ -101,11 +108,56 @@ fn summary_file_keeps_its_bookkeeping_fields() {
         "experiment",
         "claim",
         "stack",
+        "os",
         "measured",
         "wall_ms",
         "shards",
     ] {
         assert!(exp.get(field).is_some(), "missing field {field}");
+    }
+}
+
+#[test]
+fn experiment_os_field_matches_the_embedded_stack() {
+    let (summary, stacks) = scoreboard();
+    let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+    let doc = serde::json::parse(&json).expect("valid JSON");
+    let experiments = match doc.get("experiments") {
+        Some(serde::json::JsonValue::Arr(a)) => a,
+        other => panic!("experiments must be an array, got {other:?}"),
+    };
+    for (exp, want) in experiments.iter().zip(&stacks) {
+        match exp.get("os") {
+            Some(serde::json::JsonValue::Str(s)) => assert_eq!(s, want.os.name()),
+            other => panic!("os must be a string, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn primitive_table_round_trips_all_three_os_columns() {
+    let (summary, _) = scoreboard();
+    let json = serde_json::to_string_pretty(&summary).expect("serializable summary");
+    let doc = serde::json::parse(&json).expect("valid JSON");
+    let rows = match doc.get("primitives") {
+        Some(serde::json::JsonValue::Arr(a)) => a,
+        other => panic!("primitives must be an array, got {other:?}"),
+    };
+    assert_eq!(rows.len(), summary.primitives.len());
+    let num = |row: &serde::json::JsonValue, field: &str| -> u64 {
+        match row.get(field) {
+            Some(serde::json::JsonValue::Num(n)) => n.parse().expect("integral cycles"),
+            other => panic!("{field} must be a number, got {other:?}"),
+        }
+    };
+    for (row, want) in rows.iter().zip(&summary.primitives) {
+        match row.get("name") {
+            Some(serde::json::JsonValue::Str(s)) => assert_eq!(s, &want.name),
+            other => panic!("name must be a string, got {other:?}"),
+        }
+        assert_eq!(num(row, "linux_cycles"), want.linux_cycles);
+        assert_eq!(num(row, "aster_cycles"), want.aster_cycles);
+        assert_eq!(num(row, "nautilus_cycles"), want.nautilus_cycles);
     }
 }
 

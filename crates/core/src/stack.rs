@@ -24,19 +24,54 @@ impl TimingSource {
         [TimingSource::HardwareTimer, TimingSource::CompilerInjected];
 }
 
-/// How out-of-band events reach parallel workers (§IV-B, heartbeat).
+/// Which kernel personality the stack runs on (§III and ROADMAP item 4).
+///
+/// The OS is one axis of the blended stack, not a fixed backdrop. The two
+/// endpoints are the paper's: a Nautilus-like kernel (kernel-mode
+/// everything, deterministic paths) and a Linux-like commodity kernel
+/// (user/kernel split, timing pathologies). Between them sits an
+/// Asterinas-style *framekernel*: a safe-Rust kernel with real page-table
+/// isolation but no user/kernel world switch on the task path — services
+/// are bounds-checked calls, not syscalls.
+///
+/// The out-of-band signal topology follows the kernel: Linux-like stacks
+/// deliver per-CPU POSIX signals; NK-like and Aster-like stacks own the
+/// timer and broadcast by IPI directly to kernel-mode workers (Fig. 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SignalPath {
-    /// Commodity path: kernel timers + POSIX signals into user space.
-    LinuxSignals,
-    /// Interwoven path: LAPIC timer on one CPU broadcast by IPI directly to
-    /// kernel-mode workers (the Nautilus/Nemo design of Fig. 2).
-    NkIpiBroadcast,
+pub enum OsPoint {
+    /// Nautilus-like: kernel-mode everything, identity-friendly, no
+    /// crossings anywhere (§III).
+    NkLike,
+    /// Asterinas-like framekernel: safe-Rust kernel, in-kernel page-table
+    /// isolation, syscall-free but bounds-checked fast paths.
+    AsterLike,
+    /// Commodity Linux-like kernel: user/kernel split, signals, ticks.
+    LinuxLike,
 }
 
-impl SignalPath {
-    /// Every value of this axis, in declaration order.
-    pub const ALL: [SignalPath; 2] = [SignalPath::LinuxSignals, SignalPath::NkIpiBroadcast];
+impl OsPoint {
+    /// Every value of this axis, in declaration order (most to least
+    /// interwoven).
+    pub const ALL: [OsPoint; 3] = [OsPoint::NkLike, OsPoint::AsterLike, OsPoint::LinuxLike];
+
+    /// Display name matching the `OsModel` impl this point materializes to.
+    pub fn name(self) -> &'static str {
+        match self {
+            OsPoint::NkLike => "Nautilus",
+            OsPoint::AsterLike => "Aster",
+            OsPoint::LinuxLike => "Linux",
+        }
+    }
+
+    /// Parse a CLI spelling (`--os nk|nautilus|aster|linux`).
+    pub fn parse(s: &str) -> Option<OsPoint> {
+        match s.to_ascii_lowercase().as_str() {
+            "nk" | "nautilus" => Some(OsPoint::NkLike),
+            "aster" => Some(OsPoint::AsterLike),
+            "linux" => Some(OsPoint::LinuxLike),
+            _ => None,
+        }
+    }
 }
 
 /// How addresses are translated and protected (§IV-A, CARAT).
@@ -107,8 +142,8 @@ impl Isolation {
 pub struct StackConfig {
     /// Timing-event source.
     pub timing: TimingSource,
-    /// Out-of-band signaling path.
-    pub signal: SignalPath,
+    /// Kernel personality (which `OsModel` the stack materializes).
+    pub os: OsPoint,
     /// Address translation and protection scheme.
     pub translation: Translation,
     /// Cache-coherence policy.
@@ -124,19 +159,19 @@ impl StackConfig {
     pub fn commodity() -> StackConfig {
         StackConfig {
             timing: TimingSource::HardwareTimer,
-            signal: SignalPath::LinuxSignals,
+            os: OsPoint::LinuxLike,
             translation: Translation::Paging,
             coherence: CoherencePolicy::FullMesi,
             isolation: Isolation::Process,
         }
     }
 
-    /// The fully interwoven stack of Fig. 1: compiler timing, IPI broadcast
-    /// signaling, CARAT translation, selective coherence, virtine isolation.
+    /// The fully interwoven stack of Fig. 1: compiler timing, NK-like
+    /// kernel, CARAT translation, selective coherence, virtine isolation.
     pub fn interwoven() -> StackConfig {
         StackConfig {
             timing: TimingSource::CompilerInjected,
-            signal: SignalPath::NkIpiBroadcast,
+            os: OsPoint::NkLike,
             translation: Translation::Carat,
             coherence: CoherencePolicy::Selective,
             isolation: Isolation::Virtine,
@@ -148,8 +183,23 @@ impl StackConfig {
     pub fn nautilus() -> StackConfig {
         StackConfig {
             timing: TimingSource::HardwareTimer,
-            signal: SignalPath::NkIpiBroadcast,
+            os: OsPoint::NkLike,
             translation: Translation::Identity,
+            coherence: CoherencePolicy::FullMesi,
+            isolation: Isolation::Process,
+        }
+    }
+
+    /// The framekernel mid-point (ROADMAP item 4): an Asterinas-like
+    /// safe-Rust kernel. Real page tables (the framekernel premise is
+    /// enforced in-kernel isolation, so `Paging` is mandatory), hardware
+    /// timers, full coherence, process-grade isolation — everything the
+    /// commodity stack offers, minus the user/kernel world switch.
+    pub fn framekernel() -> StackConfig {
+        StackConfig {
+            timing: TimingSource::HardwareTimer,
+            os: OsPoint::AsterLike,
+            translation: Translation::Paging,
             coherence: CoherencePolicy::FullMesi,
             isolation: Isolation::Process,
         }
@@ -161,7 +211,7 @@ impl StackConfig {
     pub fn rtk() -> StackConfig {
         StackConfig {
             timing: TimingSource::HardwareTimer,
-            signal: SignalPath::NkIpiBroadcast,
+            os: OsPoint::NkLike,
             translation: Translation::Identity,
             coherence: CoherencePolicy::FullMesi,
             isolation: Isolation::Process,
@@ -189,20 +239,20 @@ impl StackConfig {
     }
 
     /// Every point in the design space: the cartesian product of all five
-    /// axes (2 × 2 × 3 × 2 × 5 = 120 compositions), in a fixed
+    /// axes (2 × 3 × 3 × 2 × 5 = 180 compositions), in a fixed
     /// lexicographic order. Not every point is a *coherent* stack — the
     /// facade's `StackBuilder` validates and rejects the incoherent ones
     /// with typed errors.
     pub fn enumerate() -> impl Iterator<Item = StackConfig> {
         TimingSource::ALL.into_iter().flat_map(|timing| {
-            SignalPath::ALL.into_iter().flat_map(move |signal| {
+            OsPoint::ALL.into_iter().flat_map(move |os| {
                 Translation::ALL.into_iter().flat_map(move |translation| {
                     CoherencePolicy::ALL.into_iter().flat_map(move |coherence| {
                         Isolation::ALL
                             .into_iter()
                             .map(move |isolation| StackConfig {
                                 timing,
-                                signal,
+                                os,
                                 translation,
                                 coherence,
                                 isolation,
@@ -218,7 +268,7 @@ impl StackConfig {
     pub fn interweaving_degree(&self) -> usize {
         let c = StackConfig::commodity();
         usize::from(self.timing != c.timing)
-            + usize::from(self.signal != c.signal)
+            + usize::from(self.os != c.os)
             + usize::from(self.translation != c.translation)
             + usize::from(self.coherence != c.coherence)
             + usize::from(self.isolation != c.isolation)
@@ -229,8 +279,8 @@ impl fmt::Display for StackConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "timing={:?} signal={:?} translation={:?} coherence={:?} isolation={:?}",
-            self.timing, self.signal, self.translation, self.coherence, self.isolation
+            "timing={:?} os={:?} translation={:?} coherence={:?} isolation={:?}",
+            self.timing, self.os, self.translation, self.coherence, self.isolation
         )
     }
 }
@@ -256,9 +306,35 @@ mod tests {
     }
 
     #[test]
+    fn framekernel_sits_between_the_endpoints() {
+        let fk = StackConfig::framekernel();
+        assert_eq!(fk.os, OsPoint::AsterLike);
+        // The framekernel differs from commodity only on the OS axis.
+        assert_eq!(fk.interweaving_degree(), 1);
+        assert_eq!(
+            StackConfig {
+                os: OsPoint::LinuxLike,
+                ..fk
+            },
+            StackConfig::commodity()
+        );
+    }
+
+    #[test]
+    fn os_point_names_and_parse_round_trip() {
+        for os in OsPoint::ALL {
+            assert_eq!(OsPoint::parse(&os.name().to_lowercase()), Some(os));
+        }
+        assert_eq!(OsPoint::parse("nk"), Some(OsPoint::NkLike));
+        assert_eq!(OsPoint::parse("Aster"), Some(OsPoint::AsterLike));
+        assert_eq!(OsPoint::parse("windows"), None);
+    }
+
+    #[test]
     fn enumerate_covers_the_whole_design_space() {
         let all: Vec<StackConfig> = StackConfig::enumerate().collect();
-        assert_eq!(all.len(), 2 * 2 * 3 * 2 * 5);
+        assert_eq!(all.len(), 2 * 3 * 3 * 2 * 5);
+        assert_eq!(all.len(), 180);
         // No duplicates, and every named preset is in the space.
         for (i, a) in all.iter().enumerate() {
             assert!(!all[i + 1..].contains(a), "duplicate composition {a}");
@@ -267,6 +343,7 @@ mod tests {
             StackConfig::commodity(),
             StackConfig::interwoven(),
             StackConfig::nautilus(),
+            StackConfig::framekernel(),
             StackConfig::rtk(),
             StackConfig::pik(),
             StackConfig::cck(),
@@ -301,6 +378,7 @@ mod tests {
     fn display_is_informative() {
         let s = StackConfig::commodity().to_string();
         assert!(s.contains("Paging"));
-        assert!(s.contains("LinuxSignals"));
+        assert!(s.contains("LinuxLike"));
+        assert!(StackConfig::framekernel().to_string().contains("AsterLike"));
     }
 }

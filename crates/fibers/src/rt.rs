@@ -12,11 +12,12 @@
 //! exactly the misses EDF theory predicts.
 
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::OsPoint;
 use interweave_core::time::Cycles;
 use interweave_ir::interp::{ExecStatus, Interp, InterpConfig, NullHooks};
 use interweave_ir::programs::Program;
 use interweave_kernel::sched::{Edf, EdfTask};
-use interweave_kernel::threads::{switch_cost, OsKind, SwitchKind};
+use interweave_kernel::threads::{switch_cost, SwitchKind};
 
 /// One periodic real-time fiber.
 pub struct RtFiber {
@@ -149,7 +150,7 @@ impl RtRuntime {
 
         let switch = switch_cost(
             &self.mc,
-            OsKind::Nk,
+            OsPoint::NkLike,
             SwitchKind::FiberCompilerTimed,
             true,
             false,

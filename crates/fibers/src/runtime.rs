@@ -13,12 +13,13 @@
 //! executable form.
 
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::OsPoint;
 use interweave_core::stats::Summary;
 use interweave_ir::interp::{ExecStatus, HookAction, Interp, InterpConfig, Memory, RuntimeHooks};
 use interweave_ir::programs::Program;
 use interweave_ir::types::Val;
 use interweave_ir::Intrinsic;
-use interweave_kernel::threads::{switch_cost, OsKind, SwitchKind};
+use interweave_kernel::threads::{switch_cost, SwitchKind};
 
 use crate::timing_pass::InjectTiming;
 use interweave_ir::passes::Pass;
@@ -190,7 +191,7 @@ pub fn run_fibers(
                         PreemptMode::CompilerTimed => SwitchKind::FiberCompilerTimed,
                         PreemptMode::HardwareTimer => SwitchKind::ThreadInterrupt,
                     };
-                    let cost = switch_cost(mc, OsKind::Nk, kind, false, f.fp).total();
+                    let cost = switch_cost(mc, OsPoint::NkLike, kind, false, f.fp).total();
                     report.switches += 1;
                     report.switch_cycles += cost.get();
                 }

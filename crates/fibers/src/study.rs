@@ -9,9 +9,10 @@
 
 use crate::runtime::{run_fibers, PreemptMode};
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::OsPoint;
 use interweave_ir::programs::{self, Program};
 use interweave_kernel::threads::{
-    fig4_rows, granularity_floor, switch_cost, OsKind, SwitchBreakdown, SwitchKind,
+    fig4_rows, granularity_floor, switch_cost, SwitchBreakdown, SwitchKind,
 };
 
 /// One analytic row of Fig. 4.
@@ -79,7 +80,7 @@ pub fn overhead_sweep(mc: &MachineConfig, quanta: &[u64]) -> Vec<SweepPoint> {
 
 /// The analytic granularity floor (quantum where switch overhead = 50 %)
 /// for a mechanism, per §IV-C's definition.
-pub fn floor_cycles(mc: &MachineConfig, kind: SwitchKind, os: OsKind, fp: bool) -> u64 {
+pub fn floor_cycles(mc: &MachineConfig, kind: SwitchKind, os: OsPoint, fp: bool) -> u64 {
     granularity_floor(switch_cost(mc, os, kind, false, fp).total()).get()
 }
 
@@ -94,10 +95,25 @@ mod tests {
     #[test]
     fn comptime_floor_under_600_and_4x_better_than_linux() {
         // The two headline callouts of Fig. 4.
-        let fiber_nofp = floor_cycles(&knl(), SwitchKind::FiberCompilerTimed, OsKind::Nk, false);
+        let fiber_nofp = floor_cycles(
+            &knl(),
+            SwitchKind::FiberCompilerTimed,
+            OsPoint::NkLike,
+            false,
+        );
         assert!(fiber_nofp < 600, "floor {fiber_nofp}");
-        let linux_fp = floor_cycles(&knl(), SwitchKind::ThreadInterrupt, OsKind::Linux, true);
-        let fiber_fp = floor_cycles(&knl(), SwitchKind::FiberCompilerTimed, OsKind::Nk, true);
+        let linux_fp = floor_cycles(
+            &knl(),
+            SwitchKind::ThreadInterrupt,
+            OsPoint::LinuxLike,
+            true,
+        );
+        let fiber_fp = floor_cycles(
+            &knl(),
+            SwitchKind::FiberCompilerTimed,
+            OsPoint::NkLike,
+            true,
+        );
         let ratio = linux_fp as f64 / fiber_fp as f64;
         assert!(
             ratio > 3.0,
@@ -130,7 +146,7 @@ mod tests {
     #[test]
     fn analytic_rows_are_complete_and_ordered() {
         let rows = analytic_rows(&knl());
-        assert_eq!(rows.len(), 12);
+        assert_eq!(rows.len(), 16);
         let find = |label: &str| {
             rows.iter()
                 .find(|r| r.label == label)
@@ -138,8 +154,10 @@ mod tests {
                 .breakdown
                 .total()
         };
-        // Ordering of the figure: Linux threads > NK threads > fibers.
-        assert!(find("Linux threads (non-RT, FP)") > find("Threads (non-RT, FP)"));
+        // Ordering of the figure: Linux threads > Aster threads > NK
+        // threads > fibers — the OS axis left to right.
+        assert!(find("Linux threads (non-RT, FP)") > find("Aster threads (non-RT, FP)"));
+        assert!(find("Aster threads (non-RT, FP)") > find("Threads (non-RT, FP)"));
         assert!(find("Threads (non-RT, FP)") > find("Fibers-CompTime (FP)"));
         assert!(find("Fibers-CompTime (no-FP)") < find("Fibers-CompTime (FP)"));
     }

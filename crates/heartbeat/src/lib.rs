@@ -16,13 +16,18 @@
 //!   broadcasts an IPI; workers take a ~1500-cycle kernel-mode delivery.
 //!   The hardware floor is microseconds below any requested ♥.
 //!
+//! The OS axis (`OsPoint`) now has a third point: the Aster-like
+//! framekernel runs the broadcast topology with checked in-kernel
+//! deliveries — it sustains the same fine beats as Nautilus, at slightly
+//! higher per-beat cost and with rare maintenance noise.
+//!
 //! Modules:
 //! - [`deque`]: the work-stealing deque TPAL workers schedule with.
 //! - [`tpal`]: the promotion state machine (sequential/parallel variants,
 //!   split-on-beat) — the scheduling half of heartbeat, tested at the
 //!   logical level.
-//! - [`sim`]: the Fig. 3 timing simulation: per-CPU beat delivery under
-//!   either signaling path, measuring achieved rate, stability, and
+//! - [`sim`]: the Fig. 3 timing simulation: per-CPU beat delivery on each
+//!   point of the OS axis, measuring achieved rate, stability, and
 //!   scheduling overhead.
 //! - [`scaling`]: the end-to-end payoff — speedup curves of heartbeat-
 //!   promoted loops with bounded scheduling overhead.
@@ -34,4 +39,4 @@ pub mod scaling;
 pub mod sim;
 pub mod tpal;
 
-pub use sim::{run_heartbeat, HeartbeatConfig, HeartbeatResult, SignalKind};
+pub use sim::{run_heartbeat, HeartbeatConfig, HeartbeatResult};

@@ -11,19 +11,19 @@
 //! simulation (can the beats arrive?) and the scheduler (what do the beats
 //! buy?).
 
-use crate::sim::SignalKind;
 use crate::tpal::Tpal;
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::OsPoint;
 use interweave_core::time::Cycles;
-use interweave_kernel::os::{LinuxModel, NkModel, OsModel};
+use interweave_kernel::os::model_for;
 
 /// One scaling experiment.
 #[derive(Debug, Clone)]
 pub struct ScalingConfig {
     /// Machine.
     pub machine: MachineConfig,
-    /// Signaling path (prices the per-beat delivery cost).
-    pub kind: SignalKind,
+    /// Kernel under test (prices the per-beat delivery cost).
+    pub kind: OsPoint,
     /// Total loop iterations.
     pub total_iters: u64,
     /// Compute cycles per iteration.
@@ -39,7 +39,7 @@ impl ScalingConfig {
     pub fn default_nk() -> ScalingConfig {
         ScalingConfig {
             machine: MachineConfig::xeon_server_2s(),
-            kind: SignalKind::NkIpi,
+            kind: OsPoint::NkLike,
             total_iters: 2_000_000,
             iter_cost: Cycles(40),
             target_us: 20.0,
@@ -75,10 +75,7 @@ pub fn run_scaling(cfg: &ScalingConfig, workers: usize) -> ScalingPoint {
     let chunk = (beat_period.get() / cfg.iter_cost.get()).max(1);
 
     // Per-beat delivery cost on a worker (the Fig. 3 receiver path).
-    let deliver: Cycles = match cfg.kind {
-        SignalKind::NkIpi => NkModel::new(cfg.machine.clone()).event_deliver(),
-        SignalKind::LinuxSignals => LinuxModel::new(cfg.machine.clone()).event_deliver(),
-    };
+    let deliver: Cycles = model_for(cfg.kind, cfg.machine.clone()).event_deliver();
     let promote_cost = Cycles(250); // split + deque push
     let steal_cost = Cycles(400); // cross-CPU deque steal
 
@@ -180,7 +177,7 @@ mod tests {
     fn linux_signaling_costs_more_than_nk_at_fine_beats() {
         let nk = ScalingConfig::default_nk();
         let lx = ScalingConfig {
-            kind: SignalKind::LinuxSignals,
+            kind: OsPoint::LinuxLike,
             ..nk.clone()
         };
         let pn = run_scaling(&nk, 8);
@@ -190,6 +187,30 @@ mod tests {
             "linux {:.3} vs nk {:.3}",
             pl.overhead_fraction,
             pn.overhead_fraction
+        );
+    }
+
+    #[test]
+    fn framekernel_delivery_overhead_sits_between() {
+        let nk = ScalingConfig::default_nk();
+        let fk = ScalingConfig {
+            kind: OsPoint::AsterLike,
+            ..nk.clone()
+        };
+        let lx = ScalingConfig {
+            kind: OsPoint::LinuxLike,
+            ..nk.clone()
+        };
+        let pn = run_scaling(&nk, 8);
+        let pf = run_scaling(&fk, 8);
+        let pl = run_scaling(&lx, 8);
+        assert!(
+            pn.overhead_fraction < pf.overhead_fraction
+                && pf.overhead_fraction < pl.overhead_fraction,
+            "nk {:.4} aster {:.4} linux {:.4}",
+            pn.overhead_fraction,
+            pf.overhead_fraction,
+            pl.overhead_fraction
         );
     }
 

@@ -106,9 +106,10 @@ proptest! {
         target_us in 10.0f64..500.0,
         handler in 200u64..2_000,
     ) {
+        use interweave_core::stack::OsPoint;
         use interweave_core::Cycles;
-        use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
-        let mut cfg = HeartbeatConfig::fig3(SignalKind::NkIpi, target_us, Cycles(handler));
+        use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig};
+        let mut cfg = HeartbeatConfig::fig3(OsPoint::NkLike, target_us, Cycles(handler));
         // Window scaled to the period so end-of-window quantization stays
         // below a percent (the property is about the mechanism, not about
         // fencepost effects at tiny windows).
@@ -127,16 +128,43 @@ proptest! {
         target_us in 10.0f64..200.0,
         handler in 200u64..2_000,
     ) {
+        use interweave_core::stack::OsPoint;
         use interweave_core::Cycles;
-        use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
-        let mut lx_cfg = HeartbeatConfig::fig3(SignalKind::LinuxSignals, target_us, Cycles(handler));
+        use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig};
+        let mut lx_cfg = HeartbeatConfig::fig3(OsPoint::LinuxLike, target_us, Cycles(handler));
         lx_cfg.duration_us = target_us * 200.0;
-        let mut nk_cfg = HeartbeatConfig::fig3(SignalKind::NkIpi, target_us, Cycles(handler));
+        let mut nk_cfg = HeartbeatConfig::fig3(OsPoint::NkLike, target_us, Cycles(handler));
         nk_cfg.duration_us = target_us * 200.0;
         let lx = run_heartbeat(&lx_cfg);
         let nk = run_heartbeat(&nk_cfg);
         prop_assert!(nk.fraction_of_target() >= lx.fraction_of_target() - 1e-9);
         prop_assert!(nk.interbeat_cv <= lx.interbeat_cv + 1e-9);
         prop_assert!(nk.overhead_pct <= lx.overhead_pct + 1e-9);
+    }
+
+    /// The framekernel mid-point never dominates NK and is never dominated
+    /// by Linux, under any sampled configuration.
+    #[test]
+    fn aster_stays_between_the_endpoints(
+        target_us in 10.0f64..200.0,
+        handler in 200u64..2_000,
+    ) {
+        use interweave_core::stack::OsPoint;
+        use interweave_core::Cycles;
+        use interweave_heartbeat::sim::{run_heartbeat, HeartbeatConfig};
+        let mk = |os| {
+            let mut cfg = HeartbeatConfig::fig3(os, target_us, Cycles(handler));
+            cfg.duration_us = target_us * 200.0;
+            run_heartbeat(&cfg)
+        };
+        let nk = mk(OsPoint::NkLike);
+        let fk = mk(OsPoint::AsterLike);
+        let lx = mk(OsPoint::LinuxLike);
+        prop_assert!(fk.fraction_of_target() >= lx.fraction_of_target() - 1e-9);
+        prop_assert!(fk.fraction_of_target() <= nk.fraction_of_target() + 1e-9);
+        prop_assert!(fk.interbeat_cv >= nk.interbeat_cv - 1e-9);
+        prop_assert!(fk.interbeat_cv <= lx.interbeat_cv + 1e-9);
+        prop_assert!(fk.overhead_pct >= nk.overhead_pct - 1e-9);
+        prop_assert!(fk.overhead_pct <= lx.overhead_pct + 1e-9);
     }
 }

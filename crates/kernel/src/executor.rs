@@ -11,10 +11,11 @@
 
 use crate::buddy::{AllocError, NumaAllocator};
 use crate::sched::{RoundRobin, RunQueue, TaskId};
-use crate::threads::{home_zone_for, switch_cost, OsKind, SwitchKind, DEFAULT_STACK_BYTES};
+use crate::threads::{home_zone_for, switch_cost, SwitchKind, DEFAULT_STACK_BYTES};
 use crate::work::{Work, WorkStep};
 use interweave_core::interrupt::{self, DeliveryOutcome, IrqClass};
 use interweave_core::machine::{CpuId, MachineConfig};
+use interweave_core::stack::OsPoint;
 use interweave_core::telemetry::{FlightRecorder, Key, Layer, Sink, Span, SpanKind, Unit};
 use interweave_core::time::Cycles;
 use interweave_core::{EventHandle, FaultPlan, ShardedKernel};
@@ -133,7 +134,7 @@ pub struct Executor {
     /// Which OS's context-switch costs this kernel charges. `Nk` (the
     /// default) is the interwoven Nautilus-like kernel; `Linux` models the
     /// layered commodity stack for side-by-side attribution runs.
-    os: OsKind,
+    os: OsPoint,
     /// Fault plane consulted whenever a kick IPI actually goes on the wire
     /// and whenever a stack is allocated. `None` (the default) is the exact
     /// pre-fault-plane behavior.
@@ -181,7 +182,7 @@ impl Executor {
             signalled: HashMap::new(),
             events: ShardedKernel::new(1),
             tracing: false,
-            os: OsKind::Nk,
+            os: OsPoint::NkLike,
             faults: None,
             watchdog: None,
             stack_alloc: None,
@@ -225,10 +226,10 @@ impl Executor {
         self.faults = Some(plan);
     }
 
-    /// Charge context switches at `os`'s costs ([`OsKind::Nk`] by default).
+    /// Charge context switches at `os`'s costs ([`OsPoint::NkLike`] by default).
     /// This is the knob the attribution bench turns to contrast the
     /// interwoven kernel with the layered commodity stack on one workload.
-    pub fn set_os(&mut self, os: OsKind) {
+    pub fn set_os(&mut self, os: OsPoint) {
         self.os = os;
     }
 
@@ -945,7 +946,7 @@ mod tests {
 
     #[test]
     fn layered_os_charges_more_switch_cycles() {
-        let run = |os: OsKind| {
+        let run = |os: OsPoint| {
             let mut e = exec(1, 1_000);
             e.set_os(os);
             e.spawn(0, Box::new(LoopWork::new(1, Cycles(20_000))));
@@ -953,8 +954,8 @@ mod tests {
             assert!(e.run());
             e.stats.switch_cycles
         };
-        let nk = run(OsKind::Nk);
-        let linux = run(OsKind::Linux);
+        let nk = run(OsPoint::NkLike);
+        let linux = run(OsPoint::LinuxLike);
         assert!(linux > nk, "layered switches {linux} vs interwoven {nk}");
     }
 

@@ -1,7 +1,8 @@
 //! # interweave-kernel
 //!
 //! Kernel models for the Interweave laboratory: a Nautilus-like kernel
-//! (`nk`) and a commodity Linux-like kernel (`linuxlike`), both expressed as
+//! (`nk`), an Asterinas-like safe-Rust framekernel (`aster`), and a
+//! commodity Linux-like kernel (`linuxlike`), all expressed as
 //! *cost-and-behaviour models* over the simulated machine from
 //! [`interweave_core`].
 //!
@@ -23,9 +24,10 @@
 //!   "hard real-time scheduling").
 //! - [`threads`]: context-switch cost composition for threads, fibers, and
 //!   compiler-timed fibers (the Fig. 4 decomposition).
-//! - [`os`]: the [`os::OsModel`] trait with [`os::NkModel`] and
-//!   [`os::LinuxModel`] implementations, including timer jitter and OS-noise
-//!   sampling.
+//! - [`os`]: the [`os::OsModel`] trait with [`os::NkModel`],
+//!   [`os::AsterModel`], and [`os::LinuxModel`] implementations, including
+//!   timer jitter and OS-noise sampling, plus [`os::model_for`] mapping the
+//!   `OsPoint` stack axis onto a model.
 //! - [`work`]: the `Work`/`WorkStep` protocol that lets one workload body
 //!   run on either kernel.
 //! - [`executor`]: a working preemptive multi-CPU scheduler over the Work
@@ -42,7 +44,7 @@
 //! - [`paging`]: the TLB/paging model the commodity stack pays for address
 //!   translation (and that Nautilus's identity mapping avoids, §III).
 //! - [`microbench`]: the §III primitives table (thread management, event
-//!   signaling) comparing the two kernels.
+//!   signaling) comparing the kernels along the OS axis.
 
 #![warn(missing_docs)]
 
@@ -61,7 +63,7 @@ pub mod work;
 
 pub use buddy::{AllocError, NumaAllocator};
 pub use executor::Executor;
-pub use os::{LinuxModel, LinuxParams, NkModel, OsModel};
+pub use os::{model_for, AsterModel, AsterParams, LinuxModel, LinuxParams, NkModel, OsModel};
 pub use threads::{switch_cost, SwitchBreakdown, SwitchKind};
 pub use timeline::CpuTimeline;
 pub use watchdog::WatchdogPolicy;

@@ -1,17 +1,24 @@
-//! OS personality models: Nautilus-like vs. Linux-like primitive costs.
+//! OS personality models: the kernel axis of the stack space.
 //!
-//! Each experiment in the paper compares "the same workload on two stacks".
+//! Each experiment in the paper compares "the same workload on N stacks".
 //! [`OsModel`] is the seam: it prices every primitive the runtimes use —
 //! thread management, remote wakeups, barriers, out-of-band event delivery,
 //! timers — and models the commodity stack's *timing pathologies* (timer
 //! slack, delivery jitter, background OS noise) that the interwoven stack
 //! eliminates. The numbers compose from [`MachineConfig`]'s cost model so a
-//! hardware change (e.g. §V-D pipeline interrupts) flows into both kernels.
+//! hardware change (e.g. §V-D pipeline interrupts) flows into every kernel.
+//!
+//! Three personalities span the `OsPoint` axis: [`NkModel`] (Nautilus-like,
+//! §III), [`AsterModel`] (an Asterinas-style safe-Rust framekernel — the
+//! mid-point of ROADMAP item 4), and [`LinuxModel`] (the commodity layered
+//! kernel). [`model_for`] is the single materialization point the compose
+//! layer and the benches share.
 
 use crate::buddy::{AllocError, NumaAllocator};
-use crate::threads::{switch_cost, OsKind, SwitchKind};
+use crate::threads::{switch_cost, SwitchKind};
 use interweave_core::machine::MachineConfig;
 use interweave_core::rng::SplitMix64;
+use interweave_core::stack::OsPoint;
 use interweave_core::time::Cycles;
 use interweave_core::FaultPlan;
 
@@ -160,7 +167,14 @@ impl OsModel for NkModel {
     }
 
     fn ctx_switch(&self, rt: bool, fp: bool) -> Cycles {
-        switch_cost(&self.mc, OsKind::Nk, SwitchKind::ThreadInterrupt, rt, fp).total()
+        switch_cost(
+            &self.mc,
+            OsPoint::NkLike,
+            SwitchKind::ThreadInterrupt,
+            rt,
+            fp,
+        )
+        .total()
     }
 
     fn mutex_uncontended(&self) -> Cycles {
@@ -329,11 +343,185 @@ impl OsModel for LinuxModel {
     }
 
     fn ctx_switch(&self, rt: bool, fp: bool) -> Cycles {
-        switch_cost(&self.mc, OsKind::Linux, SwitchKind::ThreadInterrupt, rt, fp).total()
+        switch_cost(
+            &self.mc,
+            OsPoint::LinuxLike,
+            SwitchKind::ThreadInterrupt,
+            rt,
+            fp,
+        )
+        .total()
     }
 
     fn mutex_uncontended(&self) -> Cycles {
         Cycles(90) // futex fast path stays in user space but is fatter
+    }
+}
+
+/// Tunable parameters for the Aster-like framekernel.
+#[derive(Debug, Clone)]
+pub struct AsterParams {
+    /// Mean interval between background maintenance noise events, µs. The
+    /// framekernel has no scheduler tick stealing cycles on every CPU, but
+    /// it still runs kernel worker tasks (reclaim, RCU-style grace periods)
+    /// occasionally — far rarer than Linux's daemon activity.
+    pub noise_interval_us: f64,
+    /// Mean duration of one maintenance event, µs (short: safe-Rust
+    /// housekeeping, no world switch to amplify it).
+    pub noise_duration_us: f64,
+}
+
+impl Default for AsterParams {
+    fn default() -> AsterParams {
+        AsterParams {
+            noise_interval_us: 20_000.0,
+            noise_duration_us: 6.0,
+        }
+    }
+}
+
+/// The Asterinas-style framekernel (ROADMAP item 4): one safe-Rust kernel
+/// image, OSTD-style privileged core plus de-privileged services, real
+/// page-table isolation between domains — but no user/kernel world switch
+/// on the task path. Every primitive is a bounds-checked call, not a
+/// syscall, so costs sit between [`NkModel`] and [`LinuxModel`] — with one
+/// honest exception called out on [`OsModel::mutex_uncontended`].
+#[derive(Debug, Clone)]
+pub struct AsterModel {
+    /// The machine this kernel runs on.
+    pub mc: MachineConfig,
+    /// Pathology parameters.
+    pub p: AsterParams,
+}
+
+impl AsterModel {
+    /// The framekernel on `mc` with default parameters.
+    pub fn new(mc: MachineConfig) -> AsterModel {
+        AsterModel {
+            mc,
+            p: AsterParams::default(),
+        }
+    }
+}
+
+impl OsModel for AsterModel {
+    fn name(&self) -> &'static str {
+        "Aster"
+    }
+
+    fn machine(&self) -> &MachineConfig {
+        &self.mc
+    }
+
+    fn thread_create(&self) -> Cycles {
+        // No syscall (between: skips Linux's crossing) but the frame
+        // allocator hands out typed frames and the new task gets page-table
+        // entries — real isolation work NK's identity-mapped spawn never
+        // does. ~2.6× NK, ~5× below Linux.
+        self.mc.cost.sched_pick_nk + Cycles(2_600)
+    }
+
+    fn thread_join(&self) -> Cycles {
+        // Reap through a checked waitqueue API: no crossing, but the TCB
+        // and its frames go back through the typed allocator.
+        Cycles(900)
+    }
+
+    fn wake_remote(&self) -> (Cycles, Cycles) {
+        // The waker calls a kernel service in-process: ICR write behind a
+        // bounds-checked accessor (no syscall, unlike futex WAKE). The
+        // target pays dispatch plus the safe scheduler's pick — but no
+        // return-to-user mitigation flush.
+        let c = &self.mc.cost;
+        let waker = c.ipi_send + Cycles(250);
+        let latency = c.ipi_latency
+            + self.mc.dispatch_cost()
+            + c.sched_pick_nk
+            + crate::threads::ASTER_SCHED_OVERHEAD
+            + c.intr_return;
+        (waker, latency)
+    }
+
+    fn barrier_spin(&self) -> Cycles {
+        // Cache-line ping on a shared counter — user-mode arithmetic is the
+        // same on every kernel.
+        Cycles(120)
+    }
+
+    fn barrier_block(&self) -> Cycles {
+        // In-kernel block/wake through the checked waitqueue: dearer than
+        // NK's raw queue ops, far below Linux's futex round trip (no
+        // crossings at all).
+        Cycles(1_100)
+    }
+
+    fn event_deliver(&self) -> Cycles {
+        // IPI arrives in the one shared address space: dispatch, a
+        // bounds-checked handler trampoline (between NK's raw +200 and
+        // Linux's full signal-frame round trip), return.
+        self.mc.dispatch_cost() + Cycles(600) + self.mc.cost.intr_return
+    }
+
+    fn event_send(&self) -> Cycles {
+        // ICR write through the checked accessor — no syscall, small
+        // surcharge over NK's raw write.
+        self.mc.cost.ipi_send + Cycles(150)
+    }
+
+    fn timer_min_period(&self) -> Cycles {
+        // The framekernel owns the LAPIC like NK does; reprogramming goes
+        // through a checked driver API, so the floor is slightly higher
+        // but still far below Linux's signal-machinery saturation point.
+        self.mc.cost.timer_program + self.mc.dispatch_cost() + Cycles(600)
+    }
+
+    fn timer_jitter(&self, _rng: &mut SplitMix64) -> Cycles {
+        // Kernel-owned deadline timer: fires on its programmed cycle, like
+        // NK — there is no hrtimer slack layer to defer it.
+        Cycles::ZERO
+    }
+
+    fn sample_noise(&self, rng: &mut SplitMix64) -> Option<NoiseEvent> {
+        // No per-CPU scheduler tick (tickless core like NK), but kernel
+        // worker tasks still run occasionally: rare, short exponential
+        // events — enough to give Fig. 3 a small nonzero CV between NK's
+        // zero and Linux's tick-dominated spread.
+        let after_us = rng.exponential(self.p.noise_interval_us);
+        let dur_us = rng.exponential(self.p.noise_duration_us);
+        Some(NoiseEvent {
+            after: self.mc.freq.cycles_per_us(after_us),
+            duration: self.mc.freq.cycles_per_us(dur_us),
+        })
+    }
+
+    fn ctx_switch(&self, rt: bool, fp: bool) -> Cycles {
+        switch_cost(
+            &self.mc,
+            OsPoint::AsterLike,
+            SwitchKind::ThreadInterrupt,
+            rt,
+            fp,
+        )
+        .total()
+    }
+
+    fn mutex_uncontended(&self) -> Cycles {
+        // The honest non-between point: the safe RAII lock (guard object,
+        // poison check, bounds-checked queue touch) is *fatter* than
+        // Linux's hand-tuned futex fast path, which stays in user space
+        // and is pure unsafe assembly. Safety costs a few cycles even when
+        // uncontended.
+        Cycles(95)
+    }
+}
+
+/// Materialize the [`OsModel`] for one point of the OS axis — the single
+/// seam the compose layer, the heartbeat simulators, and the benches share.
+pub fn model_for(os: OsPoint, mc: MachineConfig) -> Box<dyn OsModel> {
+    match os {
+        OsPoint::NkLike => Box::new(NkModel::new(mc)),
+        OsPoint::AsterLike => Box::new(AsterModel::new(mc)),
+        OsPoint::LinuxLike => Box::new(LinuxModel::new(mc)),
     }
 }
 
@@ -461,6 +649,110 @@ mod tests {
         let (_, nkl) = nk.wake_remote();
         let (_, lxl) = lx.wake_remote();
         assert!(nkl < lxl);
+    }
+
+    #[test]
+    fn aster_sits_between_the_endpoints_on_most_primitives() {
+        // ROADMAP item 4: the framekernel is a genuine mid-point — no
+        // syscalls (cheaper than Linux) but real isolation and checked
+        // fast paths (dearer than NK) on every kernel-mediated primitive.
+        let (nk, lx) = models();
+        let aster = AsterModel::new(nk.mc.clone());
+        let between = |name: &str, a: Cycles, b: Cycles, c: Cycles| {
+            assert!(a < b && b < c, "{name}: nk {a} aster {b} linux {c}");
+        };
+        between(
+            "create",
+            nk.thread_create(),
+            aster.thread_create(),
+            lx.thread_create(),
+        );
+        between(
+            "join",
+            nk.thread_join(),
+            aster.thread_join(),
+            lx.thread_join(),
+        );
+        between(
+            "wake cost",
+            nk.wake_remote().0,
+            aster.wake_remote().0,
+            lx.wake_remote().0,
+        );
+        between(
+            "wake latency",
+            nk.wake_remote().1,
+            aster.wake_remote().1,
+            lx.wake_remote().1,
+        );
+        between(
+            "barrier",
+            nk.barrier_block(),
+            aster.barrier_block(),
+            lx.barrier_block(),
+        );
+        between(
+            "deliver",
+            nk.event_deliver(),
+            aster.event_deliver(),
+            lx.event_deliver(),
+        );
+        between("send", nk.event_send(), aster.event_send(), lx.event_send());
+        between(
+            "timer floor",
+            nk.timer_min_period(),
+            aster.timer_min_period(),
+            lx.timer_min_period(),
+        );
+        between(
+            "ctx switch",
+            nk.ctx_switch(false, true),
+            aster.ctx_switch(false, true),
+            lx.ctx_switch(false, true),
+        );
+    }
+
+    #[test]
+    fn aster_mutex_is_the_honest_exception() {
+        // The one primitive where the mid-point does NOT fall between the
+        // endpoints: the safe RAII lock's checked fast path is fatter than
+        // the futex fast path (pure user-space unsafe assembly).
+        let (nk, lx) = models();
+        let aster = AsterModel::new(nk.mc.clone());
+        assert!(aster.mutex_uncontended() > lx.mutex_uncontended());
+        assert!(lx.mutex_uncontended() > nk.mutex_uncontended());
+    }
+
+    #[test]
+    fn aster_owns_its_timer_but_keeps_light_noise() {
+        let (nk, lx) = models();
+        let aster = AsterModel::new(nk.mc.clone());
+        let mut rng = SplitMix64::new(7);
+        // Kernel-owned LAPIC deadline timer: zero jitter, sub-20µs floor
+        // (Fig. 3: the framekernel sustains ♥ = 20 µs like NK).
+        assert_eq!(aster.timer_jitter(&mut rng), Cycles::ZERO);
+        assert!(aster.timer_min_period() < aster.mc.freq.cycles_per_us(20.0));
+        // Maintenance noise exists but is far rarer and shorter than
+        // Linux's: compare means over the same number of samples.
+        let mean_after = |os: &dyn OsModel, seed| {
+            let mut rng = SplitMix64::new(seed);
+            let total: u64 = (0..512)
+                .map(|_| os.sample_noise(&mut rng).expect("noisy kernel").after.get())
+                .sum();
+            total / 512
+        };
+        assert!(mean_after(&aster, 9) > 5 * mean_after(&lx, 9));
+    }
+
+    #[test]
+    fn model_for_materializes_every_axis_point() {
+        use interweave_core::stack::OsPoint;
+        let mc = MachineConfig::xeon_server_2s();
+        for os in OsPoint::ALL {
+            let m = model_for(os, mc.clone());
+            assert_eq!(m.name(), os.name());
+            assert_eq!(m.machine().name, mc.name);
+        }
     }
 
     #[test]

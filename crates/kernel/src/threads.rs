@@ -5,9 +5,10 @@
 //! this with a software/software co-design involving the compiler toolchain
 //! and the kernel?" This module composes the cost of a context switch from
 //! the machine's [`CostModel`](interweave_core::machine::CostModel)
-//! components for every point in the figure's
-//! parameter space: {Linux, Nautilus-like} × {RT, non-RT} × {interrupt-timed
-//! threads, cooperative fibers, compiler-timed fibers} × {FP, no-FP}.
+//! components for every point in the figure's parameter space:
+//! {Linux, Aster-like framekernel, Nautilus-like} × {RT, non-RT} ×
+//! {interrupt-timed threads, cooperative fibers, compiler-timed fibers} ×
+//! {FP, no-FP}.
 //!
 //! The decomposition makes the interweaving argument mechanical:
 //! - interrupt-timed threads pay `intr_dispatch` + full-GPR save + `iretq`;
@@ -22,6 +23,7 @@
 //!   fair-scheduler pick.
 
 use interweave_core::machine::MachineConfig;
+use interweave_core::stack::OsPoint;
 use interweave_core::time::Cycles;
 
 /// Fraction of full FP save/restore a fiber switch pays: at a compiler-
@@ -42,15 +44,6 @@ pub const DEFAULT_STACK_BYTES: u64 = 16 * 1024;
 /// domain (one buddy zone per socket in our allocator layout).
 pub fn home_zone_for(cpu: usize, mc: &MachineConfig) -> usize {
     mc.socket_of(cpu)
-}
-
-/// Which kernel design performs the switch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OsKind {
-    /// Nautilus-like: everything in kernel mode, no crossings.
-    Nk,
-    /// Linux-like: user-level threads, kernel entry/exit on every switch.
-    Linux,
 }
 
 /// The switching mechanism.
@@ -88,10 +81,21 @@ impl SwitchBreakdown {
     }
 }
 
+/// Safe-Rust scheduler surcharge for the Aster-like framekernel: the O(1)
+/// NK-style pick plus bounds-checked runqueue operations behind a checked
+/// API (no `unsafe` fast path to elide them).
+pub const ASTER_SCHED_OVERHEAD: Cycles = Cycles(200);
+
+/// In-kernel protection-domain bookkeeping an Aster-like switch pays: the
+/// framekernel keeps real page tables per domain, so a task switch touches
+/// them (CR3 bookkeeping, accessor revalidation) — but there is no
+/// user/kernel world switch, so this is far below a full crossing.
+pub const ASTER_DOMAIN_CHECK: Cycles = Cycles(150);
+
 /// Compose the switch cost for one configuration.
 pub fn switch_cost(
     mc: &MachineConfig,
-    os: OsKind,
+    os: OsPoint,
     kind: SwitchKind,
     rt: bool,
     fp: bool,
@@ -106,10 +110,12 @@ pub fn switch_cost(
         (_, SwitchKind::FiberCooperative | SwitchKind::FiberCompilerTimed, false) => {
             Cycles(c.sched_pick_rt.get())
         }
-        (OsKind::Nk, SwitchKind::ThreadInterrupt, true) => c.sched_pick_rt,
-        (OsKind::Nk, SwitchKind::ThreadInterrupt, false) => c.sched_pick_nk,
-        (OsKind::Linux, SwitchKind::ThreadInterrupt, true) => c.sched_pick_rt,
-        (OsKind::Linux, SwitchKind::ThreadInterrupt, false) => c.sched_pick_fair,
+        (_, SwitchKind::ThreadInterrupt, true) => c.sched_pick_rt,
+        (OsPoint::NkLike, SwitchKind::ThreadInterrupt, false) => c.sched_pick_nk,
+        (OsPoint::AsterLike, SwitchKind::ThreadInterrupt, false) => {
+            c.sched_pick_nk + ASTER_SCHED_OVERHEAD
+        }
+        (OsPoint::LinuxLike, SwitchKind::ThreadInterrupt, false) => c.sched_pick_fair,
     };
 
     match kind {
@@ -119,8 +125,9 @@ pub fn switch_cost(
             sched,
             fp: if fp { fp_full } else { Cycles::ZERO },
             boundary: match os {
-                OsKind::Nk => Cycles::ZERO,
-                OsKind::Linux => c.kernel_crossing(),
+                OsPoint::NkLike => Cycles::ZERO,
+                OsPoint::AsterLike => ASTER_DOMAIN_CHECK,
+                OsPoint::LinuxLike => c.kernel_crossing(),
             },
             ret: c.intr_return,
         },
@@ -157,7 +164,9 @@ pub fn granularity_floor(switch: Cycles) -> Cycles {
     switch
 }
 
-/// All Fig. 4 rows for one machine: `(label, fp, breakdown)`.
+/// All Fig. 4 rows for one machine: `(label, fp, breakdown)`. Thread rows
+/// come in OS-axis order from most to least expensive — Linux, Aster,
+/// then NK — so the table reads as a descent down the stack space.
 pub fn fig4_rows(mc: &MachineConfig) -> Vec<(String, bool, SwitchBreakdown)> {
     let mut rows = Vec::new();
     for &fp in &[false, true] {
@@ -165,32 +174,72 @@ pub fn fig4_rows(mc: &MachineConfig) -> Vec<(String, bool, SwitchBreakdown)> {
         rows.push((
             format!("Linux threads (non-RT, {fpl})"),
             fp,
-            switch_cost(mc, OsKind::Linux, SwitchKind::ThreadInterrupt, false, fp),
+            switch_cost(
+                mc,
+                OsPoint::LinuxLike,
+                SwitchKind::ThreadInterrupt,
+                false,
+                fp,
+            ),
         ));
         rows.push((
             format!("Linux threads (RT, {fpl})"),
             fp,
-            switch_cost(mc, OsKind::Linux, SwitchKind::ThreadInterrupt, true, fp),
+            switch_cost(
+                mc,
+                OsPoint::LinuxLike,
+                SwitchKind::ThreadInterrupt,
+                true,
+                fp,
+            ),
+        ));
+        rows.push((
+            format!("Aster threads (non-RT, {fpl})"),
+            fp,
+            switch_cost(
+                mc,
+                OsPoint::AsterLike,
+                SwitchKind::ThreadInterrupt,
+                false,
+                fp,
+            ),
+        ));
+        rows.push((
+            format!("Aster threads (RT, {fpl})"),
+            fp,
+            switch_cost(
+                mc,
+                OsPoint::AsterLike,
+                SwitchKind::ThreadInterrupt,
+                true,
+                fp,
+            ),
         ));
         rows.push((
             format!("Threads (non-RT, {fpl})"),
             fp,
-            switch_cost(mc, OsKind::Nk, SwitchKind::ThreadInterrupt, false, fp),
+            switch_cost(mc, OsPoint::NkLike, SwitchKind::ThreadInterrupt, false, fp),
         ));
         rows.push((
             format!("Threads (RT, {fpl})"),
             fp,
-            switch_cost(mc, OsKind::Nk, SwitchKind::ThreadInterrupt, true, fp),
+            switch_cost(mc, OsPoint::NkLike, SwitchKind::ThreadInterrupt, true, fp),
         ));
         rows.push((
             format!("Fibers-Coop ({fpl})"),
             fp,
-            switch_cost(mc, OsKind::Nk, SwitchKind::FiberCooperative, false, fp),
+            switch_cost(mc, OsPoint::NkLike, SwitchKind::FiberCooperative, false, fp),
         ));
         rows.push((
             format!("Fibers-CompTime ({fpl})"),
             fp,
-            switch_cost(mc, OsKind::Nk, SwitchKind::FiberCompilerTimed, false, fp),
+            switch_cost(
+                mc,
+                OsPoint::NkLike,
+                SwitchKind::FiberCompilerTimed,
+                false,
+                fp,
+            ),
         ));
     }
     rows
@@ -211,7 +260,7 @@ mod tests {
         // including floating point state, takes about 5000 cycles".
         let c = switch_cost(
             &knl(),
-            OsKind::Linux,
+            OsPoint::LinuxLike,
             SwitchKind::ThreadInterrupt,
             false,
             true,
@@ -224,13 +273,20 @@ mod tests {
     fn nk_thread_is_about_half_of_linux() {
         let linux = switch_cost(
             &knl(),
-            OsKind::Linux,
+            OsPoint::LinuxLike,
             SwitchKind::ThreadInterrupt,
             false,
             true,
         )
         .total();
-        let nk = switch_cost(&knl(), OsKind::Nk, SwitchKind::ThreadInterrupt, false, true).total();
+        let nk = switch_cost(
+            &knl(),
+            OsPoint::NkLike,
+            SwitchKind::ThreadInterrupt,
+            false,
+            true,
+        )
+        .total();
         let ratio = linux.as_f64() / nk.as_f64();
         assert!((1.5..=2.5).contains(&ratio), "linux/nk = {ratio:.2}");
     }
@@ -238,10 +294,17 @@ mod tests {
     #[test]
     fn comptime_fiber_fp_is_slightly_better_than_half_of_nk_thread() {
         // §IV-C: "slightly more than halved again"; caption: 2.3× lower.
-        let nk = switch_cost(&knl(), OsKind::Nk, SwitchKind::ThreadInterrupt, false, true).total();
+        let nk = switch_cost(
+            &knl(),
+            OsPoint::NkLike,
+            SwitchKind::ThreadInterrupt,
+            false,
+            true,
+        )
+        .total();
         let fib = switch_cost(
             &knl(),
-            OsKind::Nk,
+            OsPoint::NkLike,
             SwitchKind::FiberCompilerTimed,
             false,
             true,
@@ -258,7 +321,7 @@ mod tests {
     fn comptime_fiber_nofp_is_about_4x_below_nk_thread() {
         let nk = switch_cost(
             &knl(),
-            OsKind::Nk,
+            OsPoint::NkLike,
             SwitchKind::ThreadInterrupt,
             false,
             false,
@@ -266,7 +329,7 @@ mod tests {
         .total();
         let fib = switch_cost(
             &knl(),
-            OsKind::Nk,
+            OsPoint::NkLike,
             SwitchKind::FiberCompilerTimed,
             false,
             false,
@@ -285,7 +348,7 @@ mod tests {
         // cycles".
         let fib = switch_cost(
             &knl(),
-            OsKind::Nk,
+            OsPoint::NkLike,
             SwitchKind::FiberCompilerTimed,
             false,
             false,
@@ -301,7 +364,7 @@ mod tests {
         // fiber switch.
         let b = switch_cost(
             &knl(),
-            OsKind::Nk,
+            OsPoint::NkLike,
             SwitchKind::FiberCompilerTimed,
             false,
             true,
@@ -314,7 +377,7 @@ mod tests {
     fn rt_is_cheaper_than_nonrt_for_linux_threads() {
         let nonrt = switch_cost(
             &knl(),
-            OsKind::Linux,
+            OsPoint::LinuxLike,
             SwitchKind::ThreadInterrupt,
             false,
             true,
@@ -322,7 +385,7 @@ mod tests {
         .total();
         let rt = switch_cost(
             &knl(),
-            OsKind::Linux,
+            OsPoint::LinuxLike,
             SwitchKind::ThreadInterrupt,
             true,
             true,
@@ -335,7 +398,7 @@ mod tests {
     fn time_check_is_the_only_delta_between_fiber_kinds() {
         let coop = switch_cost(
             &knl(),
-            OsKind::Nk,
+            OsPoint::NkLike,
             SwitchKind::FiberCooperative,
             false,
             false,
@@ -343,7 +406,7 @@ mod tests {
         .total();
         let comp = switch_cost(
             &knl(),
-            OsKind::Nk,
+            OsPoint::NkLike,
             SwitchKind::FiberCompilerTimed,
             false,
             false,
@@ -358,13 +421,19 @@ mod tests {
         // removes most of the dispatch cost from *thread* switches.
         let idt = switch_cost(
             &knl(),
-            OsKind::Nk,
+            OsPoint::NkLike,
             SwitchKind::ThreadInterrupt,
             false,
             false,
         );
         let mc = knl().with_pipeline_interrupts();
-        let pipe = switch_cost(&mc, OsKind::Nk, SwitchKind::ThreadInterrupt, false, false);
+        let pipe = switch_cost(
+            &mc,
+            OsPoint::NkLike,
+            SwitchKind::ThreadInterrupt,
+            false,
+            false,
+        );
         assert!(pipe.total() < idt.total());
         assert_eq!(idt.total() - pipe.total(), Cycles(1000 - 2));
     }
@@ -372,7 +441,27 @@ mod tests {
     #[test]
     fn fig4_rows_cover_the_parameter_space() {
         let rows = fig4_rows(&knl());
-        assert_eq!(rows.len(), 12);
+        assert_eq!(rows.len(), 16);
         assert!(rows.iter().any(|(l, _, _)| l.contains("Fibers-CompTime")));
+        assert!(rows.iter().any(|(l, _, _)| l.contains("Aster threads")));
+    }
+
+    #[test]
+    fn aster_thread_switch_sits_strictly_between_nk_and_linux() {
+        // The framekernel premise: no user/kernel world switch (cheaper
+        // than Linux) but safe-Rust scheduling and in-kernel domain
+        // bookkeeping (dearer than raw NK) — for RT and non-RT alike.
+        for &rt in &[false, true] {
+            for &fp in &[false, true] {
+                let k = SwitchKind::ThreadInterrupt;
+                let nk = switch_cost(&knl(), OsPoint::NkLike, k, rt, fp).total();
+                let aster = switch_cost(&knl(), OsPoint::AsterLike, k, rt, fp).total();
+                let linux = switch_cost(&knl(), OsPoint::LinuxLike, k, rt, fp).total();
+                assert!(
+                    nk < aster && aster < linux,
+                    "rt={rt} fp={fp}: nk {nk} aster {aster} linux {linux}"
+                );
+            }
+        }
     }
 }

@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn table_is_complete() {
         let rows = epcc_table(&knl(), &[2, 4, 8]);
-        assert_eq!(rows.len(), 5 * 4 * 3);
+        assert_eq!(rows.len(), 5 * OmpMode::all().len() * 3);
     }
 
     #[test]

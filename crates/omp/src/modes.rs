@@ -1,4 +1,4 @@
-//! Per-design cost profiles for the four OpenMP execution modes.
+//! Per-design cost profiles for the OpenMP execution modes.
 //!
 //! Every mode runs the same workload semantics; these profiles price the
 //! runtime events — parallel-region fork, barrier, per-chunk scheduling —
@@ -9,13 +9,19 @@
 use interweave_core::machine::MachineConfig;
 use interweave_core::rng::SplitMix64;
 use interweave_core::time::Cycles;
-use interweave_kernel::os::{LinuxModel, NkModel, OsModel};
+use interweave_kernel::os::{AsterModel, LinuxModel, NkModel, OsModel};
 
-/// The execution designs of §V-A.
+/// The execution designs of §V-A, plus the framekernel mid-point of the
+/// OS axis (unmodified libomp on an Aster-like kernel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OmpMode {
     /// Commodity baseline: user-level libomp on Linux.
     LinuxUser,
+    /// Unmodified libomp on the Aster-like framekernel: the runtime still
+    /// calls thread/synchronization services, but they are bounds-checked
+    /// in-kernel calls rather than syscalls, and background noise is far
+    /// lighter.
+    AsterUser,
     /// Runtime in kernel.
     Rtk,
     /// Process in kernel.
@@ -29,15 +35,23 @@ impl OmpMode {
     pub fn name(self) -> &'static str {
         match self {
             OmpMode::LinuxUser => "Linux",
+            OmpMode::AsterUser => "Aster",
             OmpMode::Rtk => "RTK",
             OmpMode::Pik => "PIK",
             OmpMode::Cck => "CCK",
         }
     }
 
-    /// All modes, baseline first.
-    pub fn all() -> [OmpMode; 4] {
-        [OmpMode::LinuxUser, OmpMode::Rtk, OmpMode::Pik, OmpMode::Cck]
+    /// All modes, baseline first, then down the OS axis into the kernel
+    /// designs.
+    pub fn all() -> [OmpMode; 5] {
+        [
+            OmpMode::LinuxUser,
+            OmpMode::AsterUser,
+            OmpMode::Rtk,
+            OmpMode::Pik,
+            OmpMode::Cck,
+        ]
     }
 
     /// The kernel-interwoven designs Fig. 6 plots against the Linux
@@ -49,6 +63,7 @@ impl OmpMode {
 pub struct ModeCosts {
     mode: OmpMode,
     linux: LinuxModel,
+    aster: AsterModel,
     nk: NkModel,
 }
 
@@ -58,6 +73,7 @@ impl ModeCosts {
         ModeCosts {
             mode,
             linux: LinuxModel::new(mc.clone()),
+            aster: AsterModel::new(mc.clone()),
             nk: NkModel::new(mc.clone()),
         }
     }
@@ -80,6 +96,14 @@ impl ModeCosts {
                     Cycles(wake.get() * (p64 / 16))
                 }
             }
+            // Same tree release, but the dozed-off fraction is woken
+            // through an in-kernel service call, not a futex syscall.
+            OmpMode::AsterUser => {
+                Cycles(450) + Cycles(18) * p64 + {
+                    let (wake, _) = self.aster.wake_remote();
+                    Cycles(wake.get() * (p64 / 16))
+                }
+            }
             OmpMode::Rtk => Cycles(300) + Cycles(12) * p64,
             OmpMode::Pik => Cycles(380) + Cycles(13) * p64,
             // Serial enqueue of the region's task batch into the kernel
@@ -93,6 +117,7 @@ impl ModeCosts {
         let l = Self::log2p(p);
         match self.mode {
             OmpMode::LinuxUser => Cycles(300) + Cycles(60) * l,
+            OmpMode::AsterUser => Cycles(220) + Cycles(50) * l,
             OmpMode::Rtk => Cycles(150) + Cycles(40) * l,
             OmpMode::Pik => Cycles(170) + Cycles(42) * l,
             // Tasks start when dequeued; contention on the central queue
@@ -110,6 +135,11 @@ impl ModeCosts {
             OmpMode::LinuxUser => {
                 Cycles(150) * l + Cycles(self.linux.barrier_block().get() * (p as u64 / 24))
             }
+            // The blocking fraction blocks through the checked waitqueue —
+            // no crossings, so the superlogarithmic component is milder.
+            OmpMode::AsterUser => {
+                Cycles(125) * l + Cycles(self.aster.barrier_block().get() * (p as u64 / 24))
+            }
             OmpMode::Rtk => Cycles(100) * l,
             OmpMode::Pik => Cycles(110) * l,
             // Completion counter, no barrier proper.
@@ -120,7 +150,7 @@ impl ModeCosts {
     /// Per-chunk scheduling cost (dynamic grabs; static pays once).
     pub fn chunk_grab(&self, p: usize) -> Cycles {
         match self.mode {
-            OmpMode::LinuxUser | OmpMode::Rtk | OmpMode::Pik => Cycles(60),
+            OmpMode::LinuxUser | OmpMode::AsterUser | OmpMode::Rtk | OmpMode::Pik => Cycles(60),
             OmpMode::Cck => Cycles(80) * (1 + p as u64 / 32),
         }
     }
@@ -129,21 +159,23 @@ impl ModeCosts {
     /// `window` cycles. Zero for kernel-interwoven designs (§III:
     /// interrupts steered away; no daemons).
     pub fn noise_in_window(&self, window: Cycles, rng: &mut SplitMix64) -> Cycles {
-        match self.mode {
-            OmpMode::LinuxUser => {
-                let mut stolen = Cycles::ZERO;
-                let mut t = Cycles::ZERO;
-                while let Some(n) = self.linux.sample_noise(rng) {
-                    t += n.after;
-                    if t >= window {
-                        break;
-                    }
-                    stolen += n.duration;
-                }
-                stolen
+        let os: &dyn OsModel = match self.mode {
+            OmpMode::LinuxUser => &self.linux,
+            // The framekernel has no per-CPU tick, only rare maintenance
+            // work — light but nonzero.
+            OmpMode::AsterUser => &self.aster,
+            _ => return Cycles::ZERO,
+        };
+        let mut stolen = Cycles::ZERO;
+        let mut t = Cycles::ZERO;
+        while let Some(n) = os.sample_noise(rng) {
+            t += n.after;
+            if t >= window {
+                break;
             }
-            _ => Cycles::ZERO,
+            stolen += n.duration;
         }
+        stolen
     }
 
     /// Whether this design smooths imbalance through tasking (CCK maps
@@ -197,6 +229,33 @@ mod tests {
         for m in [OmpMode::Rtk, OmpMode::Pik, OmpMode::Cck] {
             assert_eq!(costs(m).noise_in_window(window, &mut rng), Cycles::ZERO);
         }
+    }
+
+    #[test]
+    fn aster_sits_between_linux_and_the_kernel_modes() {
+        for p in [2, 8, 64] {
+            let lx = costs(OmpMode::LinuxUser).fork_master(p);
+            let aster = costs(OmpMode::AsterUser).fork_master(p);
+            let rtk = costs(OmpMode::Rtk).fork_master(p);
+            assert!(rtk < aster && aster < lx, "p={p}: {rtk} {aster} {lx}");
+            let lx_b = costs(OmpMode::LinuxUser).barrier(p);
+            let aster_b = costs(OmpMode::AsterUser).barrier(p);
+            let rtk_b = costs(OmpMode::Rtk).barrier(p);
+            assert!(
+                rtk_b < aster_b && aster_b <= lx_b,
+                "p={p}: {rtk_b} {aster_b} {lx_b}"
+            );
+        }
+    }
+
+    #[test]
+    fn aster_noise_is_much_lighter_than_linux() {
+        let window = Cycles(500_000_000);
+        let mut rng_lx = SplitMix64::new(11);
+        let mut rng_as = SplitMix64::new(11);
+        let lx = costs(OmpMode::LinuxUser).noise_in_window(window, &mut rng_lx);
+        let aster = costs(OmpMode::AsterUser).noise_in_window(window, &mut rng_as);
+        assert!(aster < lx / 10, "aster {aster} vs linux {lx}");
     }
 
     #[test]

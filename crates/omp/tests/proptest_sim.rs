@@ -24,7 +24,9 @@ proptest! {
     }
 
     /// The accounting identity holds: overheads and noise never exceed the
-    /// total, and kernel modes carry zero noise.
+    /// total, and kernel-interwoven modes carry zero noise. (The user-level
+    /// modes may carry noise — heavy on Linux, light on the Aster-like
+    /// framekernel.)
     #[test]
     fn accounting_identity(seed in any::<u64>(), p_idx in 0usize..5) {
         let p = [2usize, 4, 8, 16, 32][p_idx];
@@ -33,7 +35,7 @@ proptest! {
             let r = run_omp(&bt(), mode, p, &mc, seed);
             prop_assert!(r.runtime_overhead <= r.total);
             prop_assert!(r.noise_on_critical_path <= r.runtime_overhead);
-            if mode != OmpMode::LinuxUser {
+            if !matches!(mode, OmpMode::LinuxUser | OmpMode::AsterUser) {
                 prop_assert_eq!(r.noise_on_critical_path.get(), 0);
             }
         }

@@ -1,22 +1,23 @@
 //! Quickstart: a tour of the Interweave laboratory.
 //!
-//! Builds the two stack compositions the paper contrasts (commodity layered
-//! vs. interwoven), then demonstrates one win from each layer: CARAT
-//! protection without paging, compiler-timed preemption without interrupts,
-//! and heartbeat delivery without signals.
+//! Builds the stack compositions the paper contrasts (commodity layered
+//! vs. interwoven, plus the Aster-like framekernel mid-point of the OS
+//! axis), then demonstrates one win from each layer: CARAT protection
+//! without paging, compiler-timed preemption without interrupts, and
+//! heartbeat delivery without signals — swept across all three kernels.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use interweave::carat;
 use interweave::compose::{compose, StackBuilder};
 use interweave::core::machine::MachineConfig;
-use interweave::core::stack::{StackConfig, Translation};
+use interweave::core::stack::{OsPoint, StackConfig, Translation};
 use interweave::core::Cycles;
 use interweave::fibers::study::floor_cycles;
-use interweave::heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
+use interweave::heartbeat::sim::{run_heartbeat, HeartbeatConfig};
 use interweave::ir::interp::{Interp, InterpConfig};
 use interweave::ir::programs;
-use interweave::kernel::threads::{OsKind, SwitchKind};
+use interweave::kernel::threads::SwitchKind;
 
 fn main() {
     // 1. The design space: the paper's interweaving axes as data, and the
@@ -40,15 +41,32 @@ fn main() {
         stack.translation.name(),
         stack.delivery
     );
+    // The OS axis has a mid-point: the Aster-like framekernel composes
+    // like any other stack point.
+    let fk = StackBuilder::new(StackConfig::framekernel(), machine.clone())
+        .build()
+        .expect("the framekernel preset is a coherent stack");
+    println!("framekernel:      os={}", fk.os.name());
     // Incoherent combinations come back as typed errors, not panics:
     // CARAT's guards need the NK kernel side, so it can't ride on signals.
     let bad = StackConfig {
         translation: Translation::Carat,
         ..StackConfig::commodity()
     };
-    match compose(bad, machine) {
-        Err(e) => println!("rejected [{}]: {e}\n", e.rule()),
+    match compose(bad, machine.clone()) {
+        Err(e) => println!("rejected [{}]: {e}", e.rule()),
         Ok(_) => unreachable!("carat-on-commodity must not compose"),
+    }
+    // The framekernel premise is enforced in the same way: Aster's
+    // isolation lives in checked in-kernel types, so raw identity mapping
+    // is incoherent with it.
+    let bad_fk = StackConfig {
+        translation: Translation::Identity,
+        ..StackConfig::framekernel()
+    };
+    match compose(bad_fk, machine) {
+        Err(e) => println!("rejected [{}]: {e}\n", e.rule()),
+        Ok(_) => unreachable!("aster-without-paging must not compose"),
     }
 
     // 2. CARAT (§IV-A): protection by compiler + runtime, no paging.
@@ -71,8 +89,8 @@ fn main() {
     // 3. Compiler-based timing (§IV-C): fine-grain preemption without
     // interrupts.
     let knl = MachineConfig::phi_knl();
-    let hw = floor_cycles(&knl, SwitchKind::ThreadInterrupt, OsKind::Linux, true);
-    let ct = floor_cycles(&knl, SwitchKind::FiberCompilerTimed, OsKind::Nk, false);
+    let hw = floor_cycles(&knl, SwitchKind::ThreadInterrupt, OsPoint::LinuxLike, true);
+    let ct = floor_cycles(&knl, SwitchKind::FiberCompilerTimed, OsPoint::NkLike, false);
     println!("preemption granularity floor on {}:", knl.name);
     println!("  Linux threads (FP):        {hw} cycles");
     println!(
@@ -80,12 +98,14 @@ fn main() {
         hw as f64 / ct as f64
     );
 
-    // 4. Heartbeat delivery (§IV-B): signals vs. IPIs at heartbeat = 20 µs.
-    for kind in [SignalKind::LinuxSignals, SignalKind::NkIpi] {
-        let r = run_heartbeat(&HeartbeatConfig::fig3(kind, 20.0, Cycles(1000)));
+    // 4. Heartbeat delivery (§IV-B): the whole OS axis at heartbeat =
+    // 20 µs — per-CPU signals on Linux, kernel-owned broadcast on the
+    // framekernel and Nautilus.
+    for os in OsPoint::ALL {
+        let r = run_heartbeat(&HeartbeatConfig::fig3(os, 20.0, Cycles(1000)));
         println!(
             "heartbeat 20 µs via {:>8}: {:5.1}% of target rate, CV {:.3}, overhead {:.2}%",
-            kind.name(),
+            os.name(),
             100.0 * r.fraction_of_target(),
             r.interbeat_cv,
             r.overhead_pct

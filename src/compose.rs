@@ -24,6 +24,10 @@
 //! let stack = compose(StackConfig::interwoven(), MachineConfig::xeon_server_2s()).unwrap();
 //! assert_eq!(stack.os.name(), "Nautilus");
 //!
+//! // ...the framekernel mid-point of the OS axis builds too...
+//! let fk = compose(StackConfig::framekernel(), MachineConfig::xeon_server_2s()).unwrap();
+//! assert_eq!(fk.os.name(), "Aster");
+//!
 //! // ...while CARAT translation on the commodity kernel is rejected.
 //! let mut broken = StackConfig::commodity();
 //! broken.translation = interweave::core::stack::Translation::Carat;
@@ -38,14 +42,12 @@ use interweave_coherence::protocol::CohMode;
 use interweave_core::interrupt::DeliveryMode;
 use interweave_core::machine::MachineConfig;
 use interweave_core::stack::{
-    CoherencePolicy, Isolation, SignalPath, StackConfig, TimingSource, Translation,
+    CoherencePolicy, Isolation, OsPoint, StackConfig, TimingSource, Translation,
 };
-use interweave_heartbeat::sim::SignalKind;
 use interweave_ir::passes::PassStats;
 use interweave_ir::Module;
-use interweave_kernel::os::{LinuxModel, NkModel, OsModel};
+use interweave_kernel::os::{model_for, OsModel};
 use interweave_kernel::paging::PagingModel;
-use interweave_kernel::threads::OsKind;
 use interweave_omp::OmpMode;
 use interweave_virtines::bespoke::BespokeSpec;
 use interweave_virtines::wasp::LaunchPath;
@@ -59,15 +61,20 @@ use std::fmt;
 /// panic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComposeError {
+    /// The framekernel's whole premise is enforced in-kernel isolation by
+    /// real page tables (the OSTD split keeps domains apart with paging,
+    /// not trust). An Aster-like kernel with raw `Identity` mapping — or
+    /// with CARAT's guards *instead of* page tables — is a contradiction,
+    /// so `OsPoint::AsterLike` requires `Translation::Paging`.
+    FramekernelRequiresPaging,
     /// CARAT translation (§IV-A) replaces paging with compiler guards and a
     /// tracking runtime *inside one address space*. The commodity kernel's
     /// user/kernel split (signals, per-process page tables) is exactly what
-    /// CARAT removes, so `Translation::Carat` requires the interwoven
-    /// kernel path (`SignalPath::NkIpiBroadcast`).
+    /// CARAT removes, so `Translation::Carat` requires an NK-like kernel.
     CaratOnCommodityKernel,
     /// Identity mapping (§III) exposes physical addresses to every task; a
     /// commodity kernel cannot identity-map untrusted user processes, so
-    /// `Translation::Identity` requires the interwoven kernel path.
+    /// `Translation::Identity` requires an NK-like kernel.
     IdentityOnCommodityKernel,
     /// Selective coherence deactivation (§V-B) is "driven by language-level
     /// sharing knowledge" — it needs the compiler in the loop, so
@@ -80,20 +87,23 @@ pub enum ComposeError {
     BespokeWithoutCompilerToolchain,
     /// Pipeline interrupts (§V-D) inject delivery into instruction fetch
     /// with no privilege-level change — only sound when every recipient
-    /// runs kernel-mode, so a machine with
-    /// `DeliveryMode::PipelineBranch` requires the interwoven kernel path.
-    PipelineDeliveryOnCommodityKernel,
+    /// runs raw kernel-mode with nothing to revalidate on entry. The
+    /// framekernel's checked handler trampolines and Linux's user/kernel
+    /// split both break that, so a machine with
+    /// `DeliveryMode::PipelineBranch` requires `OsPoint::NkLike`.
+    PipelineDeliveryRequiresNkKernel,
 }
 
 impl ComposeError {
     /// Short machine-readable rule name (tables, JSON).
     pub fn rule(&self) -> &'static str {
         match self {
+            ComposeError::FramekernelRequiresPaging => "aster-needs-paging",
             ComposeError::CaratOnCommodityKernel => "carat-needs-nk",
             ComposeError::IdentityOnCommodityKernel => "identity-needs-nk",
             ComposeError::SelectiveCoherenceWithoutCompilerToolchain => "selective-needs-compiler",
             ComposeError::BespokeWithoutCompilerToolchain => "bespoke-needs-compiler",
-            ComposeError::PipelineDeliveryOnCommodityKernel => "pipeline-needs-nk",
+            ComposeError::PipelineDeliveryRequiresNkKernel => "pipeline-needs-nk",
         }
     }
 }
@@ -101,6 +111,12 @@ impl ComposeError {
 impl fmt::Display for ComposeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ComposeError::FramekernelRequiresPaging => {
+                write!(
+                    f,
+                    "the framekernel's isolation is enforced by page tables (paging required)"
+                )
+            }
             ComposeError::CaratOnCommodityKernel => {
                 write!(
                     f,
@@ -121,9 +137,9 @@ impl fmt::Display for ComposeError {
                 f,
                 "bespoke contexts are compiler-synthesized (compiler timing required)"
             ),
-            ComposeError::PipelineDeliveryOnCommodityKernel => write!(
+            ComposeError::PipelineDeliveryRequiresNkKernel => write!(
                 f,
-                "pipeline interrupt delivery requires the interwoven (NK) kernel path"
+                "pipeline interrupt delivery requires the raw NK kernel path"
             ),
         }
     }
@@ -178,7 +194,8 @@ impl TranslationSetup {
 pub struct ComposedStack {
     /// The configuration this stack was built from.
     pub config: StackConfig,
-    /// The kernel personality (Nautilus-like or Linux-like) on the machine.
+    /// The kernel personality (the `OsPoint` axis materialized) on the
+    /// machine.
     pub os: Box<dyn OsModel>,
     /// How the machine delivers interrupts (IDT or §V-D pipeline branch).
     pub delivery: DeliveryMode,
@@ -211,30 +228,17 @@ impl ComposedStack {
         self.os.machine()
     }
 
-    /// The scheduler/threads view of the kernel axis.
-    pub fn os_kind(&self) -> OsKind {
-        match self.config.signal {
-            SignalPath::NkIpiBroadcast => OsKind::Nk,
-            SignalPath::LinuxSignals => OsKind::Linux,
-        }
-    }
-
-    /// The heartbeat simulator's view of the signaling axis.
-    pub fn signal_kind(&self) -> SignalKind {
-        match self.config.signal {
-            SignalPath::NkIpiBroadcast => SignalKind::NkIpi,
-            SignalPath::LinuxSignals => SignalKind::LinuxSignals,
-        }
-    }
-
     /// The OpenMP mode this composition corresponds to, when it is one of
-    /// the four §V-A stacks (`commodity` ↦ Linux user-level libomp,
+    /// the named OpenMP stacks (`commodity` ↦ Linux user-level libomp,
+    /// [`StackConfig::framekernel`] ↦ unmodified libomp on the framekernel,
     /// [`StackConfig::rtk`]/[`StackConfig::pik`]/[`StackConfig::cck`] ↦
     /// the kernel modes). Other compositions have no OpenMP incarnation.
     pub fn omp_mode(&self) -> Option<OmpMode> {
         let c = self.config;
         if c == StackConfig::commodity() {
             Some(OmpMode::LinuxUser)
+        } else if c == StackConfig::framekernel() {
+            Some(OmpMode::AsterUser)
         } else if c == StackConfig::rtk() {
             Some(OmpMode::Rtk)
         } else if c == StackConfig::pik() {
@@ -277,11 +281,13 @@ impl StackBuilder {
     /// coherence, isolation, delivery) so rejections are deterministic.
     pub fn validate(&self) -> Result<(), ComposeError> {
         let c = &self.config;
-        let commodity_kernel = c.signal == SignalPath::LinuxSignals;
-        if c.translation == Translation::Carat && commodity_kernel {
+        if c.os == OsPoint::AsterLike && c.translation != Translation::Paging {
+            return Err(ComposeError::FramekernelRequiresPaging);
+        }
+        if c.translation == Translation::Carat && c.os == OsPoint::LinuxLike {
             return Err(ComposeError::CaratOnCommodityKernel);
         }
-        if c.translation == Translation::Identity && commodity_kernel {
+        if c.translation == Translation::Identity && c.os == OsPoint::LinuxLike {
             return Err(ComposeError::IdentityOnCommodityKernel);
         }
         if c.coherence == CoherencePolicy::Selective && c.timing != TimingSource::CompilerInjected {
@@ -290,8 +296,8 @@ impl StackBuilder {
         if c.isolation == Isolation::Bespoke && c.timing != TimingSource::CompilerInjected {
             return Err(ComposeError::BespokeWithoutCompilerToolchain);
         }
-        if self.machine.delivery == DeliveryMode::PipelineBranch && commodity_kernel {
-            return Err(ComposeError::PipelineDeliveryOnCommodityKernel);
+        if self.machine.delivery == DeliveryMode::PipelineBranch && c.os != OsPoint::NkLike {
+            return Err(ComposeError::PipelineDeliveryRequiresNkKernel);
         }
         Ok(())
     }
@@ -304,10 +310,7 @@ impl StackBuilder {
             machine,
             carat_optimize,
         } = self;
-        let os: Box<dyn OsModel> = match config.signal {
-            SignalPath::NkIpiBroadcast => Box::new(NkModel::new(machine.clone())),
-            SignalPath::LinuxSignals => Box::new(LinuxModel::new(machine.clone())),
-        };
+        let os: Box<dyn OsModel> = model_for(config.os, machine.clone());
         let translation = match config.translation {
             Translation::Paging => TranslationSetup::Paging(PagingModel::new(&machine.cost)),
             Translation::Identity => TranslationSetup::Identity,
@@ -357,6 +360,7 @@ mod tests {
             StackConfig::commodity(),
             StackConfig::interwoven(),
             StackConfig::nautilus(),
+            StackConfig::framekernel(),
             StackConfig::rtk(),
             StackConfig::pik(),
             StackConfig::cck(),
@@ -370,16 +374,18 @@ mod tests {
     fn composed_objects_track_the_axes() {
         let c = compose(StackConfig::commodity(), mc()).unwrap();
         assert_eq!(c.os.name(), "Linux");
-        assert_eq!(c.os_kind(), OsKind::Linux);
         assert!(matches!(c.translation, TranslationSetup::Paging(_)));
         assert_eq!(c.coherence, CohMode::Full);
         assert_eq!(c.isolation, LaunchPath::Process);
         assert_eq!(c.omp_mode(), Some(OmpMode::LinuxUser));
 
+        let fk = compose(StackConfig::framekernel(), mc()).unwrap();
+        assert_eq!(fk.os.name(), "Aster");
+        assert!(matches!(fk.translation, TranslationSetup::Paging(_)));
+        assert_eq!(fk.omp_mode(), Some(OmpMode::AsterUser));
+
         let i = compose(StackConfig::interwoven(), mc()).unwrap();
         assert_eq!(i.os.name(), "Nautilus");
-        assert_eq!(i.os_kind(), OsKind::Nk);
-        assert_eq!(i.signal_kind(), SignalKind::NkIpi);
         assert!(matches!(
             i.translation,
             TranslationSetup::Carat { optimize: true, .. }
@@ -419,10 +425,32 @@ mod tests {
         let pipeline = mc().with_pipeline_interrupts();
         assert_eq!(
             compose(StackConfig::commodity(), pipeline.clone()).unwrap_err(),
-            ComposeError::PipelineDeliveryOnCommodityKernel
+            ComposeError::PipelineDeliveryRequiresNkKernel
+        );
+        // The framekernel's checked trampolines disqualify it too.
+        assert_eq!(
+            compose(StackConfig::framekernel(), pipeline.clone()).unwrap_err(),
+            ComposeError::PipelineDeliveryRequiresNkKernel
         );
         let nk = compose(StackConfig::nautilus(), pipeline).unwrap();
         assert_eq!(nk.delivery, DeliveryMode::PipelineBranch);
+    }
+
+    #[test]
+    fn framekernel_requires_paging() {
+        // Aster + Identity and Aster + Carat are both contradictions of
+        // the framekernel premise, and both reject with the same rule.
+        for translation in [Translation::Identity, Translation::Carat] {
+            let cfg = StackConfig {
+                translation,
+                ..StackConfig::framekernel()
+            };
+            assert_eq!(
+                compose(cfg, mc()).unwrap_err(),
+                ComposeError::FramekernelRequiresPaging,
+                "{translation:?}"
+            );
+        }
     }
 
     #[test]

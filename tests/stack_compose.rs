@@ -1,23 +1,28 @@
 //! Table-driven validation of the whole stack design space.
 //!
-//! [`StackConfig::enumerate`] yields all 120 axis combinations; every one
-//! must either build a [`ComposedStack`] or come back as exactly the typed
-//! [`ComposeError`] this test's independent rule table predicts — never a
-//! panic. The rule table deliberately restates the composition rules
-//! (first match in check order wins) so a drift in either place fails
-//! loudly.
+//! [`StackConfig::enumerate`] yields all 180 axis combinations (the OS
+//! axis has three points: Nautilus, the Aster-like framekernel, and
+//! Linux); every one must either build a [`ComposedStack`] or come back as
+//! exactly the typed [`ComposeError`] this test's independent rule table
+//! predicts — never a panic. The rule table deliberately restates the
+//! composition rules (first match in check order wins) so a drift in
+//! either place fails loudly.
 
 use interweave::compose::{compose, ComposeError, StackBuilder, TranslationSetup};
 use interweave::core::machine::MachineConfig;
 use interweave::core::stack::{
-    CoherencePolicy, Isolation, SignalPath, StackConfig, TimingSource, Translation,
+    CoherencePolicy, Isolation, OsPoint, StackConfig, TimingSource, Translation,
 };
 use interweave::core::DeliveryMode;
 
 /// Independent statement of the composition rules, in the builder's
-/// documented check order (translation, coherence, isolation, delivery).
+/// documented check order (framekernel premise, translation, coherence,
+/// isolation, delivery).
 fn expected_rejection(c: StackConfig, machine: &MachineConfig) -> Option<ComposeError> {
-    let commodity_kernel = c.signal == SignalPath::LinuxSignals;
+    let commodity_kernel = c.os == OsPoint::LinuxLike;
+    if c.os == OsPoint::AsterLike && c.translation != Translation::Paging {
+        return Some(ComposeError::FramekernelRequiresPaging);
+    }
     if c.translation == Translation::Carat && commodity_kernel {
         return Some(ComposeError::CaratOnCommodityKernel);
     }
@@ -30,8 +35,8 @@ fn expected_rejection(c: StackConfig, machine: &MachineConfig) -> Option<Compose
     if c.isolation == Isolation::Bespoke && c.timing != TimingSource::CompilerInjected {
         return Some(ComposeError::BespokeWithoutCompilerToolchain);
     }
-    if machine.delivery == DeliveryMode::PipelineBranch && commodity_kernel {
-        return Some(ComposeError::PipelineDeliveryOnCommodityKernel);
+    if machine.delivery == DeliveryMode::PipelineBranch && c.os != OsPoint::NkLike {
+        return Some(ComposeError::PipelineDeliveryRequiresNkKernel);
     }
     None
 }
@@ -55,13 +60,7 @@ fn every_axis_combination_builds_or_is_rejected_with_the_predicted_error() {
                     });
                     // The composition mirrors the configuration it came from.
                     assert_eq!(stack.config, cfg);
-                    assert_eq!(
-                        stack.os.name(),
-                        match cfg.signal {
-                            SignalPath::NkIpiBroadcast => "Nautilus",
-                            SignalPath::LinuxSignals => "Linux",
-                        }
-                    );
+                    assert_eq!(stack.os.name(), cfg.os.name());
                     assert_eq!(
                         stack.translation.name(),
                         match cfg.translation {
@@ -87,11 +86,13 @@ fn every_axis_combination_builds_or_is_rejected_with_the_predicted_error() {
             }
         }
     }
-    assert_eq!(built + rejected, 2 * 120, "the sweep covers the full space");
-    // The space is genuinely mixed: plenty of coherent stacks, and every
-    // rejection rule actually fires somewhere.
-    assert!(built >= 40, "only {built} compositions built");
-    assert!(rejected >= 100, "only {rejected} compositions rejected");
+    assert_eq!(built + rejected, 2 * 180, "the sweep covers the full space");
+    // The exact split is a function of the rule table; pinning it makes a
+    // silent rule change (or an axis-size change) fail loudly. Per machine:
+    // IDT builds 70 (42 NK + 14 Aster + 14 Linux); the pipeline machine
+    // builds only the 42 NK points.
+    assert_eq!(built, 112, "built {built} compositions");
+    assert_eq!(rejected, 248, "rejected {rejected} compositions");
 }
 
 #[test]
@@ -112,6 +113,7 @@ fn every_rejection_rule_fires_and_names_itself() {
     assert_eq!(
         all,
         vec![
+            "aster-needs-paging",
             "bespoke-needs-compiler",
             "carat-needs-nk",
             "identity-needs-nk",

@@ -12,25 +12,22 @@ use interweave::core::Cycles;
 #[test]
 fn interweaving_wins_on_every_axis() {
     // §IV-B heartbeat: achieved rate fraction at ♥=20 µs.
-    use interweave::heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
+    use interweave::core::stack::OsPoint;
+    use interweave::heartbeat::sim::{run_heartbeat, HeartbeatConfig};
     let lx = run_heartbeat(&HeartbeatConfig::fig3(
-        SignalKind::LinuxSignals,
+        OsPoint::LinuxLike,
         20.0,
         Cycles(1000),
     ));
-    let nk = run_heartbeat(&HeartbeatConfig::fig3(
-        SignalKind::NkIpi,
-        20.0,
-        Cycles(1000),
-    ));
+    let nk = run_heartbeat(&HeartbeatConfig::fig3(OsPoint::NkLike, 20.0, Cycles(1000)));
     assert!(nk.fraction_of_target() > lx.fraction_of_target());
 
     // §IV-C preemption granularity.
-    use interweave::kernel::threads::{switch_cost, OsKind, SwitchKind};
+    use interweave::kernel::threads::{switch_cost, SwitchKind};
     let knl = MachineConfig::phi_knl();
     let thread = switch_cost(
         &knl,
-        OsKind::Linux,
+        OsPoint::LinuxLike,
         SwitchKind::ThreadInterrupt,
         false,
         true,
@@ -38,7 +35,7 @@ fn interweaving_wins_on_every_axis() {
     .total();
     let fiber = switch_cost(
         &knl,
-        OsKind::Nk,
+        OsPoint::NkLike,
         SwitchKind::FiberCompilerTimed,
         false,
         true,
@@ -97,9 +94,10 @@ fn interweaving_wins_on_every_axis() {
 /// same `MachineConfig` flows into kernels, heartbeat, and switch costs.
 #[test]
 fn pipeline_interrupts_propagate_through_the_whole_stack() {
-    use interweave::heartbeat::sim::{run_heartbeat, HeartbeatConfig, SignalKind};
+    use interweave::core::stack::OsPoint;
+    use interweave::heartbeat::sim::{run_heartbeat, HeartbeatConfig};
     use interweave::kernel::os::{NkModel, OsModel};
-    use interweave::kernel::threads::{switch_cost, OsKind, SwitchKind};
+    use interweave::kernel::threads::{switch_cost, SwitchKind};
 
     let idt = MachineConfig::xeon_server_2s();
     let pipe = MachineConfig::xeon_server_2s().with_pipeline_interrupts();
@@ -110,12 +108,26 @@ fn pipeline_interrupts_propagate_through_the_whole_stack() {
     assert!(nk_pipe.event_deliver() < nk_idt.event_deliver());
 
     // Thread switches.
-    let s_idt = switch_cost(&idt, OsKind::Nk, SwitchKind::ThreadInterrupt, false, false).total();
-    let s_pipe = switch_cost(&pipe, OsKind::Nk, SwitchKind::ThreadInterrupt, false, false).total();
+    let s_idt = switch_cost(
+        &idt,
+        OsPoint::NkLike,
+        SwitchKind::ThreadInterrupt,
+        false,
+        false,
+    )
+    .total();
+    let s_pipe = switch_cost(
+        &pipe,
+        OsPoint::NkLike,
+        SwitchKind::ThreadInterrupt,
+        false,
+        false,
+    )
+    .total();
     assert!(s_pipe < s_idt);
 
     // Heartbeat overhead.
-    let mut cfg = HeartbeatConfig::fig3(SignalKind::NkIpi, 20.0, Cycles(1000));
+    let mut cfg = HeartbeatConfig::fig3(OsPoint::NkLike, 20.0, Cycles(1000));
     let h_idt = run_heartbeat(&cfg);
     cfg.machine = pipe;
     let h_pipe = run_heartbeat(&cfg);
